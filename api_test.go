@@ -1,0 +1,117 @@
+package pmutrust_test
+
+import (
+	"testing"
+
+	"pmutrust"
+)
+
+// TestPublicAPIWorkflow exercises the complete documented user journey
+// through the package facade: workload → reference → profile → score.
+func TestPublicAPIWorkflow(t *testing.T) {
+	spec, err := pmutrust.WorkloadByName("G4Box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Build(0.05)
+	reference, err := pmutrust.Reference(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var classicErr, lbrErr float64
+	for _, key := range []string{"classic", "lbr"} {
+		method, err := pmutrust.MethodByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, run, err := pmutrust.Profile(prog, pmutrust.IvyBridge(), method,
+			pmutrust.Options{PeriodBase: 500, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(run.Samples) == 0 {
+			t.Fatalf("%s: no samples", key)
+		}
+		e, err := pmutrust.AccuracyError(prof, reference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch key {
+		case "classic":
+			classicErr = e
+		case "lbr":
+			lbrErr = e
+		}
+	}
+	if lbrErr >= classicErr {
+		t.Errorf("headline result does not hold through the facade: lbr %.4f >= classic %.4f",
+			lbrErr, classicErr)
+	}
+	if f := pmutrust.ImprovementFactor(classicErr, lbrErr); f <= 1 {
+		t.Errorf("improvement factor %.2f", f)
+	}
+}
+
+func TestPublicAPIEnumerations(t *testing.T) {
+	if len(pmutrust.Workloads()) != 9 {
+		t.Errorf("workloads = %d, want 9", len(pmutrust.Workloads()))
+	}
+	if len(pmutrust.Kernels()) != 4 || len(pmutrust.Apps()) != 5 {
+		t.Error("kernel/app split wrong")
+	}
+	if len(pmutrust.Machines()) != 3 {
+		t.Error("machines != 3")
+	}
+	if len(pmutrust.Methods()) != 7 {
+		t.Error("methods != 7")
+	}
+	if _, err := pmutrust.MachineByName("Westmere"); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPublicAPICustomProgram builds a custom workload through the facade's
+// Builder re-export and profiles it — the extension path downstream users
+// take for their own programs.
+func TestPublicAPICustomProgram(t *testing.T) {
+	b := pmutrust.NewBuilder("custom")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, 20_000)
+	l := f.Block("loop")
+	l.Addi(2, 2, 1)
+	l.Mul(3, 2, 2)
+	l.Addi(1, 1, -1)
+	l.Cmpi(1, 0)
+	l.Jnz("loop")
+	f.Block("exit").Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := pmutrust.Reference(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	method, err := pmutrust.MethodByKey("pdir+ipfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := pmutrust.Profile(prog, pmutrust.IvyBridge(), method,
+		pmutrust.Options{PeriodBase: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := pmutrust.AccuracyError(prof, reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 < 0 || e2 > 2 {
+		t.Errorf("error out of metric range: %v", e2)
+	}
+	fp := prof.ToFunctions()
+	if len(fp.Ranking()) != 1 {
+		t.Error("single-function ranking wrong")
+	}
+}

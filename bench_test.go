@@ -1,0 +1,269 @@
+// Benchmark harness: one benchmark per paper table/figure (the regenerable
+// artifacts of DESIGN.md's experiment index) plus micro-benchmarks for the
+// substrates. Accuracy errors are attached to benchmark output as custom
+// metrics ("err") so `go test -bench` output doubles as a results table.
+//
+// Absolute numbers are not expected to match the paper (the substrate is a
+// simulator, not the authors' testbed); the shapes — who wins, by what
+// rough factor — are asserted by the test suite and recorded in
+// EXPERIMENTS.md.
+package pmutrust_test
+
+import (
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/experiments"
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// benchScale keeps one full (workload, machine, method) measurement in the
+// tens-of-milliseconds range so the whole harness completes in minutes.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Name: "bench", Workload: 0.25, PeriodBase: 1000, Repeats: 1}
+}
+
+// benchCell measures one Table cell and reports the error as a metric.
+func benchCell(b *testing.B, workload, machineName, methodKey string) {
+	b.Helper()
+	r := experiments.NewRunner(benchScale(), 42)
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := machine.ByName(machineName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sampling.MethodByKey(methodKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastErr float64
+	for i := 0; i < b.N; i++ {
+		meas, err := r.Measure(spec, mach, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastErr = meas.Err
+	}
+	b.ReportMetric(lastErr, "err")
+}
+
+// --- Table 1: kernels × methods × machines -------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for _, spec := range workloads.Kernels() {
+		for _, mach := range machine.All() {
+			for _, key := range []string{"classic", "precise+prime+rand", "pdir+ipfix", "lbr"} {
+				m, _ := sampling.MethodByKey(key)
+				if _, ok := sampling.Resolve(m, mach); !ok {
+					continue
+				}
+				b.Run(spec.Name+"/"+mach.Name+"/"+key, func(b *testing.B) {
+					benchCell(b, spec.Name, mach.Name, key)
+				})
+			}
+		}
+	}
+}
+
+// --- Table 2: applications × methods × machines ---------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	for _, spec := range workloads.Apps() {
+		for _, mach := range machine.All() {
+			for _, key := range []string{"classic", "precise", "pdir+ipfix", "lbr"} {
+				m, _ := sampling.MethodByKey(key)
+				if _, ok := sampling.Resolve(m, mach); !ok {
+					continue
+				}
+				b.Run(spec.Name+"/"+mach.Name+"/"+key, func(b *testing.B) {
+					benchCell(b, spec.Name, mach.Name, key)
+				})
+			}
+		}
+	}
+}
+
+// --- §5.2 side experiments -------------------------------------------------
+
+func BenchmarkSideIPFix(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunIPFix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = res.Factor
+	}
+	b.ReportMetric(factor, "improvement_x")
+}
+
+func BenchmarkSideRanking(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunRanking(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md A1-A5) -------------------------------------------
+
+func BenchmarkAblationSkid(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.AblateSkid(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPeriod(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.AblatePeriod(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLBRDepth(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.AblateLBRDepth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBurst(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.AblateBurst(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRandAmp(b *testing.B) {
+	r := experiments.NewRunner(benchScale(), 42)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.AblateRandAmp(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+// BenchmarkCPUTimedRun measures simulator throughput (instructions/op via
+// b.SetBytes-like metric: ns/instr reported as custom metric).
+func BenchmarkCPUTimedRun(b *testing.B) {
+	p := workloads.MustBuild("G4Box", 0.1)
+	res, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instrs := res.Instructions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkCPUFunctionalRun(b *testing.B) {
+	p := workloads.MustBuild("G4Box", 0.1)
+	res, err := cpu.RunFunctional(p, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.RunFunctional(p, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Instructions)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkPMUMonitorOverhead compares a monitored run against NopMonitor:
+// the collection-overhead concern of Table 3 and [38].
+func BenchmarkPMUMonitorOverhead(b *testing.B) {
+	p := workloads.MustBuild("G4Box", 0.1)
+	mach := machine.IvyBridge()
+	cfg := pmu.Config{
+		Event: pmu.EvInstRetired, Precision: pmu.PreciseDist,
+		Period: 1000, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unit := pmu.New(cfg)
+		if _, err := cpu.Run(p, mach.CPU, unit, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLBRDecode(b *testing.B) {
+	p := workloads.MustBuild("G4Box", 0.2)
+	m, _ := sampling.MethodByKey("lbr")
+	run, err := sampling.Collect(p, machine.IvyBridge(), m, sampling.Options{PeriodBase: 500, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lbr.BuildProfile(p, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(run.Samples)), "stacks")
+}
+
+func BenchmarkReferenceCollect(b *testing.B) {
+	p := workloads.MustBuild("Test40", 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Collect(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileFromSamples(b *testing.B) {
+	p := workloads.MustBuild("xalancbmk", 0.1)
+	m, _ := sampling.MethodByKey("pdir+ipfix")
+	run, err := sampling.Collect(p, machine.IvyBridge(), m, sampling.Options{PeriodBase: 500, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile.FromSamples(p, run)
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	spec, err := workloads.ByName("xalancbmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p := spec.Build(0.1)
+		if p.NumBlocks() == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}

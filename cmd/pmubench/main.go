@@ -1,0 +1,194 @@
+// Command pmubench regenerates the paper's tables and the repository's
+// ablation experiments.
+//
+// Usage:
+//
+//	pmubench -experiment table1|table2|table3|factors|ipfix|ranking|
+//	                     ablate-skid|ablate-period|ablate-lbr|ablate-burst|
+//	                     ablate-rand|all
+//	         [-scale paper|small] [-seed N] [-markdown]
+//
+// Every experiment prints a table whose rows/columns mirror the paper's
+// presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmutrust/internal/experiments"
+	"pmutrust/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (see package comment)")
+		scaleName  = flag.String("scale", "paper", "experiment scale: paper or small")
+		seed       = flag.Uint64("seed", 42, "base random seed")
+		markdown   = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "paper":
+		scale = experiments.PaperScale()
+	case "small":
+		scale = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "pmubench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	r := experiments.NewRunner(scale, *seed)
+
+	emit := func(t *report.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	// Tables 1 and 2 are cached across experiments so "-experiment all"
+	// computes each matrix once (factors reuses them).
+	var t1res, t2res *experiments.TableResult
+	table1 := func() (*experiments.TableResult, error) {
+		if t1res == nil {
+			tr, err := r.RunTable1()
+			if err != nil {
+				return nil, err
+			}
+			t1res = tr
+		}
+		return t1res, nil
+	}
+	table2 := func() (*experiments.TableResult, error) {
+		if t2res == nil {
+			tr, err := r.RunTable2()
+			if err != nil {
+				return nil, err
+			}
+			t2res = tr
+		}
+		return t2res, nil
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			tr, err := table1()
+			if err != nil {
+				return err
+			}
+			emit(tr.Table)
+		case "table2":
+			tr, err := table2()
+			if err != nil {
+				return err
+			}
+			emit(tr.Table)
+		case "table3":
+			emit(experiments.RunTable3())
+		case "factors":
+			t1, err := table1()
+			if err != nil {
+				return err
+			}
+			t2, err := table2()
+			if err != nil {
+				return err
+			}
+			emit(r.RunFactors(t1, t2).Table)
+		case "ipfix":
+			res, err := r.RunIPFix()
+			if err != nil {
+				return err
+			}
+			emit(res.Table)
+		case "ranking":
+			res, err := r.RunRanking()
+			if err != nil {
+				return err
+			}
+			emit(res.Table)
+		case "ablate-skid":
+			t, _, err := r.AblateSkid()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "ablate-period":
+			t, _, err := r.AblatePeriod()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "ablate-lbr":
+			t, _, err := r.AblateLBRDepth()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "ablate-burst":
+			t, _, err := r.AblateBurst()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "ablate-rand":
+			t, _, err := r.AblateRandAmp()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "overhead":
+			t, _, err := r.RunOverhead()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "freq":
+			res, err := r.RunFreqVsFixed()
+			if err != nil {
+				return err
+			}
+			emit(res.Table)
+		case "lbr-contention":
+			t, _, err := r.RunLBRContention()
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "stability":
+			res, err := r.RunStability(5)
+			if err != nil {
+				return err
+			}
+			emit(res.Table)
+		case "future-hw":
+			res, err := r.RunFutureHW()
+			if err != nil {
+				return err
+			}
+			emit(res.Table)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"table3", "table1", "table2", "factors", "ipfix", "ranking",
+			"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
+			"overhead", "freq", "lbr-contention", "stability", "future-hw"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

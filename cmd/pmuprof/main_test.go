@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunAllMethods(t *testing.T) {
+	for _, method := range []string{"classic", "precise", "pdir+ipfix", "lbr"} {
+		if err := run("Test40", "IvyBridge", method, 0.05, 1000, 42, 5, true, 8); err != nil {
+			t.Errorf("run(%s): %v", method, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "IvyBridge", "classic", 0.05, 1000, 42, 5, false, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("Test40", "P4", "classic", 0.05, 1000, 42, 5, false, 0); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("Test40", "IvyBridge", "magic", 0.05, 1000, 42, 5, false, 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run("Test40", "MagnyCours", "lbr", 0.05, 1000, 42, 5, false, 0); err == nil {
+		t.Error("lbr on MagnyCours accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command wlgen inspects the evaluation workloads: static CFG statistics,
+// dynamic execution characteristics (the enterprise-workload signatures of
+// §2.3), disassembly and DOT export.
+//
+// Usage:
+//
+//	wlgen -list
+//	wlgen -workload G4Box [-scale 1.0] [-disasm] [-dot] [-dynamic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/report"
+	"pmutrust/internal/workloads"
+)
+
+func main() {
+	var (
+		list         = flag.Bool("list", false, "list available workloads")
+		workloadName = flag.String("workload", "", "workload to inspect")
+		scale        = flag.Float64("scale", 1.0, "workload scale factor")
+		disasm       = flag.Bool("disasm", false, "print full disassembly")
+		dot          = flag.Bool("dot", false, "print the CFG in Graphviz DOT format")
+		dynamic      = flag.Bool("dynamic", true, "run the workload and print dynamic statistics")
+	)
+	flag.Parse()
+
+	if *list || *workloadName == "" {
+		t := report.New("available workloads", "name", "kind", "description")
+		for _, s := range workloads.All() {
+			t.AddRow(s.Name, s.Kind.String(), s.Description)
+		}
+		fmt.Println(t.String())
+		if *workloadName == "" {
+			return
+		}
+	}
+
+	spec, err := workloads.ByName(*workloadName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+		os.Exit(1)
+	}
+	p := spec.Build(*scale)
+	fmt.Print(p.Stats().String())
+
+	if *dynamic {
+		res, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlgen: run: %v\n", err)
+			os.Exit(1)
+		}
+		rp, err := ref.Collect(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlgen: ref: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dynamic: %d instrs, %d cycles (IPC %.2f)\n",
+			res.Instructions, res.Cycles, res.IPC())
+		fmt.Printf("  taken branches: %d (1 per %.1f instrs — enterprise band is 6-12)\n",
+			res.TakenBranches, float64(res.Instructions)/float64(max(1, res.TakenBranches)))
+		fmt.Printf("  cond branches: %d, mispredicted: %d (%.1f%%)\n",
+			res.CondBranches, res.Mispredicts,
+			100*float64(res.Mispredicts)/float64(max(1, res.CondBranches)))
+		// Hotness long tail: how many blocks cover 90% of instructions?
+		covered, blocks90 := uint64(0), 0
+		counts := append([]uint64(nil), rp.InstrCount...)
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		for _, c := range counts {
+			if covered*10 >= rp.NetInstructions*9 {
+				break
+			}
+			covered += c
+			blocks90++
+		}
+		fmt.Printf("  hotness: %d of %d blocks cover 90%% of instructions\n",
+			blocks90, p.NumBlocks())
+	}
+	if *disasm {
+		fmt.Println(p.Disasm())
+	}
+	if *dot {
+		fmt.Println(p.Dot())
+	}
+}

@@ -1,0 +1,97 @@
+// Loopcounts demonstrates recovering loop trip counts from Last Branch
+// Records — the §2.1 use case that pure event-based sampling cannot serve:
+// "Loop tripcounts are widely used for a variety of purposes, but are hard
+// to obtain with pure EBS methods."
+//
+// The example builds a custom workload with known nested-loop trip counts,
+// samples it with the LBR method, derives an edge profile, and compares
+// discovered trip counts with exact instrumentation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pmutrust"
+)
+
+func main() {
+	// A custom program: 5,000 outer iterations, inner loops of 12 and 4.
+	b := pmutrust.NewBuilder("loopy")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, 5000)
+	outer := f.Block("outer")
+	outer.Movi(2, 12)
+	inner1 := f.Block("inner1")
+	inner1.Addi(3, 3, 1)
+	inner1.Addi(2, 2, -1)
+	inner1.Cmpi(2, 0)
+	inner1.Jnz("inner1")
+	mid := f.Block("mid")
+	mid.Movi(2, 4)
+	inner2 := f.Block("inner2")
+	inner2.Mul(4, 3, 3)
+	inner2.Addi(2, 2, -1)
+	inner2.Cmpi(2, 0)
+	inner2.Jnz("inner2")
+	latch := f.Block("latch")
+	latch.Addi(1, 1, -1)
+	latch.Cmpi(1, 0)
+	latch.Jnz("outer")
+	f.Block("exit").Halt()
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth.
+	exact, err := pmutrust.ReferenceEdges(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// LBR-sampled estimate.
+	method, err := pmutrust.MethodByKey("lbr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := pmutrust.Collect(prog, pmutrust.IvyBridge(), method,
+		pmutrust.Options{PeriodBase: 2000, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := pmutrust.EdgeProfileFromLBR(prog, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exactTrips := exact.TripCounts()
+	estTrips := est.TripCounts()
+
+	var headers []int
+	for h := range exactTrips {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+
+	fmt.Printf("loops discovered from %d LBR stacks:\n\n", len(run.Samples))
+	fmt.Printf("%-10s %12s %12s\n", "header", "exact trips", "LBR trips")
+	for _, h := range headers {
+		name := prog.Blocks[h].FullName(prog)
+		estStat, ok := estTrips[h]
+		estStr := "(missed)"
+		switch {
+		case ok && estStat.Entries > 0:
+			estStr = fmt.Sprintf("%.2f", estStat.TripCount)
+		case ok:
+			// The loop's entry edge was never captured in a window — for
+			// a loop entered once per run that is the expected outcome.
+			estStr = "(entry unsampled)"
+		}
+		fmt.Printf("%-10s %12.2f %16s\n", name, exactTrips[h].TripCount, estStr)
+	}
+	fmt.Println("\nExact trips come from instrumentation; LBR trips from sampled branch")
+	fmt.Println("records alone. Expect a few percent of bias on periodic loops (§5.1).")
+}

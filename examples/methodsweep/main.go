@@ -1,0 +1,58 @@
+// Methodsweep runs the full machine × method matrix over one application
+// workload — a single-workload slice of the paper's Table 2 — and prints
+// which method wins on each machine. Useful as a template for evaluating
+// a new workload against the registry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmutrust"
+)
+
+func main() {
+	spec, err := pmutrust.WorkloadByName("omnetpp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := spec.Build(1.0)
+	reference, err := pmutrust.Reference(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d funcs, %d blocks, %d instructions\n\n",
+		prog.Name, prog.NumFuncs(), prog.NumBlocks(), reference.NetInstructions)
+
+	methods := pmutrust.Methods()
+	fmt.Printf("%-12s", "machine")
+	for _, m := range methods {
+		fmt.Printf(" %18s", m.Key)
+	}
+	fmt.Println()
+
+	for _, mach := range pmutrust.Machines() {
+		fmt.Printf("%-12s", mach.Name)
+		bestKey, bestErr := "", -1.0
+		for _, m := range methods {
+			prof, _, err := pmutrust.Profile(prog, mach, m,
+				pmutrust.Options{PeriodBase: 4000, Seed: 11})
+			if err != nil {
+				// Unsupported on this machine (e.g. LBR on Magny-Cours).
+				fmt.Printf(" %18s", "-")
+				continue
+			}
+			e, err := pmutrust.AccuracyError(prof, reference)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bestErr < 0 || e < bestErr {
+				bestKey, bestErr = m.Key, e
+			}
+			fmt.Printf(" %18.4f", e)
+		}
+		fmt.Printf("   <- best: %s (%.4f)\n", bestKey, bestErr)
+	}
+	fmt.Println("\nThe paper's recommendation (§6.3): sample with precise distributed")
+	fmt.Println("events and prime periods; use LBR methods for ultimate accuracy.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: profile one kernel with every sampling method on one
+// machine, and print the paper's accuracy metric for each — the smallest
+// complete tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmutrust"
+)
+
+func main() {
+	// 1. Pick a workload: the G4Box kernel (two functions, short branchy
+	// blocks — a good showcase for the differences between methods).
+	spec, err := pmutrust.WorkloadByName("G4Box")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := spec.Build(1.0)
+
+	// 2. Exact ground truth, the role Pin plays in the paper.
+	reference, err := pmutrust.Reference(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d blocks, %d instructions executed\n\n",
+		prog.Name, prog.NumBlocks(), reference.NetInstructions)
+
+	// 3. Sample with every Table 3 method on Ivy Bridge and score.
+	mach := pmutrust.IvyBridge()
+	fmt.Printf("%-20s %10s %8s\n", "method", "samples", "error")
+	for _, method := range pmutrust.Methods() {
+		prof, run, err := pmutrust.Profile(prog, mach, method,
+			pmutrust.Options{PeriodBase: 4000, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := pmutrust.AccuracyError(prof, reference)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %10d %8.4f\n", method.Key, len(run.Samples), e)
+	}
+	fmt.Println("\nLower is better; compare the classic row with pdir+ipfix and lbr.")
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/ref"
+)
+
+// Energy attribution: §2.1 motivates accurate block profiles with
+// "code level energy-efficiency monitors demand accuracy by using metrics
+// such as Watts-per-instruction (WPI)". This file propagates block-count
+// errors into per-block energy estimates under a per-class energy model,
+// quantifying how profile inaccuracy corrupts energy attribution.
+
+// EnergyModel maps instruction classes to energy per executed
+// instruction, in picojoules. Magnitudes follow the usual integer-vs-
+// divider-vs-memory ratios of published core energy breakdowns; only the
+// ratios matter for the error metric.
+type EnergyModel map[isa.Class]float64
+
+// DefaultEnergyModel returns the standard model.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		isa.ClassALU:    5,
+		isa.ClassMul:    12,
+		isa.ClassDiv:    90,
+		isa.ClassFP:     18,
+		isa.ClassFPDiv:  110,
+		isa.ClassMem:    25,
+		isa.ClassBranch: 6,
+		isa.ClassOther:  2,
+	}
+}
+
+// BlockEnergy returns the energy of one execution of each block under the
+// model, in picojoules, indexed by block ID.
+func BlockEnergy(p *profile.BlockProfile, model EnergyModel) []float64 {
+	out := make([]float64, p.Prog.NumBlocks())
+	for i, blk := range p.Prog.Blocks {
+		var e float64
+		for _, in := range blk.Instrs {
+			e += model[in.Op.ClassOf()]
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// EnergyError computes the paper-style accuracy error on *energy*
+// attribution: the sum of absolute per-block energy deviations between
+// the estimated and exact profiles, normalized by total energy. Because
+// energy per instruction varies across blocks (a divide block is ~18x an
+// ALU block), energy errors can exceed instruction-count errors whenever
+// a method's misattribution correlates with expensive instructions —
+// which is precisely what the skid/shadow bias does.
+func EnergyError(est *profile.BlockProfile, reference *ref.Profile, model EnergyModel) (float64, error) {
+	if est.Prog != reference.Prog {
+		return 0, fmt.Errorf("analysis: profile and reference are for different programs")
+	}
+	if model == nil {
+		model = DefaultEnergyModel()
+	}
+	prog := reference.Prog
+	perExec := make([]float64, prog.NumBlocks())
+	for i, blk := range prog.Blocks {
+		for _, in := range blk.Instrs {
+			perExec[i] += model[in.Op.ClassOf()]
+		}
+	}
+	var totalEnergy, errSum float64
+	for b := range perExec {
+		exact := float64(reference.ExecCount[b]) * perExec[b]
+		estimated := est.ExecEstimate[b] * perExec[b]
+		totalEnergy += exact
+		errSum += math.Abs(estimated - exact)
+	}
+	if totalEnergy == 0 {
+		return 0, fmt.Errorf("analysis: zero total energy")
+	}
+	return errSum / totalEnergy, nil
+}
+
+// WPIByFunction returns estimated energy-per-instruction (picojoules) per
+// function ID — the WPI metric of §2.1 at function granularity.
+func WPIByFunction(est *profile.BlockProfile, model EnergyModel) []float64 {
+	if model == nil {
+		model = DefaultEnergyModel()
+	}
+	prog := est.Prog
+	energy := make([]float64, prog.NumFuncs())
+	instrs := make([]float64, prog.NumFuncs())
+	perExec := BlockEnergy(est, model)
+	for b, blk := range prog.Blocks {
+		f := blk.Func
+		energy[f] += est.ExecEstimate[b] * perExec[b]
+		instrs[f] += est.InstrEstimate[b]
+	}
+	out := make([]float64, prog.NumFuncs())
+	for f := range out {
+		if instrs[f] > 0 {
+			out[f] = energy[f] / instrs[f]
+		}
+	}
+	return out
+}

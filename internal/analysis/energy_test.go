@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+func TestDefaultEnergyModelCoversAllClasses(t *testing.T) {
+	model := DefaultEnergyModel()
+	for op := isa.Op(0); op < isa.Op(isa.NumOps); op++ {
+		if _, ok := model[op.ClassOf()]; !ok {
+			t.Errorf("class %s (op %s) has no energy entry", op.ClassOf(), op)
+		}
+	}
+	if model[isa.ClassDiv] <= model[isa.ClassALU] {
+		t.Error("divider not more expensive than ALU")
+	}
+}
+
+func TestEnergyErrorExactProfile(t *testing.T) {
+	p := workloads.MustBuild("LatencyBiased", 0.02)
+	reference, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := profile.NewBlockProfile(p)
+	for b, ec := range reference.ExecCount {
+		bp.ExecEstimate[b] = float64(ec)
+		bp.InstrEstimate[b] = float64(reference.InstrCount[b])
+	}
+	e, err := EnergyError(bp, reference, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("exact profile energy error = %v", e)
+	}
+}
+
+// TestEnergyErrorAmplifiedBySkidBias: on LatencyBiased, classic sampling's
+// misattribution correlates with the expensive divide, so the energy
+// error must exceed LBR's, and the classic energy error must be
+// substantial — the §2.1 WPI motivation, demonstrated.
+func TestEnergyErrorAmplifiedBySkidBias(t *testing.T) {
+	p := workloads.MustBuild("LatencyBiased", 0.2)
+	reference, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(key string) float64 {
+		m, err := sampling.MethodByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sampling.Collect(p, machine.IvyBridge(), m, sampling.Options{
+			PeriodBase: 1000, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bp *profile.BlockProfile
+		if run.Method.UseLBRStack {
+			bp, _, err = lbr.BuildProfile(p, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			bp = profile.FromSamples(p, run)
+		}
+		e, err := EnergyError(bp, reference, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	classic := measure("classic")
+	lbrErr := measure("lbr")
+	if classic < 0.3 {
+		t.Errorf("classic energy error %.4f suspiciously small", classic)
+	}
+	if lbrErr >= classic/2 {
+		t.Errorf("LBR energy error %.4f not clearly below classic %.4f", lbrErr, classic)
+	}
+}
+
+func TestEnergyErrorValidation(t *testing.T) {
+	p := workloads.MustBuild("G4Box", 0.01)
+	q := workloads.MustBuild("Test40", 0.01)
+	refP, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnergyError(profile.NewBlockProfile(q), refP, nil); err == nil {
+		t.Error("mismatched programs accepted")
+	}
+}
+
+func TestWPIByFunction(t *testing.T) {
+	p := workloads.MustBuild("LatencyBiased", 0.02)
+	reference, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := profile.NewBlockProfile(p)
+	for b, ec := range reference.ExecCount {
+		bp.ExecEstimate[b] = float64(ec)
+		bp.InstrEstimate[b] = float64(reference.InstrCount[b])
+	}
+	wpi := WPIByFunction(bp, nil)
+	if len(wpi) != p.NumFuncs() {
+		t.Fatalf("wpi size = %d", len(wpi))
+	}
+	// main contains divides: its WPI must exceed the pure-ALU floor.
+	model := DefaultEnergyModel()
+	if wpi[0] <= model[isa.ClassALU] {
+		t.Errorf("main WPI %.2f not above ALU floor", wpi[0])
+	}
+	if math.IsNaN(wpi[0]) || math.IsInf(wpi[0], 0) {
+		t.Error("WPI not finite")
+	}
+}
+
+func TestBlockEnergy(t *testing.T) {
+	p := workloads.MustBuild("LatencyBiased", 0.01)
+	bp := profile.NewBlockProfile(p)
+	be := BlockEnergy(bp, DefaultEnergyModel())
+	// The odd (divide) block must out-cost the even (add) block.
+	var odd, even float64
+	for i, blk := range p.Blocks {
+		switch blk.Label {
+		case "odd":
+			odd = be[i]
+		case "even":
+			even = be[i]
+		}
+	}
+	if odd <= even {
+		t.Errorf("divide block energy %.1f not above add block %.1f", odd, even)
+	}
+}

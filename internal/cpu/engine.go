@@ -1,0 +1,363 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+)
+
+// RetireEvent describes one retired instruction, delivered to the Monitor
+// in program (retirement) order with non-decreasing cycles.
+type RetireEvent struct {
+	// Idx is the code-array index (the instruction's address).
+	Idx uint32
+	// Cycle is the retirement cycle.
+	Cycle uint64
+	// Seq is the 1-based dynamic instruction number.
+	Seq uint64
+	// Op is the opcode.
+	Op isa.Op
+	// Uops is the micro-op count of the instruction.
+	Uops uint8
+	// Taken reports whether this instruction was a taken control
+	// transfer (always true for jmp/call/ret, condition-dependent for
+	// conditional branches).
+	Taken bool
+	// Target is the dynamic branch target when Taken.
+	Target uint32
+}
+
+// Monitor observes the retirement stream. The PMU (internal/pmu) is the
+// production implementation; tests use counting monitors.
+type Monitor interface {
+	OnRetire(ev RetireEvent)
+}
+
+// NopMonitor discards all events; useful for timing-only runs.
+type NopMonitor struct{}
+
+// OnRetire implements Monitor.
+func (NopMonitor) OnRetire(RetireEvent) {}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Instructions is the number of retired instructions (including halt).
+	Instructions uint64
+	// Uops is the number of retired micro-ops.
+	Uops uint64
+	// Cycles is the retirement cycle of the final instruction.
+	Cycles uint64
+	// TakenBranches counts taken control transfers.
+	TakenBranches uint64
+	// CondBranches counts retired conditional branches.
+	CondBranches uint64
+	// Mispredicts counts mispredicted conditional branches.
+	Mispredicts uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// ErrInstrLimit is returned when a run exceeds its instruction budget,
+// which for the deterministic, halting workloads in this repository
+// indicates a workload construction bug.
+var ErrInstrLimit = errors.New("cpu: instruction limit exceeded")
+
+// state is the architectural + microarchitectural state of a run.
+type state struct {
+	prog    *program.Program
+	code    []isa.Instr
+	regs    [isa.NumRegs]int64
+	flags   int64 // sign of last comparison: <0, 0, >0
+	mem     []int64
+	memMask int64
+	stack   []uint32
+	pc      int32
+
+	// timing
+	regReady   [isa.NumRegs]uint64
+	flagsReady uint64
+	dispCycle  uint64
+	dispCount  int
+	retCycle   uint64
+	retCount   int
+	redirect   uint64 // earliest fetch cycle for the next instruction
+
+	pred predictor
+	cfg  Config
+}
+
+func newState(p *program.Program, cfg Config) *state {
+	memWords := 1
+	for memWords < p.MemWords {
+		memWords <<= 1
+	}
+	s := &state{
+		prog:    p,
+		code:    p.Code,
+		mem:     make([]int64, memWords),
+		memMask: int64(memWords - 1),
+		stack:   make([]uint32, 0, 64),
+		pc:      int32(p.Funcs[0].Start),
+		cfg:     cfg,
+	}
+	s.pred.init(cfg.PredictorBits)
+	return s
+}
+
+// Run executes p to completion under cfg, delivering every retirement to
+// mon. maxInstrs bounds the run (0 means a default of 2^40).
+func Run(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result, error) {
+	cfg = cfg.withDefaults()
+	s := newState(p, cfg)
+	if maxInstrs == 0 {
+		maxInstrs = 1 << 40
+	}
+	var res Result
+	for {
+		in := &s.code[s.pc]
+		idx := uint32(s.pc)
+
+		// ---- dispatch timing ----
+		d := s.dispCycle
+		if s.dispCount >= cfg.DispatchWidth {
+			d++
+			s.dispCount = 0
+		}
+		if s.redirect > d {
+			d = s.redirect
+			s.dispCount = 0
+		}
+		s.dispCycle = d
+		s.dispCount++
+
+		// ---- operand readiness ----
+		ready := d
+		op := in.Op
+		if op.ReadsSrc1() && s.regReady[in.Src1] > ready {
+			ready = s.regReady[in.Src1]
+		}
+		if op.ReadsSrc2() && s.regReady[in.Src2] > ready {
+			ready = s.regReady[in.Src2]
+		}
+		if op.ReadsFlags() && s.flagsReady > ready {
+			ready = s.flagsReady
+		}
+		complete := ready + uint64(op.Latency())
+
+		// ---- functional execution ----
+		taken, target, next, halt, err := s.step(in)
+		if err != nil {
+			return res, fmt.Errorf("at %#x (%s): %w",
+				program.DisplayAddr(int(idx)), in.Disasm(), err)
+		}
+
+		// ---- writeback timing ----
+		if op.WritesDst() {
+			s.regReady[in.Dst] = complete
+		}
+		if op.SetsFlags() {
+			s.flagsReady = complete
+		}
+
+		// ---- control-flow timing ----
+		if op.IsCondBranch() {
+			res.CondBranches++
+			predTaken := s.pred.predict(idx)
+			s.pred.update(idx, taken)
+			if predTaken != taken {
+				res.Mispredicts++
+				// Redirect resolves when the branch executes.
+				s.redirect = complete + cfg.MispredictPenalty
+			} else if taken {
+				s.redirect = d + 1 + cfg.TakenBranchBubble
+			}
+		} else if taken {
+			// Unconditional transfers: correctly predicted, front-end
+			// bubble only.
+			s.redirect = d + 1 + cfg.TakenBranchBubble
+		}
+
+		// ---- in-order retirement ----
+		rc := complete
+		if rc < s.retCycle {
+			rc = s.retCycle
+		}
+		if rc == s.retCycle {
+			if s.retCount >= cfg.RetireWidth {
+				rc++
+				s.retCount = 0
+			}
+		} else {
+			s.retCount = 0
+		}
+		s.retCycle = rc
+		s.retCount++
+
+		res.Instructions++
+		res.Uops += uint64(op.Uops())
+		if taken {
+			res.TakenBranches++
+		}
+		res.Cycles = rc
+
+		mon.OnRetire(RetireEvent{
+			Idx:    idx,
+			Cycle:  rc,
+			Seq:    res.Instructions,
+			Op:     op,
+			Uops:   op.Uops(),
+			Taken:  taken,
+			Target: uint32(target),
+		})
+
+		if halt {
+			return res, nil
+		}
+		if res.Instructions >= maxInstrs {
+			return res, ErrInstrLimit
+		}
+		s.pc = next
+	}
+}
+
+// step executes one instruction functionally: updates registers, flags,
+// memory and the call stack, and returns the control-flow outcome.
+func (s *state) step(in *isa.Instr) (taken bool, target, next int32, halt bool, err error) {
+	next = s.pc + 1
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMov:
+		s.regs[in.Dst] = s.regs[in.Src1]
+	case isa.OpMovi:
+		s.regs[in.Dst] = in.Imm
+	case isa.OpAdd:
+		s.regs[in.Dst] = s.regs[in.Src1] + s.regs[in.Src2]
+	case isa.OpAddi:
+		s.regs[in.Dst] = s.regs[in.Src1] + in.Imm
+	case isa.OpSub:
+		s.regs[in.Dst] = s.regs[in.Src1] - s.regs[in.Src2]
+	case isa.OpMul:
+		s.regs[in.Dst] = s.regs[in.Src1] * s.regs[in.Src2]
+	case isa.OpDiv:
+		if v := s.regs[in.Src2]; v != 0 {
+			s.regs[in.Dst] = s.regs[in.Src1] / v
+		} else {
+			s.regs[in.Dst] = 0
+		}
+	case isa.OpRem:
+		if v := s.regs[in.Src2]; v != 0 {
+			s.regs[in.Dst] = s.regs[in.Src1] % v
+		} else {
+			s.regs[in.Dst] = 0
+		}
+	case isa.OpAnd:
+		s.regs[in.Dst] = s.regs[in.Src1] & s.regs[in.Src2]
+	case isa.OpOr:
+		s.regs[in.Dst] = s.regs[in.Src1] | s.regs[in.Src2]
+	case isa.OpXor:
+		s.regs[in.Dst] = s.regs[in.Src1] ^ s.regs[in.Src2]
+	case isa.OpShl:
+		s.regs[in.Dst] = s.regs[in.Src1] << uint(in.Imm&63)
+	case isa.OpShr:
+		s.regs[in.Dst] = int64(uint64(s.regs[in.Src1]) >> uint(in.Imm&63))
+	case isa.OpLoad:
+		s.regs[in.Dst] = s.mem[(s.regs[in.Src1]+in.Imm)&s.memMask]
+	case isa.OpStore:
+		s.mem[(s.regs[in.Src2]+in.Imm)&s.memMask] = s.regs[in.Src1]
+	case isa.OpFadd:
+		s.regs[in.Dst] = s.regs[in.Src1] + s.regs[in.Src2]
+	case isa.OpFmul:
+		s.regs[in.Dst] = s.regs[in.Src1] * s.regs[in.Src2]
+	case isa.OpFdiv:
+		if v := s.regs[in.Src2]; v != 0 {
+			s.regs[in.Dst] = s.regs[in.Src1] / v
+		} else {
+			s.regs[in.Dst] = 0
+		}
+	case isa.OpFma:
+		s.regs[in.Dst] += s.regs[in.Src1] * s.regs[in.Src2]
+	case isa.OpCmp:
+		s.flags = s.regs[in.Src1] - s.regs[in.Src2]
+	case isa.OpCmpi:
+		s.flags = s.regs[in.Src1] - in.Imm
+	case isa.OpJmp:
+		taken, target, next = true, in.Target, in.Target
+	case isa.OpJz:
+		if s.flags == 0 {
+			taken, target, next = true, in.Target, in.Target
+		}
+	case isa.OpJnz:
+		if s.flags != 0 {
+			taken, target, next = true, in.Target, in.Target
+		}
+	case isa.OpJlt:
+		if s.flags < 0 {
+			taken, target, next = true, in.Target, in.Target
+		}
+	case isa.OpJge:
+		if s.flags >= 0 {
+			taken, target, next = true, in.Target, in.Target
+		}
+	case isa.OpCall:
+		if len(s.stack) >= s.cfg.MaxCallDepth {
+			return false, 0, 0, false, fmt.Errorf("call stack overflow (depth %d)", len(s.stack))
+		}
+		s.stack = append(s.stack, uint32(s.pc+1))
+		taken, target, next = true, in.Target, in.Target
+	case isa.OpRet:
+		if len(s.stack) == 0 {
+			return false, 0, 0, false, errors.New("return with empty call stack")
+		}
+		ra := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		taken, target, next = true, int32(ra), int32(ra)
+	case isa.OpHalt:
+		halt = true
+	default:
+		return false, 0, 0, false, fmt.Errorf("invalid opcode %d", in.Op)
+	}
+	return taken, target, next, halt, nil
+}
+
+// predictor is a table of 2-bit saturating counters for conditional branch
+// direction prediction. Prediction quality shapes the cycle distribution of
+// branchy code, which feeds the skid and shadow effects.
+type predictor struct {
+	table []uint8
+	mask  uint32
+}
+
+func (pr *predictor) init(bits int) {
+	size := 1 << bits
+	pr.table = make([]uint8, size)
+	pr.mask = uint32(size - 1)
+	// Initialize to weakly-taken: loops predict well almost immediately.
+	for i := range pr.table {
+		pr.table[i] = 2
+	}
+}
+
+func (pr *predictor) predict(pc uint32) bool {
+	return pr.table[pc&pr.mask] >= 2
+}
+
+func (pr *predictor) update(pc uint32, taken bool) {
+	c := pr.table[pc&pr.mask]
+	if taken {
+		if c < 3 {
+			pr.table[pc&pr.mask] = c + 1
+		}
+	} else {
+		if c > 0 {
+			pr.table[pc&pr.mask] = c - 1
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+)
+
+// straightLine builds "main: movi r1,n; loop: addi r1,-1; cmpi r1,0; jnz
+// loop; halt" — the minimal countdown loop.
+func countdown(t *testing.T, n int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("countdown")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, n)
+	l := f.Block("loop")
+	l.Addi(1, 1, -1)
+	l.Cmpi(1, 0)
+	l.Jnz("loop")
+	x := f.Block("exit")
+	x.Halt()
+	return b.MustBuild()
+}
+
+// eventCollector records the retirement stream.
+type eventCollector struct {
+	events []RetireEvent
+}
+
+func (c *eventCollector) OnRetire(ev RetireEvent) { c.events = append(c.events, ev) }
+
+func TestCountdownSemantics(t *testing.T) {
+	p := countdown(t, 5)
+	c := &eventCollector{}
+	res, err := Run(p, DefaultConfig(), c, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 1 movi + 5*(addi+cmpi+jnz) + halt = 17.
+	if res.Instructions != 17 {
+		t.Errorf("instructions = %d, want 17", res.Instructions)
+	}
+	// jnz taken 4 times (the 5th falls through).
+	if res.TakenBranches != 4 {
+		t.Errorf("taken = %d, want 4", res.TakenBranches)
+	}
+	if res.CondBranches != 5 {
+		t.Errorf("cond = %d, want 5", res.CondBranches)
+	}
+	if len(c.events) != int(res.Instructions) {
+		t.Errorf("monitor saw %d events", len(c.events))
+	}
+	last := c.events[len(c.events)-1]
+	if last.Op != isa.OpHalt {
+		t.Errorf("last event op = %s", last.Op)
+	}
+	if res.IPC() <= 0 {
+		t.Error("non-positive IPC")
+	}
+}
+
+func TestRetireStreamInvariants(t *testing.T) {
+	p := countdown(t, 1000)
+	c := &eventCollector{}
+	cfg := DefaultConfig()
+	if _, err := Run(p, cfg, c, 0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var prevCycle uint64
+	inCycle := 0
+	for i, ev := range c.events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if ev.Cycle < prevCycle {
+			t.Fatalf("retirement cycle went backwards at %d: %d < %d", i, ev.Cycle, prevCycle)
+		}
+		if ev.Cycle == prevCycle {
+			inCycle++
+			if inCycle > cfg.RetireWidth {
+				t.Fatalf("more than %d instructions retired in cycle %d", cfg.RetireWidth, ev.Cycle)
+			}
+		} else {
+			inCycle = 1
+		}
+		prevCycle = ev.Cycle
+	}
+}
+
+func TestFunctionalMatchesTimed(t *testing.T) {
+	p := countdown(t, 777)
+	c := &eventCollector{}
+	tres, err := Run(p, DefaultConfig(), c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []uint32
+	fres, err := RunFunctional(p, funcCollector{&seq}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Instructions != tres.Instructions || fres.TakenBranches != tres.TakenBranches {
+		t.Fatalf("functional/timed disagree: %+v vs %+v", fres, tres)
+	}
+	for i, idx := range seq {
+		if c.events[i].Idx != idx {
+			t.Fatalf("dynamic instruction %d differs: timed %d, functional %d",
+				i, c.events[i].Idx, idx)
+		}
+	}
+}
+
+type funcCollector struct{ seq *[]uint32 }
+
+func (f funcCollector) OnExec(idx uint32) { *f.seq = append(*f.seq, idx) }
+
+func TestInstructionLimit(t *testing.T) {
+	p := countdown(t, 1_000_000)
+	_, err := Run(p, DefaultConfig(), NopMonitor{}, 100)
+	if !errors.Is(err, ErrInstrLimit) {
+		t.Errorf("err = %v, want ErrInstrLimit", err)
+	}
+	_, err = RunFunctional(p, nil, 100)
+	if !errors.Is(err, ErrInstrLimit) {
+		t.Errorf("functional err = %v, want ErrInstrLimit", err)
+	}
+}
+
+func TestLatencyCreatesStalls(t *testing.T) {
+	// A dependent chain of divides must retire far slower than a chain of
+	// independent adds of the same length.
+	build := func(op isa.Op) *program.Program {
+		b := program.NewBuilder("lat")
+		f := b.Func("main")
+		e := f.Block("entry")
+		e.Movi(1, 100)
+		e.Movi(2, 3)
+		l := f.Block("loop")
+		for i := 0; i < 10; i++ {
+			l.Raw(isa.Instr{Op: op, Dst: 3, Src1: 3, Src2: 2, Target: -1})
+		}
+		l.Addi(1, 1, -1)
+		l.Cmpi(1, 0)
+		l.Jnz("loop")
+		f.Block("exit").Halt()
+		return b.MustBuild()
+	}
+	fast, err := Run(build(isa.OpAdd), DefaultConfig(), NopMonitor{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(build(isa.OpDiv), DefaultConfig(), NopMonitor{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles < fast.Cycles*5 {
+		t.Errorf("dependent divides not slow enough: %d vs %d cycles", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestRetirementBursts(t *testing.T) {
+	// After a long-latency instruction, the piled-up independent
+	// instructions must retire in multi-instruction bursts.
+	b := program.NewBuilder("burst")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, 50)
+	e.Movi(2, 3)
+	l := f.Block("loop")
+	l.Div(3, 3, 2) // stall head
+	for i := 0; i < 8; i++ {
+		l.Addi(4, 4, 1) // independent fillers
+	}
+	l.Addi(1, 1, -1)
+	l.Cmpi(1, 0)
+	l.Jnz("loop")
+	f.Block("exit").Halt()
+	p := b.MustBuild()
+
+	c := &eventCollector{}
+	if _, err := Run(p, DefaultConfig(), c, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Count cycles in which >= 3 instructions retired together.
+	bursts := 0
+	run := 1
+	for i := 1; i < len(c.events); i++ {
+		if c.events[i].Cycle == c.events[i-1].Cycle {
+			run++
+			if run == 3 {
+				bursts++
+			}
+		} else {
+			run = 1
+		}
+	}
+	if bursts < 40 {
+		t.Errorf("only %d 3-wide retirement bursts observed; burst model broken", bursts)
+	}
+}
+
+func TestBranchEvents(t *testing.T) {
+	p := countdown(t, 3)
+	c := &eventCollector{}
+	if _, err := Run(p, DefaultConfig(), c, 0); err != nil {
+		t.Fatal(err)
+	}
+	loopStart := p.Funcs[0].Blocks[1].Start
+	for _, ev := range c.events {
+		if ev.Op == isa.OpJnz && ev.Taken {
+			if ev.Target != uint32(loopStart) {
+				t.Errorf("taken jnz target = %d, want %d", ev.Target, loopStart)
+			}
+		}
+		if ev.Op == isa.OpJnz && !ev.Taken && ev.Target != 0 {
+			t.Errorf("not-taken branch carries target %d", ev.Target)
+		}
+	}
+}
+
+func TestCallStackErrors(t *testing.T) {
+	t.Run("overflow", func(t *testing.T) {
+		b := program.NewBuilder("rec")
+		f := b.Func("main")
+		blk := f.Block("entry")
+		blk.Call("main") // infinite recursion
+		blk.Halt()
+		p := b.MustBuild()
+		cfg := DefaultConfig()
+		cfg.MaxCallDepth = 16
+		if _, err := Run(p, cfg, NopMonitor{}, 0); err == nil {
+			t.Error("no error for call stack overflow")
+		}
+	})
+}
+
+func TestMemoryOps(t *testing.T) {
+	// store then load round-trips through memory.
+	b := program.NewBuilder("mem")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, 42)
+	e.Movi(2, 100) // address
+	e.Store(1, 2, 0)
+	e.Load(3, 2, 0)
+	e.Movi(4, 0) // sentinel for flags
+	e.Sub(4, 3, 1)
+	e.Cmpi(4, 0)
+	e.Jz("good")
+	bad := f.Block("bad")
+	bad.Movi(5, 666)
+	good := f.Block("good")
+	good.Halt()
+	p := b.MustBuild()
+
+	c := &eventCollector{}
+	if _, err := Run(p, DefaultConfig(), c, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The jz must be taken (load returned the stored value).
+	for _, ev := range c.events {
+		if ev.Op == isa.OpJz && !ev.Taken {
+			t.Error("store/load round-trip failed: jz not taken")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	d := c.withDefaults()
+	if d.DispatchWidth <= 0 || d.RetireWidth <= 0 || d.PredictorBits <= 0 || d.MaxCallDepth <= 0 {
+		t.Errorf("withDefaults left zero fields: %+v", d)
+	}
+	// Explicit values survive.
+	c = Config{DispatchWidth: 2, RetireWidth: 3}
+	d = c.withDefaults()
+	if d.DispatchWidth != 2 || d.RetireWidth != 3 {
+		t.Errorf("withDefaults clobbered explicit values: %+v", d)
+	}
+}
+
+func TestPredictorLearnsLoop(t *testing.T) {
+	p := countdown(t, 10_000)
+	res, err := Run(p, DefaultConfig(), NopMonitor{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(res.Mispredicts) / float64(res.CondBranches)
+	if rate > 0.01 {
+		t.Errorf("loop branch mispredict rate %.3f; predictor not learning", rate)
+	}
+}

@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pmutrust/internal/program"
+)
+
+// FuncMonitor observes the functional retirement stream (no timing).
+type FuncMonitor interface {
+	// OnExec is called once per executed instruction with its code index.
+	OnExec(idx uint32)
+}
+
+// FuncResult summarizes a functional run.
+type FuncResult struct {
+	// Instructions is the number of executed instructions.
+	Instructions uint64
+	// TakenBranches counts taken control transfers.
+	TakenBranches uint64
+	// Uops counts executed micro-ops.
+	Uops uint64
+}
+
+// RunFunctional executes p without the timing model, calling mon.OnExec for
+// every instruction. It is the reference ("Pin") execution path: exact,
+// faster than the timed run, and — by construction — retiring the identical
+// dynamic instruction sequence (asserted by tests in this package).
+//
+// mon may be nil to run for the counters only.
+func RunFunctional(p *program.Program, mon FuncMonitor, maxInstrs uint64) (FuncResult, error) {
+	s := newState(p, DefaultConfig())
+	if maxInstrs == 0 {
+		maxInstrs = 1 << 40
+	}
+	var res FuncResult
+	for {
+		in := &s.code[s.pc]
+		idx := uint32(s.pc)
+		taken, _, next, halt, err := s.step(in)
+		if err != nil {
+			return res, fmt.Errorf("at %#x (%s): %w",
+				program.DisplayAddr(int(idx)), in.Disasm(), err)
+		}
+		res.Instructions++
+		res.Uops += uint64(in.Op.Uops())
+		if taken {
+			res.TakenBranches++
+		}
+		if mon != nil {
+			mon.OnExec(idx)
+		}
+		if halt {
+			return res, nil
+		}
+		if res.Instructions >= maxInstrs {
+			return res, ErrInstrLimit
+		}
+		s.pc = next
+	}
+}

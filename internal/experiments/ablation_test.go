@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ablation tests assert the monotonicity/dominance claims DESIGN.md §5
+// attaches to each design choice.
+
+func TestAblateSkid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.AblateSkid()
+	if err != nil {
+		t.Fatalf("AblateSkid: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+	if len(series) < 4 {
+		t.Fatalf("series too short: %d", len(series))
+	}
+	// Zero skid must be the best or near-best; the largest skid must be
+	// clearly worse than zero skid.
+	first, last := series[0], series[len(series)-1]
+	if first.X != 0 {
+		t.Fatalf("first point not zero skid")
+	}
+	if last.Err < first.Err*1.5 {
+		t.Errorf("skid %v err %.4f not clearly above zero-skid err %.4f",
+			last.X, last.Err, first.Err)
+	}
+}
+
+func TestAblatePeriod(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.AblatePeriod()
+	if err != nil {
+		t.Fatalf("AblatePeriod: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+	round, prime := series["round"], series["prime"]
+	if len(round) != len(prime) {
+		t.Fatal("series length mismatch")
+	}
+	// CallChain iterations are 100 instructions: every swept round period
+	// is a multiple of 100 or 500, so each round point must be much worse
+	// than its prime sibling.
+	worse := 0
+	for i := range round {
+		if round[i].Err > prime[i].Err*2 {
+			worse++
+		}
+	}
+	if worse < len(round)-1 {
+		t.Errorf("round periods beat prime periods too often: only %d/%d clearly worse",
+			worse, len(round))
+	}
+}
+
+func TestAblateLBRDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.AblateLBRDepth()
+	if err != nil {
+		t.Fatalf("AblateLBRDepth: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+	// Deeper stacks must help: depth 64 beats depth 4 by a wide margin.
+	var at4, at64 float64
+	for _, pt := range series {
+		switch pt.X {
+		case 4:
+			at4 = pt.Err
+		case 64:
+			at64 = pt.Err
+		}
+	}
+	if at64 >= at4 {
+		t.Errorf("depth 64 err %.4f not below depth 4 err %.4f", at64, at4)
+	}
+}
+
+func TestAblateBurst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.AblateBurst()
+	if err != nil {
+		t.Fatalf("AblateBurst: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+	pebs, pdir := series["pebs"], series["pdir"]
+	// PDIR must dominate PEBS at every width; at width 1 (no bursts) they
+	// converge.
+	for i := range pebs {
+		if pdir[i].Err > pebs[i].Err*1.05 {
+			t.Errorf("width %v: pdir %.4f worse than pebs %.4f",
+				pebs[i].X, pdir[i].Err, pebs[i].Err)
+		}
+	}
+	// Wider retirement must not make PEBS better than it is at width 1.
+	if pebs[len(pebs)-1].Err < pebs[0].Err*0.8 {
+		t.Errorf("PEBS improves with wider bursts: %.4f (w=%v) vs %.4f (w=%v)",
+			pebs[len(pebs)-1].Err, pebs[len(pebs)-1].X, pebs[0].Err, pebs[0].X)
+	}
+}
+
+func TestAblateRandAmp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.AblateRandAmp()
+	if err != nil {
+		t.Fatalf("AblateRandAmp: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+	// No randomization resonates (CallChain + round base period);
+	// moderate amplitude (12.5%) must be far better.
+	var at0, atMid float64
+	for _, pt := range series {
+		switch pt.X {
+		case 0:
+			at0 = pt.Err
+		case 0.125:
+			atMid = pt.Err
+		}
+	}
+	if atMid >= at0/2 {
+		t.Errorf("randomization did not break resonance: amp0 %.4f, amp0.125 %.4f", at0, atMid)
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	tbl := RunTable3()
+	s := tbl.String()
+	for _, key := range []string{"classic", "precise", "pdir+ipfix", "lbr", "prime", "pebs"} {
+		if !strings.Contains(s, key) {
+			t.Errorf("Table 3 missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmutrust/internal/analysis"
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/report"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/stats"
+	"pmutrust/internal/workloads"
+)
+
+// Ablations probe the design choices DESIGN.md §5 calls out. Each returns
+// a rendered table plus the raw series so tests can assert monotonicity
+// claims.
+
+// SweepPoint is one (x, err) pair of an ablation sweep.
+type SweepPoint struct {
+	X   float64
+	Err float64
+}
+
+// measureWith runs one custom-configured measurement: workload on machine
+// with an explicitly built PMU config, bypassing the method registry. The
+// profile is built as plain EBS unless useLBR is set.
+func (r *Runner) measureWith(spec workloads.Spec, mach machine.Machine, cfg pmu.Config, m sampling.Method, useLBR bool) (float64, error) {
+	p := r.Workload(spec)
+	reference, err := r.Reference(spec)
+	if err != nil {
+		return 0, err
+	}
+	unit := pmu.New(cfg)
+	if _, err := cpu.Run(p, mach.CPU, unit, 0); err != nil {
+		return 0, err
+	}
+	run := &sampling.Run{
+		Machine: mach,
+		Method:  m,
+		Period:  cfg.Period,
+		Samples: unit.Samples(),
+	}
+	var bp *profile.BlockProfile
+	if useLBR {
+		bp, _, err = lbr.BuildProfile(p, run)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		bp = profile.FromSamples(p, run)
+	}
+	return analysis.AccuracyError(bp, reference)
+}
+
+// AblateSkid (A1) sweeps the PMI delivery latency for classic sampling on
+// the Latency-Biased kernel: the skid-as-delivery-time model predicts the
+// error grows with skid until samples fully detach from their triggers.
+func (r *Runner) AblateSkid() (*report.Table, []SweepPoint, error) {
+	spec, err := workloads.ByName("LatencyBiased")
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := machine.IvyBridge()
+	classic, err := sampling.MethodByKey("classic")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("A1: classic-sampling error vs PMI skid (LatencyBiased, IvyBridge core)",
+		"skid (cycles)", "error")
+	var series []SweepPoint
+	for _, skid := range []uint64{0, 5, 15, 30, 60, 120, 200} {
+		cfg := pmu.Config{
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.Imprecise,
+			Period:     r.Scale.PeriodBase,
+			Rand:       pmu.RandSoftware, // isolate skid from resonance
+			SkidCycles: skid,
+			Seed:       r.Seed,
+		}
+		e, err := r.measureWith(spec, mach, cfg, classic, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = append(series, SweepPoint{X: float64(skid), Err: e})
+		t.AddRow(fmt.Sprintf("%d", skid), report.Fmt(e))
+	}
+	t.Note = "Skid reattaches samples to whatever stalls at PMI delivery; larger skid = stronger shadow bias."
+	return t, series, nil
+}
+
+// AblatePeriod (A2) sweeps period size and primality for precise sampling
+// on the CallChain kernel (iteration length 100): round periods that share
+// a factor with the loop length resonate; primes do not.
+func (r *Runner) AblatePeriod() (*report.Table, map[string][]SweepPoint, error) {
+	spec, err := workloads.ByName("CallChain")
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := machine.IvyBridge()
+	precise, err := sampling.MethodByKey("precise")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("A2: precise-sampling error vs period (CallChain, IvyBridge)",
+		"base period", "round err", "prime err")
+	series := map[string][]SweepPoint{}
+	for _, base := range []uint64{500, 1000, 2000, 3000, 4000, 5000} {
+		var errs [2]float64
+		for i, prime := range []bool{false, true} {
+			period := base
+			if prime {
+				period = stats.NextPrime(base)
+			}
+			cfg := pmu.Config{
+				Event:     pmu.EvInstRetired,
+				Precision: pmu.PrecisePEBS,
+				Period:    period,
+				Rand:      pmu.RandNone,
+				Seed:      r.Seed,
+			}
+			e, err := r.measureWith(spec, mach, cfg, precise, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			errs[i] = e
+			key := "round"
+			if prime {
+				key = "prime"
+			}
+			series[key] = append(series[key], SweepPoint{X: float64(base), Err: e})
+		}
+		t.AddRow(fmt.Sprintf("%d", base), report.Fmt(errs[0]), report.Fmt(errs[1]))
+	}
+	t.Note = "CallChain retires exactly 100 instructions per iteration; round periods divisible by common factors resonate."
+	return t, series, nil
+}
+
+// AblateLBRDepth (A3) sweeps the LBR stack depth on G4Box: deeper stacks
+// observe more segments per PMI, cutting estimator variance.
+func (r *Runner) AblateLBRDepth() (*report.Table, []SweepPoint, error) {
+	spec, err := workloads.ByName("G4Box")
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := machine.IvyBridge()
+	lbrM, err := sampling.MethodByKey("lbr")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("A3: LBR-method error vs stack depth (G4Box, IvyBridge)",
+		"LBR depth", "error")
+	var series []SweepPoint
+	for _, depth := range []int{4, 8, 16, 32, 64} {
+		cfg := pmu.Config{
+			Event:      pmu.EvBrTaken,
+			Precision:  pmu.Imprecise,
+			Period:     sampling.EffectivePeriod(lbrM, r.Scale.PeriodBase),
+			Rand:       pmu.RandNone,
+			SkidCycles: mach.SkidCycles,
+			CaptureLBR: true,
+			LBRDepth:   depth,
+			Seed:       r.Seed,
+		}
+		e, err := r.measureWith(spec, mach, cfg, lbrM, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = append(series, SweepPoint{X: float64(depth), Err: e})
+		t.AddRow(fmt.Sprintf("%d", depth), report.Fmt(e))
+	}
+	t.Note = "16 is the Westmere/Ivy Bridge hardware depth; 32 arrives with Skylake (the paper's 'valuable single resource', §6.2)."
+	return t, series, nil
+}
+
+// AblateBurst (A4) sweeps the core retire width for PEBS vs PDIR on the
+// Latency-Biased kernel: wider retirement means burstier streams, which
+// hurts the armed PEBS capture but not PDIR — the root cause the paper
+// conjectures for CallChain ("out-of-order clustering of uops ... retired
+// in bursts", §5.1).
+func (r *Runner) AblateBurst() (*report.Table, map[string][]SweepPoint, error) {
+	spec, err := workloads.ByName("LatencyBiased")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("A4: PEBS vs PDIR error vs retire width (LatencyBiased)",
+		"retire width", "pebs err", "pdir err")
+	series := map[string][]SweepPoint{}
+	for _, width := range []int{1, 2, 4, 6, 8} {
+		mach := machine.IvyBridge()
+		mach.CPU.RetireWidth = width
+		mach.CPU.DispatchWidth = width
+		var errs [2]float64
+		for i, prec := range []pmu.Precision{pmu.PrecisePEBS, pmu.PreciseDist} {
+			cfg := pmu.Config{
+				Event:     pmu.EvInstRetired,
+				Precision: prec,
+				Period:    stats.NextPrime(r.Scale.PeriodBase),
+				Rand:      pmu.RandSoftware,
+				Seed:      r.Seed,
+			}
+			m, err := sampling.MethodByKey("precise+prime+rand")
+			if err != nil {
+				return nil, nil, err
+			}
+			e, err := r.measureWith(spec, mach, cfg, m, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			errs[i] = e
+			key := prec.String()
+			series[key] = append(series[key], SweepPoint{X: float64(width), Err: e})
+		}
+		t.AddRow(fmt.Sprintf("%d", width), report.Fmt(errs[0]), report.Fmt(errs[1]))
+	}
+	t.Note = "PEBS cannot capture occurrences inside the arming burst; PDIR has no arming step."
+	return t, series, nil
+}
+
+// AblateRandAmp (A5) sweeps the software randomization amplitude for
+// precise sampling on CallChain: tiny amplitudes fail to break resonance,
+// large ones are no better than moderate ones.
+func (r *Runner) AblateRandAmp() (*report.Table, []SweepPoint, error) {
+	spec, err := workloads.ByName("CallChain")
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := machine.IvyBridge()
+	m, err := sampling.MethodByKey("precise+rand")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("A5: precise-sampling error vs randomization amplitude (CallChain, IvyBridge)",
+		"amplitude (fraction of period)", "error")
+	var series []SweepPoint
+	base := r.Scale.PeriodBase
+	for _, frac := range []float64{0, 0.001, 0.01, 0.05, 0.125, 0.25, 0.5} {
+		amp := uint64(float64(base) * frac)
+		rand := pmu.RandSoftware
+		if amp == 0 {
+			rand = pmu.RandNone
+			amp = 1
+		}
+		cfg := pmu.Config{
+			Event:     pmu.EvInstRetired,
+			Precision: pmu.PrecisePEBS,
+			Period:    base,
+			Rand:      rand,
+			RandAmp:   amp,
+			Seed:      r.Seed,
+		}
+		e, err := r.measureWith(spec, mach, cfg, m, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = append(series, SweepPoint{X: frac, Err: e})
+		t.AddRow(fmt.Sprintf("%.3f", frac), report.Fmt(e))
+	}
+	t.Note = "Resonance breaks once the jitter spans a few loop iterations; beyond that randomization buys nothing."
+	return t, series, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmutrust/internal/analysis"
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/report"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// RunLBRContention (A8) degrades the LBR method by sharing the facility
+// with a call-stack-mode consumer (perf --call-graph lbr running
+// concurrently), sweeping the collision fraction. §6.2 argues for an IP+1
+// fix in hardware precisely to free the LBR from such collisions; this
+// experiment quantifies what the collision costs.
+func (r *Runner) RunLBRContention() (*report.Table, []SweepPoint, error) {
+	spec, err := workloads.ByName("G4Box")
+	if err != nil {
+		return nil, nil, err
+	}
+	p := r.Workload(spec)
+	reference, err := r.Reference(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := machine.IvyBridge()
+	m, err := sampling.MethodByKey("lbr")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := report.New("A8: LBR-method error vs call-stack-mode contention (G4Box, IvyBridge)",
+		"contention", "error", "malformed segments")
+	var series []SweepPoint
+	for _, c := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		run, err := sampling.Collect(p, mach, m, sampling.Options{
+			PeriodBase:    r.Scale.PeriodBase,
+			Seed:          r.Seed,
+			LBRContention: c,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		bp, ds, err := lbr.BuildProfile(p, run)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := analysis.AccuracyError(bp, reference)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = append(series, SweepPoint{X: c, Err: e})
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*c), report.Fmt(e), fmt.Sprintf("%d", ds.Malformed))
+	}
+	t.Note = "Collisions replace taken-branch windows with call-stack-filtered ones; §6.2 proposes a hardware IP+1 fix to avoid sharing the LBR at all."
+	return t, series, nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestRunLBRContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.RunLBRContention()
+	if err != nil {
+		t.Fatalf("RunLBRContention: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+	if len(series) < 4 {
+		t.Fatal("series too short")
+	}
+	// No contention must be the best point; full contention clearly the
+	// worst, with a smooth degradation in between (allowing small noise).
+	clean, full := series[0], series[len(series)-1]
+	if clean.X != 0 || full.X != 1 {
+		t.Fatal("sweep endpoints wrong")
+	}
+	if full.Err < clean.Err*2 {
+		t.Errorf("full contention err %.4f not clearly above clean err %.4f",
+			full.Err, clean.Err)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Err < series[i-1].Err*0.8 {
+			t.Errorf("error dropped sharply with more contention at x=%v: %.4f -> %.4f",
+				series[i].X, series[i-1].Err, series[i].Err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// TestDebugCallChainLBR is a diagnostic aid, skipped by default; run with
+// -run DebugCallChainLBR -v to dump per-block attribution for the
+// CallChain kernel under the LBR method.
+func TestDebugCallChainLBR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	r := NewRunner(SmallScale(), 42)
+	spec, _ := workloads.ByName("CallChain")
+	p := r.Workload(spec)
+	reference, err := r.Reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sampling.MethodByKey("lbr")
+	run, err := sampling.Collect(p, machine.IvyBridge(), m, sampling.Options{PeriodBase: r.Scale.PeriodBase, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ds, err := lbr.BuildProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("period=%d samples=%d decode=%+v", run.Period, len(run.Samples), ds)
+	for b, blk := range p.Blocks {
+		t.Logf("block %-14s len=%2d ref=%9d est=%12.1f", blk.FullName(p), blk.Len(),
+			reference.InstrCount[b], bp.InstrEstimate[b])
+	}
+	if len(run.Samples) > 0 {
+		t.Logf("first stack: %v", run.Samples[0].LBR)
+	}
+}

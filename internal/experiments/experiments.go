@@ -1,0 +1,169 @@
+// Package experiments is the reproduction harness: it wires workloads,
+// machines, sampling methods, profiles and the accuracy metric into the
+// paper's experiments, and renders result tables with the same structure
+// as the originals.
+//
+// Every table and figure of the paper maps to one Run* function here (see
+// the per-experiment index in DESIGN.md); cmd/pmubench and bench_test.go
+// are thin callers.
+package experiments
+
+import (
+	"fmt"
+
+	"pmutrust/internal/analysis"
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/program"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/stats"
+	"pmutrust/internal/workloads"
+)
+
+// Scale bundles the knobs that shrink the paper's hardware-scale
+// experiments onto the simulator (see DESIGN.md §2 "Scaling"). The ratio
+// of workload size to sampling period — and hence samples per run — is
+// kept in the same regime as the paper's.
+type Scale struct {
+	// Name identifies the scale in logs.
+	Name string
+	// Workload multiplies each workload's base iteration count.
+	Workload float64
+	// PeriodBase is the sampling period in instructions before
+	// prime/randomization adjustments (the paper uses 2,000,000).
+	PeriodBase uint64
+	// Repeats is how many times each measurement runs with different
+	// seeds; errors are averaged (the paper measures each kernel five
+	// times, §4.1).
+	Repeats int
+}
+
+// PaperScale is the default CLI/bench scale: ~10-50M instructions per
+// workload, a few thousand samples per run.
+func PaperScale() Scale {
+	return Scale{Name: "paper", Workload: 8, PeriodBase: 4000, Repeats: 3}
+}
+
+// SmallScale keeps unit and integration tests fast.
+func SmallScale() Scale {
+	return Scale{Name: "small", Workload: 1, PeriodBase: 2000, Repeats: 1}
+}
+
+// Measurement is one (workload, machine, method) accuracy result.
+type Measurement struct {
+	Workload string
+	Machine  string
+	Method   string
+	// Err is the paper's accuracy error, averaged over repeats; negative
+	// when the machine does not support the method.
+	Err float64
+	// PerRepeat holds the individual repeat errors.
+	PerRepeat []float64
+	// Samples is the sample count of the last repeat.
+	Samples int
+	// Supported reports whether the machine can run the method.
+	Supported bool
+}
+
+// Runner caches built workloads and reference profiles across experiments
+// (reference collection dominates otherwise).
+type Runner struct {
+	Scale Scale
+	// Seed is the base seed; repeat r of any measurement uses Seed+r.
+	Seed uint64
+
+	progs map[string]*program.Program
+	refs  map[string]*ref.Profile
+}
+
+// NewRunner creates a runner at the given scale.
+func NewRunner(s Scale, seed uint64) *Runner {
+	return &Runner{
+		Scale: s,
+		Seed:  seed,
+		progs: make(map[string]*program.Program),
+		refs:  make(map[string]*ref.Profile),
+	}
+}
+
+// Workload returns the built program for a workload spec, cached.
+func (r *Runner) Workload(spec workloads.Spec) *program.Program {
+	if p, ok := r.progs[spec.Name]; ok {
+		return p
+	}
+	p := spec.Build(r.Scale.Workload)
+	r.progs[spec.Name] = p
+	return p
+}
+
+// Reference returns the exact profile for a workload, cached.
+func (r *Runner) Reference(spec workloads.Spec) (*ref.Profile, error) {
+	if rp, ok := r.refs[spec.Name]; ok {
+		return rp, nil
+	}
+	rp, err := ref.Collect(r.Workload(spec))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reference for %s: %w", spec.Name, err)
+	}
+	r.refs[spec.Name] = rp
+	return rp, nil
+}
+
+// MeasureOnce runs one (workload, machine, method) measurement with one
+// seed and returns the accuracy error and the sample count.
+func (r *Runner) MeasureOnce(spec workloads.Spec, mach machine.Machine, m sampling.Method, seed uint64) (float64, int, error) {
+	p := r.Workload(spec)
+	reference, err := r.Reference(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	run, err := sampling.Collect(p, mach, m, sampling.Options{
+		PeriodBase: r.Scale.PeriodBase,
+		Seed:       seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var bp *profile.BlockProfile
+	if run.Method.UseLBRStack {
+		bp, _, err = lbr.BuildProfile(p, run)
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		bp = profile.FromSamples(p, run)
+	}
+	e, err := analysis.AccuracyError(bp, reference)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e, len(run.Samples), nil
+}
+
+// Measure runs the configured number of repeats and averages.
+func (r *Runner) Measure(spec workloads.Spec, mach machine.Machine, m sampling.Method) (Measurement, error) {
+	meas := Measurement{
+		Workload: spec.Name,
+		Machine:  mach.Name,
+		Method:   m.Key,
+	}
+	if _, ok := sampling.Resolve(m, mach); !ok {
+		meas.Err = -1
+		return meas, nil
+	}
+	meas.Supported = true
+	var errs []float64
+	for rep := 0; rep < r.Scale.Repeats; rep++ {
+		e, n, err := r.MeasureOnce(spec, mach, m, r.Seed+uint64(rep)*0x9e37)
+		if err != nil {
+			return meas, err
+		}
+		errs = append(errs, e)
+		meas.Samples = n
+	}
+	meas.PerRepeat = errs
+	meas.Err = stats.Mean(errs)
+	return meas, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"pmutrust/internal/machine"
+	"pmutrust/internal/report"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// FreqResult pairs fixed-period and frequency-mode errors per workload.
+type FreqResult struct {
+	Table *report.Table
+	// FixedErr and FreqErr are keyed by workload name.
+	FixedErr, FreqErr map[string]float64
+}
+
+// RunFreqVsFixed (A7) contrasts perf's default frequency mode (period
+// feedback targeting constant time between samples) with a fixed round
+// period, on the kernels. Frequency mode makes sampling time-uniform —
+// the resulting profile weights blocks by cycles rather than instruction
+// counts, so workloads with CPI asymmetry (LatencyBiased) suffer most.
+func (r *Runner) RunFreqVsFixed() (*FreqResult, error) {
+	mach := machine.IvyBridge()
+	fixed, err := sampling.MethodByKey("classic")
+	if err != nil {
+		return nil, err
+	}
+	freq := sampling.FreqMode()
+
+	t := report.New("A7: fixed-period classic vs perf frequency mode (IvyBridge)",
+		"workload", "fixed err", "freq err")
+	res := &FreqResult{
+		Table:    t,
+		FixedErr: make(map[string]float64),
+		FreqErr:  make(map[string]float64),
+	}
+	for _, spec := range workloads.Kernels() {
+		mf, err := r.Measure(spec, mach, fixed)
+		if err != nil {
+			return nil, err
+		}
+		mq, err := r.Measure(spec, mach, freq)
+		if err != nil {
+			return nil, err
+		}
+		res.FixedErr[spec.Name] = mf.Err
+		res.FreqErr[spec.Name] = mq.Err
+		t.AddRow(spec.Name, report.Fmt(mf.Err), report.Fmt(mq.Err))
+	}
+	t.Note = "Frequency mode trades period-choice pitfalls (resonance) for time-uniform sampling; neither approaches the precise/LBR methods."
+	return res, nil
+}

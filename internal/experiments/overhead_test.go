@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestRunOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes seconds")
+	}
+	r := NewRunner(SmallScale(), 7)
+	tbl, series, err := r.RunOverhead()
+	if err != nil {
+		t.Fatalf("RunOverhead: %v", err)
+	}
+	t.Logf("\n%s", tbl.String())
+
+	for _, key := range []string{"pdir+ipfix", "lbr"} {
+		pts := series[key]
+		if len(pts) < 3 {
+			t.Fatalf("%s: %d points", key, len(pts))
+		}
+		// Overhead must decrease monotonically with growing period.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Overhead >= pts[i-1].Overhead {
+				t.Errorf("%s: overhead not decreasing at period %d (%.4f -> %.4f)",
+					key, pts[i].Period, pts[i-1].Overhead, pts[i].Overhead)
+			}
+		}
+		// Shortest period must be more accurate than the longest.
+		if pts[0].Err >= pts[len(pts)-1].Err {
+			t.Errorf("%s: more samples did not improve accuracy (%.4f vs %.4f)",
+				key, pts[0].Err, pts[len(pts)-1].Err)
+		}
+		for _, pt := range pts {
+			if pt.Overhead <= 0 || pt.Overhead > 0.20 {
+				t.Errorf("%s: overhead %.4f outside the plausible (0, 20%%] band", key, pt.Overhead)
+			}
+		}
+	}
+	// At equal base periods the LBR method must cost more per the model
+	// (extra MSR reads) — compare the mid sweep point.
+	mid := len(series["lbr"]) / 2
+	if series["lbr"][mid].Overhead <= series["pdir+ipfix"][mid].Overhead {
+		t.Error("LBR overhead not above plain-EBS overhead at equal base period")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(SmallScale(), 1)
+	spec, err := workloads.ByName("LatencyBiased")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := r.Workload(spec)
+	p2 := r.Workload(spec)
+	if p1 != p2 {
+		t.Error("workload not cached")
+	}
+	ref1, err := r.Reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := r.Reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref1 != ref2 {
+		t.Error("reference not cached")
+	}
+}
+
+func TestMeasureUnsupported(t *testing.T) {
+	r := NewRunner(SmallScale(), 1)
+	spec, _ := workloads.ByName("LatencyBiased")
+	m, _ := sampling.MethodByKey("lbr")
+	meas, err := r.Measure(spec, machine.MagnyCours(), m)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if meas.Supported || meas.Err != -1 {
+		t.Errorf("unsupported measurement: %+v", meas)
+	}
+}
+
+func TestMeasureRepeats(t *testing.T) {
+	s := SmallScale()
+	s.Repeats = 3
+	r := NewRunner(s, 1)
+	spec, _ := workloads.ByName("LatencyBiased")
+	m, _ := sampling.MethodByKey("precise+prime+rand")
+	meas, err := r.Measure(spec, machine.IvyBridge(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas.PerRepeat) != 3 {
+		t.Fatalf("repeats = %d", len(meas.PerRepeat))
+	}
+	// Randomized runs with different seeds should not all be identical.
+	if meas.PerRepeat[0] == meas.PerRepeat[1] && meas.PerRepeat[1] == meas.PerRepeat[2] {
+		t.Error("all repeats identical despite differing seeds")
+	}
+	// The mean lies within the repeat envelope.
+	lo, hi := meas.PerRepeat[0], meas.PerRepeat[0]
+	for _, e := range meas.PerRepeat {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if meas.Err < lo || meas.Err > hi {
+		t.Errorf("mean %.4f outside [%v, %v]", meas.Err, lo, hi)
+	}
+}
+
+func TestMeasureDeterministicAcrossRunners(t *testing.T) {
+	spec, _ := workloads.ByName("G4Box")
+	m, _ := sampling.MethodByKey("pdir+ipfix")
+	a := NewRunner(SmallScale(), 5)
+	b := NewRunner(SmallScale(), 5)
+	ma, err := a.Measure(spec, machine.IvyBridge(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Measure(spec, machine.IvyBridge(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Err != mb.Err {
+		t.Errorf("same-seed runners disagree: %v vs %v", ma.Err, mb.Err)
+	}
+}
+
+func TestScales(t *testing.T) {
+	p := PaperScale()
+	s := SmallScale()
+	if p.Workload <= s.Workload {
+		t.Error("paper scale not larger than small scale")
+	}
+	if p.Repeats < s.Repeats {
+		t.Error("paper scale fewer repeats")
+	}
+	if p.PeriodBase == 0 || s.PeriodBase == 0 {
+		t.Error("zero periods")
+	}
+	// Round-period resonance requires the scaled periods to stay
+	// multiples of the CallChain iteration length (100).
+	if p.PeriodBase%100 != 0 || s.PeriodBase%100 != 0 {
+		t.Error("scaled periods must remain multiples of 100 for the resonance experiments")
+	}
+}
+
+func TestTableResultGet(t *testing.T) {
+	tr := &TableResult{Cells: map[string]map[string]map[string]float64{
+		"w": {"m": {"k": 0.5}},
+	}}
+	if tr.Get("w", "m", "k") != 0.5 {
+		t.Error("Get hit")
+	}
+	if tr.Get("w", "m", "other") != -1 || tr.Get("x", "m", "k") != -1 {
+		t.Error("Get miss should be -1")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestTable2Shapes asserts the paper's qualitative application findings
+// (DESIGN.md F3 application half, F5) on the Table 2 matrix.
+func TestTable2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table runs take tens of seconds")
+	}
+	r := NewRunner(SmallScale(), 42)
+	tr, err := r.RunTable2()
+	if err != nil {
+		t.Fatalf("RunTable2: %v", err)
+	}
+	t.Logf("\n%s", tr.Table.String())
+
+	apps := []string{"mcf", "povray", "omnetpp", "xalancbmk", "FullCMS"}
+	intel := []string{"Westmere", "IvyBridge"}
+
+	// F3 (application half): randomization has little to no impact on
+	// full applications — the randomized variant changes the error by
+	// less than 25% relative (the paper: "little to no impact", in
+	// contrast to the multi-x kernel swings).
+	for _, a := range apps {
+		for _, m := range intel {
+			plain := tr.Get(a, m, "precise")
+			rand := tr.Get(a, m, "precise+rand")
+			rel := rand/plain - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 0.25 {
+				t.Errorf("F3(app) violated: %s/%s randomization changes error by %.0f%% (%.4f vs %.4f)",
+					a, m, rel*100, rand, plain)
+			}
+		}
+	}
+
+	// F5: classic is the worst Intel method on every app; the pdir+ipfix
+	// and lbr methods both clearly improve on it.
+	for _, a := range apps {
+		for _, m := range intel {
+			classic := tr.Get(a, m, "classic")
+			for _, better := range []string{"pdir+ipfix", "lbr"} {
+				v := tr.Get(a, m, better)
+				if v >= classic {
+					t.Errorf("F5 violated: %s/%s %s %.4f >= classic %.4f", a, m, better, v, classic)
+				}
+			}
+		}
+	}
+
+	// F5 (FullCMS exception): on FullCMS, pure LBR does not improve on
+	// the precise-distribution+fix method (callchain-like workload).
+	lbrErr := tr.Get("FullCMS", "IvyBridge", "lbr")
+	fixErr := tr.Get("FullCMS", "IvyBridge", "pdir+ipfix")
+	if lbrErr < fixErr {
+		t.Errorf("F5(FullCMS) violated: lbr %.4f < pdir+ipfix %.4f", lbrErr, fixErr)
+	}
+}

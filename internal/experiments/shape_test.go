@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTable1Shapes asserts the paper's qualitative kernel findings
+// (DESIGN.md F1-F4) on the Table 1 matrix at small scale.
+func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table runs take a few seconds")
+	}
+	r := NewRunner(SmallScale(), 42)
+	tr, err := r.RunTable1()
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	t.Logf("\n%s", tr.Table.String())
+
+	kernels := []string{"LatencyBiased", "CallChain", "G4Box", "Test40"}
+	intel := []string{"Westmere", "IvyBridge"}
+
+	// F1: LBR beats classic on every Intel kernel cell.
+	for _, k := range kernels {
+		for _, m := range intel {
+			classic := tr.Get(k, m, "classic")
+			lbrErr := tr.Get(k, m, "lbr")
+			if lbrErr < 0 || classic < 0 {
+				t.Errorf("%s/%s: missing cells (classic=%v lbr=%v)", k, m, classic, lbrErr)
+				continue
+			}
+			if lbrErr >= classic {
+				t.Errorf("F1 violated: %s/%s lbr %.4f >= classic %.4f", k, m, lbrErr, classic)
+			}
+		}
+	}
+
+	// F2: PDIR (pdir+ipfix) on IvyBridge strictly improves over plain
+	// precise on LatencyBiased.
+	pdir := tr.Get("LatencyBiased", "IvyBridge", "pdir+ipfix")
+	prec := tr.Get("LatencyBiased", "IvyBridge", "precise")
+	if pdir >= prec {
+		t.Errorf("F2 violated: LatencyBiased/IVB pdir+ipfix %.4f >= precise %.4f", pdir, prec)
+	}
+
+	// F3 (kernel half): prime period improves on round period for the
+	// CallChain kernel on Intel machines.
+	for _, m := range intel {
+		round := tr.Get("CallChain", m, "precise")
+		prime := tr.Get("CallChain", m, "precise+prime")
+		if prime >= round {
+			t.Errorf("F3 violated: CallChain/%s precise+prime %.4f >= precise %.4f", m, prime, round)
+		}
+	}
+
+	// F4: AMD is "consistently burdened with high error rates": the best
+	// error achievable on Magny-Cours (no LBR, no PDIR, uop-based IBS) is
+	// well above the best achievable on Ivy Bridge, for every kernel.
+	// And the built-in 4-LSB hardware randomization makes AMD worse.
+	best := func(mach, k string) float64 {
+		b := -1.0
+		for _, m := range []string{"classic", "precise", "precise+rand",
+			"precise+prime", "precise+prime+rand", "pdir+ipfix", "lbr"} {
+			v := tr.Get(k, mach, m)
+			if v >= 0 && (b < 0 || v < b) {
+				b = v
+			}
+		}
+		return b
+	}
+	for _, k := range kernels {
+		amdBest := best("MagnyCours", k)
+		ivbBest := best("IvyBridge", k)
+		if amdBest < ivbBest*1.5 {
+			t.Errorf("F4 violated: %s MagnyCours best %.4f not clearly above IvyBridge best %.4f",
+				k, amdBest, ivbBest)
+		}
+		noRand := tr.Get(k, "MagnyCours", "precise+prime")
+		hwRand := tr.Get(k, "MagnyCours", "precise+prime+rand")
+		if hwRand < noRand {
+			t.Errorf("F4 violated: %s MagnyCours hw-rand %.4f better than no-rand %.4f",
+				k, hwRand, noRand)
+		}
+	}
+}

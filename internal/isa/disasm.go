@@ -1,0 +1,54 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the instruction as assembly text. Branch targets are
+// rendered as raw code indices; program.Disasm substitutes labels.
+func (in Instr) Disasm() string {
+	var b strings.Builder
+	b.WriteString(in.Op.Mnemonic())
+	args := in.operandStrings()
+	if len(args) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(args, ", "))
+	}
+	return b.String()
+}
+
+func (in Instr) operandStrings() []string {
+	r := func(x Reg) string { return fmt.Sprintf("r%d", x) }
+	switch in.Op {
+	case OpNop, OpHalt:
+		return nil
+	case OpMov:
+		return []string{r(in.Dst), r(in.Src1)}
+	case OpMovi:
+		return []string{r(in.Dst), fmt.Sprintf("#%d", in.Imm)}
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpFadd, OpFmul, OpFdiv, OpFma:
+		return []string{r(in.Dst), r(in.Src1), r(in.Src2)}
+	case OpAddi:
+		return []string{r(in.Dst), r(in.Src1), fmt.Sprintf("#%d", in.Imm)}
+	case OpShl, OpShr:
+		return []string{r(in.Dst), r(in.Src1), fmt.Sprintf("#%d", in.Imm&63)}
+	case OpLoad:
+		return []string{r(in.Dst), fmt.Sprintf("[r%d+%d]", in.Src1, in.Imm)}
+	case OpStore:
+		return []string{fmt.Sprintf("[r%d+%d]", in.Src2, in.Imm), r(in.Src1)}
+	case OpCmp:
+		return []string{r(in.Src1), r(in.Src2)}
+	case OpCmpi:
+		return []string{r(in.Src1), fmt.Sprintf("#%d", in.Imm)}
+	case OpJmp, OpJz, OpJnz, OpJlt, OpJge, OpCall:
+		return []string{fmt.Sprintf("@%d", in.Target)}
+	case OpRet:
+		return nil
+	default:
+		return []string{"?"}
+	}
+}
+
+// String implements fmt.Stringer.
+func (in Instr) String() string { return in.Disasm() }

@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if op.Mnemonic() == "" || op.Mnemonic() == "invalid" {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if op.Latency() == 0 {
+			t.Errorf("%s has zero latency", op)
+		}
+		if op.Uops() == 0 {
+			t.Errorf("%s has zero uops", op)
+		}
+	}
+	if Op(NumOps).Valid() {
+		t.Error("out-of-range op reported valid")
+	}
+	if Op(200).Mnemonic() != "invalid" {
+		t.Error("invalid op mnemonic")
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	branches := []Op{OpJmp, OpJz, OpJnz, OpJlt, OpJge, OpCall, OpRet}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%s not classified as branch", op)
+		}
+		if op.ClassOf() != ClassBranch {
+			t.Errorf("%s class = %s", op, op.ClassOf())
+		}
+	}
+	conds := []Op{OpJz, OpJnz, OpJlt, OpJge}
+	for _, op := range conds {
+		if !op.IsCondBranch() {
+			t.Errorf("%s not conditional", op)
+		}
+		if !op.ReadsFlags() {
+			t.Errorf("%s does not read flags", op)
+		}
+	}
+	if OpJmp.IsCondBranch() || OpCall.IsCondBranch() || OpRet.IsCondBranch() {
+		t.Error("unconditional transfer classified conditional")
+	}
+	if !OpCall.IsCall() || OpRet.IsCall() {
+		t.Error("call classification wrong")
+	}
+	if !OpRet.IsRet() || OpCall.IsRet() {
+		t.Error("ret classification wrong")
+	}
+	for _, op := range []Op{OpAdd, OpDiv, OpLoad, OpNop, OpHalt, OpCmp} {
+		if op.IsBranch() {
+			t.Errorf("%s wrongly classified as branch", op)
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// The cost model must keep the relationships the workloads rely on.
+	if OpDiv.Latency() <= OpMul.Latency() {
+		t.Error("div not slower than mul")
+	}
+	if OpMul.Latency() <= OpAdd.Latency() {
+		t.Error("mul not slower than add")
+	}
+	if OpFdiv.Latency() <= OpFmul.Latency() {
+		t.Error("fdiv not slower than fmul")
+	}
+	if OpLoad.Latency() <= OpAdd.Latency() {
+		t.Error("load not slower than add")
+	}
+}
+
+func TestMultiUopOps(t *testing.T) {
+	// AMD IBS behaviour depends on these being multi-uop.
+	for _, op := range []Op{OpDiv, OpRem, OpFdiv} {
+		if op.Uops() < 2 {
+			t.Errorf("%s has %d uops, want multi-uop", op, op.Uops())
+		}
+	}
+	if OpStore.Uops() != 2 {
+		t.Errorf("store uops = %d, want 2", OpStore.Uops())
+	}
+	if OpAdd.Uops() != 1 {
+		t.Errorf("add uops = %d, want 1", OpAdd.Uops())
+	}
+}
+
+func TestFlagsProtocol(t *testing.T) {
+	if !OpCmp.SetsFlags() || !OpCmpi.SetsFlags() {
+		t.Error("cmp ops do not set flags")
+	}
+	if OpAdd.SetsFlags() {
+		t.Error("add sets flags")
+	}
+	if !OpAdd.WritesDst() || OpCmp.WritesDst() || OpStore.WritesDst() {
+		t.Error("WritesDst wrong")
+	}
+	if !OpStore.ReadsSrc1() || !OpStore.ReadsSrc2() {
+		t.Error("store operand reads wrong")
+	}
+	if OpMovi.ReadsSrc1() {
+		t.Error("movi reads a source register")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpMovi, Dst: 3, Imm: -7}, "movi r3, #-7"},
+		{Instr{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddi, Dst: 1, Src1: 1, Imm: 4}, "addi r1, r1, #4"},
+		{Instr{Op: OpShl, Dst: 0, Src1: 0, Imm: 65}, "shl r0, r0, #1"},
+		{Instr{Op: OpLoad, Dst: 5, Src1: 4, Imm: 8}, "load r5, [r4+8]"},
+		{Instr{Op: OpStore, Src1: 5, Src2: 4, Imm: 0}, "store [r4+0], r5"},
+		{Instr{Op: OpCmpi, Src1: 8, Imm: 0}, "cmpi r8, #0"},
+		{Instr{Op: OpJnz, Target: 12}, "jnz @12"},
+		{Instr{Op: OpCall, Target: 40}, "call @40"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpHalt}, "halt"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Disasm(); got != tc.want {
+			t.Errorf("Disasm(%v) = %q, want %q", tc.in.Op, got, tc.want)
+		}
+		if tc.in.String() != tc.in.Disasm() {
+			t.Error("String != Disasm")
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	classes := []Class{ClassALU, ClassMul, ClassDiv, ClassFP, ClassFPDiv, ClassMem, ClassBranch, ClassOther}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		s := c.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+		if seen[s] {
+			t.Errorf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+	if Class(99).String() != "unknown" {
+		t.Error("invalid class name")
+	}
+}
+
+func TestDisasmAllOpsNonEmpty(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		in := Instr{Op: op, Dst: 1, Src1: 2, Src2: 3, Imm: 5, Target: 7}
+		s := in.Disasm()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("Disasm(%s) = %q", op, s)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package lbr
+
+import (
+	"fmt"
+	"sort"
+
+	"pmutrust/internal/program"
+	"pmutrust/internal/sampling"
+)
+
+// CallEdge is one caller→callee edge of the dynamic call graph, at
+// function granularity.
+type CallEdge struct {
+	// Caller and Callee are function IDs.
+	Caller, Callee int
+}
+
+// CallGraph is a dynamic call graph estimated from LBR call records —
+// what perf's --call-graph lbr mode reconstructs. Counts are scaled
+// call-execution estimates, like the block estimates of BuildProfile.
+type CallGraph struct {
+	// Prog is the profiled program.
+	Prog *program.Program
+	// Counts maps call edges to estimated traversal counts.
+	Counts map[CallEdge]float64
+}
+
+// BuildCallGraph extracts the function-level call graph from the LBR
+// stacks of run. Only call records (branches into a function entry from
+// another function) contribute; returns and intra-function jumps are
+// ignored.
+func BuildCallGraph(prog *program.Program, run *sampling.Run) (*CallGraph, error) {
+	if !run.Method.UseLBRStack {
+		return nil, fmt.Errorf("lbr: method %s does not collect LBR stacks", run.Method.Key)
+	}
+	cg := &CallGraph{Prog: prog, Counts: make(map[CallEdge]float64)}
+	codeLen := uint32(len(prog.Code))
+	for i := range run.Samples {
+		s := &run.Samples[i]
+		n := len(s.LBR)
+		if n == 0 {
+			continue
+		}
+		scale := float64(run.Period) / float64(n)
+		for _, rec := range s.LBR {
+			if rec.From >= codeLen || rec.To >= codeLen {
+				continue
+			}
+			caller := int(prog.FuncOf[rec.From])
+			callee := int(prog.FuncOf[rec.To])
+			if caller == callee {
+				continue
+			}
+			// A cross-function branch landing on a function entry is a
+			// call; landing elsewhere is a return (back to the call
+			// continuation) and is skipped.
+			if int(rec.To) != prog.Funcs[callee].Start {
+				continue
+			}
+			cg.Counts[CallEdge{Caller: caller, Callee: callee}] += scale
+		}
+	}
+	return cg, nil
+}
+
+// Callees returns callee function IDs of caller, hottest first.
+func (cg *CallGraph) Callees(caller int) []int {
+	type kv struct {
+		id int
+		c  float64
+	}
+	var out []kv
+	for e, c := range cg.Counts {
+		if e.Caller == caller {
+			out = append(out, kv{e.Callee, c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].c != out[j].c {
+			return out[i].c > out[j].c
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]int, len(out))
+	for i, e := range out {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// TotalCalls returns the total estimated call count.
+func (cg *CallGraph) TotalCalls() float64 {
+	var sum float64
+	for _, c := range cg.Counts {
+		sum += c
+	}
+	return sum
+}
+
+// Format renders the call graph as indented text, hottest edges first per
+// caller, with estimated counts.
+func (cg *CallGraph) Format() string {
+	p := cg.Prog
+	var callers []int
+	seen := make(map[int]bool)
+	for e := range cg.Counts {
+		if !seen[e.Caller] {
+			seen[e.Caller] = true
+			callers = append(callers, e.Caller)
+		}
+	}
+	sort.Ints(callers)
+	var b []byte
+	for _, caller := range callers {
+		b = append(b, fmt.Sprintf("%s\n", p.Funcs[caller].Name)...)
+		for _, callee := range cg.Callees(caller) {
+			c := cg.Counts[CallEdge{Caller: caller, Callee: callee}]
+			b = append(b, fmt.Sprintf("  -> %-20s %12.0f\n", p.Funcs[callee].Name, c)...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,128 @@
+package lbr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/program"
+	"pmutrust/internal/sampling"
+)
+
+// callGraphProgram: main calls a() 3x and b() 1x per iteration; a calls
+// leaf() once per invocation.
+func callGraphProgram(t *testing.T, iters int64) *program.Program {
+	t.Helper()
+	bld := program.NewBuilder("cg")
+	f := bld.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, iters)
+	loop := f.Block("loop")
+	loop.Call("a")
+	loop.Call("a")
+	loop.Call("a")
+	loop.Call("b")
+	loop.Addi(1, 1, -1)
+	loop.Cmpi(1, 0)
+	loop.Jnz("loop")
+	f.Block("exit").Halt()
+
+	a := bld.Func("a")
+	ab := a.Block("body")
+	ab.Addi(2, 2, 1)
+	ab.Call("leaf")
+	ab.Ret()
+
+	b := bld.Func("b")
+	bb := b.Block("body")
+	bb.Addi(3, 3, 1)
+	bb.Ret()
+
+	leaf := bld.Func("leaf")
+	lb := leaf.Block("body")
+	lb.Addi(4, 4, 1)
+	lb.Ret()
+	return bld.MustBuild()
+}
+
+func TestBuildCallGraph(t *testing.T) {
+	p := callGraphProgram(t, 20_000)
+	m, _ := sampling.MethodByKey("lbr")
+	run, err := sampling.Collect(p, machine.IvyBridge(), m, sampling.Options{
+		PeriodBase: 600, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := BuildCallGraph(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(name string) int { return p.FindFunc(name).ID }
+
+	mainToA := cg.Counts[CallEdge{Caller: id("main"), Callee: id("a")}]
+	mainToB := cg.Counts[CallEdge{Caller: id("main"), Callee: id("b")}]
+	aToLeaf := cg.Counts[CallEdge{Caller: id("a"), Callee: id("leaf")}]
+	if mainToA == 0 || mainToB == 0 || aToLeaf == 0 {
+		t.Fatalf("missing call edges: a=%v b=%v leaf=%v", mainToA, mainToB, aToLeaf)
+	}
+	// Ratios: main→a is 3x main→b; a→leaf equals main→a. Allow 25%.
+	if r := mainToA / mainToB; math.Abs(r-3) > 0.75 {
+		t.Errorf("main→a / main→b = %.2f, want ≈3", r)
+	}
+	if r := aToLeaf / mainToA; math.Abs(r-1) > 0.25 {
+		t.Errorf("a→leaf / main→a = %.2f, want ≈1", r)
+	}
+	// No bogus edges: b and leaf call nothing.
+	for e := range cg.Counts {
+		if e.Caller == id("b") || e.Caller == id("leaf") {
+			t.Errorf("spurious edge from %s", p.Funcs[e.Caller].Name)
+		}
+	}
+	// Callees ordering: a before b for main.
+	callees := cg.Callees(id("main"))
+	if len(callees) != 2 || callees[0] != id("a") {
+		t.Errorf("callees of main = %v", callees)
+	}
+	if cg.TotalCalls() <= 0 {
+		t.Error("total calls")
+	}
+	out := cg.Format()
+	for _, want := range []string{"main", "-> a", "-> b", "-> leaf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted call graph missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildCallGraphRequiresLBR(t *testing.T) {
+	p := callGraphProgram(t, 10)
+	m, _ := sampling.MethodByKey("classic")
+	if _, err := BuildCallGraph(p, &sampling.Run{Method: m}); err == nil {
+		t.Error("non-LBR method accepted")
+	}
+}
+
+// TestCallGraphExactRatioAgainstReference cross-checks the LBR call-count
+// estimates against exact edge counts at function granularity.
+func TestCallGraphExactRatioAgainstReference(t *testing.T) {
+	p := callGraphProgram(t, 20_000)
+	m, _ := sampling.MethodByKey("lbr")
+	run, err := sampling.Collect(p, machine.Westmere(), m, sampling.Options{
+		PeriodBase: 600, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := BuildCallGraph(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(name string) int { return p.FindFunc(name).ID }
+	// Exact: 3 calls per iteration × 20k = 60k.
+	got := cg.Counts[CallEdge{Caller: id("main"), Callee: id("a")}]
+	if got < 45_000 || got > 75_000 {
+		t.Errorf("main→a estimate %.0f, want ≈60000 ±25%%", got)
+	}
+}

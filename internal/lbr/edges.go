@@ -1,0 +1,56 @@
+package lbr
+
+import (
+	"fmt"
+
+	"pmutrust/internal/profile"
+	"pmutrust/internal/program"
+	"pmutrust/internal/sampling"
+)
+
+// BuildEdgeProfile reconstructs a block-level control-flow edge profile
+// from the LBR stacks of run — the PGO-grade output §2.1 motivates.
+//
+// Two kinds of edges are recovered:
+//
+//   - taken edges: every LBR record <S, T> is one traversal of the edge
+//     block(S) → block(T). A window of n records stands for Period taken
+//     branches, so each record is scaled by Period/n.
+//   - fallthrough edges: within a straight-line segment (T_i, S_{i+1}),
+//     consecutive blocks are connected by not-taken transitions; each
+//     window exposes n−1 segments, scaled by Period/(n−1).
+func BuildEdgeProfile(prog *program.Program, run *sampling.Run) (*profile.EdgeProfile, error) {
+	if !run.Method.UseLBRStack {
+		return nil, fmt.Errorf("lbr: method %s does not collect LBR stacks", run.Method.Key)
+	}
+	ep := profile.NewEdgeProfile(prog)
+	codeLen := uint32(len(prog.Code))
+	for i := range run.Samples {
+		s := &run.Samples[i]
+		n := len(s.LBR)
+		if n < 2 {
+			continue
+		}
+		takenScale := float64(run.Period) / float64(n)
+		segScale := float64(run.Period) / float64(n-1)
+		for j, rec := range s.LBR {
+			if rec.From >= codeLen || rec.To >= codeLen {
+				continue
+			}
+			ep.Add(int(prog.BlockOf[rec.From]), int(prog.BlockOf[rec.To]), takenScale)
+			if j+1 < n {
+				from := rec.To
+				to := s.LBR[j+1].From
+				if from > to || to >= codeLen {
+					continue
+				}
+				first := int(prog.BlockOf[from])
+				last := int(prog.BlockOf[to])
+				for b := first; b < last; b++ {
+					ep.Add(b, b+1, segScale)
+				}
+			}
+		}
+	}
+	return ep, nil
+}

@@ -1,0 +1,195 @@
+package lbr
+
+import (
+	"math"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/program"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/sampling"
+)
+
+// nestedLoops builds a program with a known loop structure: an outer loop
+// of No iterations whose body runs an inner loop of Ni iterations.
+func nestedLoops(t *testing.T, outer, inner int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("nested")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, outer)
+	oHead := f.Block("outerHead")
+	oHead.Movi(2, inner)
+	iHead := f.Block("innerHead")
+	iHead.Addi(3, 3, 1)
+	iHead.Addi(2, 2, -1)
+	iHead.Cmpi(2, 0)
+	iHead.Jnz("innerHead")
+	oLatch := f.Block("outerLatch")
+	oLatch.Addi(1, 1, -1)
+	oLatch.Cmpi(1, 0)
+	oLatch.Jnz("outerHead")
+	f.Block("exit").Halt()
+	return b.MustBuild()
+}
+
+func blockByLabel(p *program.Program, label string) *program.Block {
+	for _, blk := range p.Blocks {
+		if blk.Label == label {
+			return blk
+		}
+	}
+	return nil
+}
+
+func TestExactEdgeProfile(t *testing.T) {
+	p := nestedLoops(t, 10, 7)
+	ep, err := ref.CollectEdges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := blockByLabel(p, "innerHead").ID
+	outer := blockByLabel(p, "outerHead").ID
+	latch := blockByLabel(p, "outerLatch").ID
+	// Inner backedge: 6 per outer iteration × 10.
+	if got := ep.Counts[profile.Edge{From: inner, To: inner}]; got != 60 {
+		t.Errorf("inner backedge = %v, want 60", got)
+	}
+	// Inner → outer latch fallthrough: once per outer iteration.
+	if got := ep.Counts[profile.Edge{From: inner, To: latch}]; got != 10 {
+		t.Errorf("inner→latch = %v, want 10", got)
+	}
+	// Outer backedge: 9.
+	if got := ep.Counts[profile.Edge{From: latch, To: outer}]; got != 9 {
+		t.Errorf("outer backedge = %v, want 9", got)
+	}
+}
+
+func TestExactTripCounts(t *testing.T) {
+	p := nestedLoops(t, 10, 7)
+	ep, err := ref.CollectEdges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := ep.TripCounts()
+	inner := blockByLabel(p, "innerHead").ID
+	outer := blockByLabel(p, "outerHead").ID
+	in, ok := trips[inner]
+	if !ok {
+		t.Fatal("inner loop not discovered")
+	}
+	if math.Abs(in.TripCount-7) > 1e-9 {
+		t.Errorf("inner trip count = %v, want 7", in.TripCount)
+	}
+	out, ok := trips[outer]
+	if !ok {
+		t.Fatal("outer loop not discovered")
+	}
+	if math.Abs(out.TripCount-10) > 1e-9 {
+		t.Errorf("outer trip count = %v, want 10", out.TripCount)
+	}
+}
+
+func TestLBREdgeProfileMatchesExact(t *testing.T) {
+	p := nestedLoops(t, 4000, 9)
+	exact, err := ref.CollectEdges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sampling.MethodByKey("lbr")
+	run, err := sampling.Collect(p, machine.IvyBridge(), m, sampling.Options{
+		PeriodBase: 800, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := BuildEdgeProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy tiers mirror the paper's Table 3 caveat that LBR per-block
+	// errors "can still reach 30-50% ... for some basic blocks": the
+	// hottest edge must land within 15%; every warm edge within 55%; and
+	// the total edge mass within 10%.
+	total := exact.Total()
+	var hotEdge profile.Edge
+	var hotCount float64
+	for e, want := range exact.Counts {
+		if want > hotCount {
+			hotEdge, hotCount = e, want
+		}
+	}
+	if rel := math.Abs(est.Counts[hotEdge]-hotCount) / hotCount; rel > 0.15 {
+		t.Errorf("hottest edge %v: estimated %.0f, exact %.0f (%.0f%% off)",
+			hotEdge, est.Counts[hotEdge], hotCount, 100*rel)
+	}
+	for e, want := range exact.Counts {
+		if want < total/100 {
+			continue
+		}
+		rel := math.Abs(est.Counts[e]-want) / want
+		if rel > 0.55 {
+			t.Errorf("edge %v→%v: estimated %.0f, exact %.0f (%.0f%% off)",
+				e.From, e.To, est.Counts[e], want, 100*rel)
+		}
+	}
+	if rel := math.Abs(est.Total()-total) / total; rel > 0.10 {
+		t.Errorf("edge mass off by %.0f%%: est %.0f, exact %.0f", 100*rel, est.Total(), total)
+	}
+}
+
+func TestLBRTripCountsCloseToTruth(t *testing.T) {
+	p := nestedLoops(t, 4000, 9)
+	m, _ := sampling.MethodByKey("lbr")
+	run, err := sampling.Collect(p, machine.Westmere(), m, sampling.Options{
+		PeriodBase: 800, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := BuildEdgeProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := est.TripCounts()
+	inner := blockByLabel(p, "innerHead").ID
+	in, ok := trips[inner]
+	if !ok {
+		t.Fatal("inner loop not discovered from LBR")
+	}
+	// LBR-derived trip counts are approximate: on perfectly periodic
+	// loops the window-position clustering that hurts the CallChain
+	// kernel (§5.1) also skews the backedge/entry ratio. Within ±40% is
+	// the honest claim (the paper itself calls tripcounts "hard to
+	// obtain", §2.1).
+	if in.TripCount < 5.5 || in.TripCount > 12.5 {
+		t.Errorf("LBR inner trip count = %.2f, want ≈9 (±40%%)", in.TripCount)
+	}
+}
+
+func TestBuildEdgeProfileRequiresLBR(t *testing.T) {
+	p := nestedLoops(t, 5, 3)
+	m, _ := sampling.MethodByKey("classic")
+	if _, err := BuildEdgeProfile(p, &sampling.Run{Method: m}); err == nil {
+		t.Error("non-LBR method accepted")
+	}
+}
+
+func TestEdgeProfileHelpers(t *testing.T) {
+	p := nestedLoops(t, 5, 3)
+	ep := profile.NewEdgeProfile(p)
+	ep.Add(0, 1, 5)
+	ep.Add(0, 2, 3)
+	ep.Add(2, 1, 2)
+	if ep.Total() != 10 {
+		t.Errorf("total = %v", ep.Total())
+	}
+	out := ep.OutCounts(0)
+	if out[1] != 5 || out[2] != 3 {
+		t.Errorf("out counts = %v", out)
+	}
+	if ep.InCount(1) != 7 {
+		t.Errorf("in count = %v", ep.InCount(1))
+	}
+}

@@ -1,0 +1,200 @@
+package lbr
+
+import (
+	"math"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/program"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/sampling"
+)
+
+// chainProgram: a loop over three blocks connected by taken branches, so
+// LBR decoding is fully exercised: body1 --jmp--> body2 --(fall)--> latch
+// --jnz--> body1.
+func chainProgram(t *testing.T, n int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("chain")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, n)
+	b1 := f.Block("body1")
+	b1.Addi(2, 2, 1)
+	b1.Addi(2, 2, 2)
+	b1.Jmp("body2")
+	b2 := f.Block("body2")
+	b2.Addi(3, 3, 1)
+	latch := f.Block("latch")
+	latch.Addi(1, 1, -1)
+	latch.Cmpi(1, 0)
+	latch.Jnz("body1")
+	f.Block("exit").Halt()
+	return b.MustBuild()
+}
+
+func lbrMethod(t *testing.T) sampling.Method {
+	t.Helper()
+	m, err := sampling.MethodByKey("lbr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildProfileRequiresLBRMethod(t *testing.T) {
+	p := chainProgram(t, 10)
+	m, _ := sampling.MethodByKey("classic")
+	if _, _, err := BuildProfile(p, &sampling.Run{Method: m}); err == nil {
+		t.Error("non-LBR method accepted")
+	}
+}
+
+func TestDecodeSyntheticStack(t *testing.T) {
+	p := chainProgram(t, 10)
+	// Find the block boundaries.
+	var body1, body2, latch *program.Block
+	for _, blk := range p.Blocks {
+		switch blk.Label {
+		case "body1":
+			body1 = blk
+		case "body2":
+			body2 = blk
+		case "latch":
+			latch = blk
+		}
+	}
+	jmpIdx := uint32(body1.End() - 1)
+	jnzIdx := uint32(latch.End() - 1)
+
+	// One synthetic stack covering two loop iterations:
+	// jnz→body1, jmp→body2, jnz→body1, jmp→body2.
+	stack := []pmu.BranchRecord{
+		{From: jnzIdx, To: uint32(body1.Start)},
+		{From: jmpIdx, To: uint32(body2.Start)},
+		{From: jnzIdx, To: uint32(body1.Start)},
+		{From: jmpIdx, To: uint32(body2.Start)},
+	}
+	m := lbrMethod(t)
+	run := &sampling.Run{
+		Machine: machine.IvyBridge(),
+		Method:  m,
+		Period:  30, // 30 taken branches per PMI
+		Samples: []pmu.Sample{{IP: 0, LBR: stack}},
+	}
+	bp, ds, err := BuildProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Stacks != 1 || ds.Malformed != 0 {
+		t.Errorf("decode stats: %+v", ds)
+	}
+	// Segments: body1 (×2: jnz→jmp is exactly body1), body2+latch (×1:
+	// jmp target to next jnz source spans both). scale = 30/3 = 10.
+	if ds.Segments != 3 {
+		t.Errorf("segments = %d, want 3", ds.Segments)
+	}
+	if got := bp.ExecEstimate[body1.ID]; got != 20 {
+		t.Errorf("body1 exec = %v, want 20", got)
+	}
+	if got := bp.ExecEstimate[body2.ID]; got != 10 {
+		t.Errorf("body2 exec = %v, want 10", got)
+	}
+	if got := bp.ExecEstimate[latch.ID]; got != 10 {
+		t.Errorf("latch exec = %v, want 10", got)
+	}
+	if got := bp.InstrEstimate[latch.ID]; got != 10*float64(latch.Len()) {
+		t.Errorf("latch instrs = %v", got)
+	}
+}
+
+func TestMalformedSegmentSkipped(t *testing.T) {
+	p := chainProgram(t, 10)
+	// A backwards segment: target after the next source.
+	stack := []pmu.BranchRecord{
+		{From: 50, To: uint32(len(p.Code) - 1)},
+		{From: 0, To: 1},
+	}
+	run := &sampling.Run{
+		Method:  lbrMethod(t),
+		Period:  10,
+		Samples: []pmu.Sample{{LBR: stack}},
+	}
+	_, ds, err := BuildProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Malformed != 1 {
+		t.Errorf("malformed = %d, want 1", ds.Malformed)
+	}
+}
+
+func TestShortStacksIgnored(t *testing.T) {
+	p := chainProgram(t, 10)
+	run := &sampling.Run{
+		Method:  lbrMethod(t),
+		Period:  10,
+		Samples: []pmu.Sample{{LBR: nil}, {LBR: []pmu.BranchRecord{{From: 1, To: 2}}}},
+	}
+	bp, ds, err := BuildProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Stacks != 0 || bp.TotalSamples != 0 {
+		t.Errorf("short stacks were decoded: %+v", ds)
+	}
+}
+
+func TestEndToEndEstimateMatchesReference(t *testing.T) {
+	// The headline property: LBR-estimated block instruction counts land
+	// within a few percent of exact instrumentation on a real run.
+	p := chainProgram(t, 60_000)
+	reference, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sampling.Collect(p, machine.IvyBridge(), lbrMethod(t), sampling.Options{
+		PeriodBase: 1000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ds, err := BuildProfile(p, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Malformed != 0 {
+		t.Errorf("malformed segments on clean run: %d", ds.Malformed)
+	}
+	for i, blk := range p.Blocks {
+		refCount := float64(reference.InstrCount[i])
+		if refCount < float64(reference.NetInstructions)/100 {
+			continue // skip cold blocks (entry/exit)
+		}
+		rel := math.Abs(bp.InstrEstimate[i]-refCount) / refCount
+		if rel > 0.10 {
+			t.Errorf("block %s: LBR estimate off by %.1f%% (est %.0f, ref %.0f)",
+				blk.Label, 100*rel, bp.InstrEstimate[i], refCount)
+		}
+	}
+}
+
+func TestSegmentLengths(t *testing.T) {
+	p := chainProgram(t, 5_000)
+	run, err := sampling.Collect(p, machine.Westmere(), lbrMethod(t), sampling.Options{
+		PeriodBase: 500, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := SegmentLengths(p, run)
+	if len(lengths) == 0 {
+		t.Fatal("no segments")
+	}
+	for _, l := range lengths {
+		if l < 1 || l > len(p.Code) {
+			t.Errorf("segment length %d out of range", l)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package machine defines the three evaluation platforms of the paper as
+// simulator configurations: AMD Magny-Cours (Opteron 6164 HE), Intel
+// Westmere (Xeon X5650) and Intel Ivy Bridge (Xeon E3-1265L).
+//
+// A Machine is a bag of feature flags and magnitudes consumed by the
+// sampling engine (internal/sampling): which precise mechanisms exist,
+// whether there is an LBR facility and how deep it is, and how large the
+// PMI skid is. The CPU core parameters differ slightly per machine to give
+// each platform its own timing texture, mirroring §4.1-4.2 of the paper.
+package machine
+
+import (
+	"fmt"
+
+	"pmutrust/internal/cpu"
+)
+
+// Vendor distinguishes the two PMU families modelled.
+type Vendor uint8
+
+const (
+	// AMD is the Magny-Cours family (IBS, no LBR, no fixed counter).
+	AMD Vendor = iota
+	// Intel is the Core family (PEBS, LBR, fixed counters, and on Ivy
+	// Bridge the PDIR event).
+	Intel
+)
+
+// String returns the vendor name.
+func (v Vendor) String() string {
+	switch v {
+	case AMD:
+		return "AMD"
+	case Intel:
+		return "Intel"
+	default:
+		return "unknown"
+	}
+}
+
+// Machine describes one evaluation platform.
+type Machine struct {
+	// Name is the short platform name used in result tables
+	// ("MagnyCours", "Westmere", "IvyBridge").
+	Name string
+	// Model is the human-readable CPU model from the paper.
+	Model string
+	// Vendor is the PMU family.
+	Vendor Vendor
+	// CPU is the core timing configuration.
+	CPU cpu.Config
+	// HasFixedCounter reports whether an architectural fixed
+	// instructions-retired counter exists (the classic method prefers it;
+	// Magny-Cours lacks one, §4.2).
+	HasFixedCounter bool
+	// HasPEBS reports whether the PEBS precise mechanism exists.
+	HasPEBS bool
+	// HasPDIR reports whether the precisely-distributed
+	// INST_RETIRED.PREC_DIST event exists (Ivy Bridge only).
+	HasPDIR bool
+	// HasIBS reports whether AMD Instruction Based Sampling exists.
+	HasIBS bool
+	// HasLBR reports whether a Last Branch Record facility exists.
+	HasLBR bool
+	// LBRDepth is the number of LBR entries (16 on both Intel parts).
+	LBRDepth int
+	// SkidCycles is the PMI delivery latency for imprecise sampling.
+	SkidCycles uint64
+	// HasSWPeriodRandom reports whether the perf build on this platform
+	// can randomize periods in software (unavailable on the AMD driver at
+	// the time of the paper, §4.2).
+	HasSWPeriodRandom bool
+	// HasHW4LSBRandom reports whether the hardware randomizes the 4 least
+	// significant period bits (AMD IBS).
+	HasHW4LSBRandom bool
+	// HasHWIPFix reports whether the PMU implements the paper's §6.2
+	// hardware recommendation: precise records carry the *triggering*
+	// instruction's IP rather than IP+1, "removing the workaround burden
+	// in drivers" and "avoiding collisions on LBRs". No 2015 machine has
+	// it; the FutureGen model explores what it would buy.
+	HasHWIPFix bool
+	// PMICostCycles is the cost of taking one PMI and logging a plain
+	// sample (interrupt entry, handler, buffer write). Bitzes & Nowak
+	// [38] measure 2-3k cycles per PMI for perf-era kernels.
+	PMICostCycles uint64
+	// LBRReadCostCycles is the additional cost of reading one LBR entry
+	// pair (two MSR reads) inside the handler.
+	LBRReadCostCycles uint64
+}
+
+// defaultPMICost and defaultLBRReadCost apply to all three machines; the
+// numbers follow the overhead study in [38].
+const (
+	defaultPMICost     = 2600
+	defaultLBRReadCost = 70
+)
+
+// String implements fmt.Stringer.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s (%s %s)", m.Name, m.Vendor, m.Model)
+}
+
+// MagnyCours returns the AMD Opteron 6164 HE ("Magny-Cours") model:
+// no LBR, no fixed counter, imprecise RETIRED_INSTRUCTIONS with a large
+// skid, and IBS as the only precise mechanism (uop-based). Hardware
+// randomizes the 4 LSBs of the IBS period.
+func MagnyCours() Machine {
+	return Machine{
+		Name:   "MagnyCours",
+		Model:  "Opteron 6164 HE",
+		Vendor: AMD,
+		CPU: cpu.Config{
+			DispatchWidth:     3,
+			RetireWidth:       3,
+			MispredictPenalty: 12,
+			TakenBranchBubble: 1,
+		},
+		HasFixedCounter:   false,
+		HasPEBS:           false,
+		HasPDIR:           false,
+		HasIBS:            true,
+		HasLBR:            false,
+		LBRDepth:          0,
+		SkidCycles:        120,
+		HasSWPeriodRandom: false,
+		HasHW4LSBRandom:   true,
+		PMICostCycles:     defaultPMICost,
+		LBRReadCostCycles: defaultLBRReadCost,
+	}
+}
+
+// Westmere returns the Intel Xeon X5650 ("Westmere", 1st-gen Core i7)
+// model: fixed counter, PEBS, 16-deep LBR, no PDIR.
+func Westmere() Machine {
+	return Machine{
+		Name:   "Westmere",
+		Model:  "Xeon X5650",
+		Vendor: Intel,
+		CPU: cpu.Config{
+			DispatchWidth:     4,
+			RetireWidth:       4,
+			MispredictPenalty: 17,
+			TakenBranchBubble: 1,
+		},
+		HasFixedCounter:   true,
+		HasPEBS:           true,
+		HasPDIR:           false,
+		HasIBS:            false,
+		HasLBR:            true,
+		LBRDepth:          16,
+		SkidCycles:        60,
+		HasSWPeriodRandom: true,
+		HasHW4LSBRandom:   false,
+		PMICostCycles:     defaultPMICost,
+		LBRReadCostCycles: defaultLBRReadCost,
+	}
+}
+
+// IvyBridge returns the Intel Xeon E3-1265L ("Ivy Bridge", 3rd-gen Core)
+// model: fixed counter, PEBS, PDIR, 16-deep LBR.
+func IvyBridge() Machine {
+	return Machine{
+		Name:   "IvyBridge",
+		Model:  "Xeon E3-1265L",
+		Vendor: Intel,
+		CPU: cpu.Config{
+			DispatchWidth:     4,
+			RetireWidth:       4,
+			MispredictPenalty: 14,
+			TakenBranchBubble: 1,
+		},
+		HasFixedCounter:   true,
+		HasPEBS:           true,
+		HasPDIR:           true,
+		HasIBS:            false,
+		HasLBR:            true,
+		LBRDepth:          16,
+		SkidCycles:        45,
+		HasSWPeriodRandom: true,
+		HasHW4LSBRandom:   false,
+		PMICostCycles:     defaultPMICost,
+		LBRReadCostCycles: defaultLBRReadCost,
+	}
+}
+
+// FutureGen returns a hypothetical machine implementing the paper's §6.2
+// hardware recommendations on an Ivy Bridge core: the precise-record IP+1
+// is fixed in hardware (records carry the triggering IP), and the LBR is
+// deepened to 32 entries (as Skylake later shipped). It is not part of
+// the paper's evaluation; experiment A9 uses it to quantify the
+// recommendations.
+func FutureGen() Machine {
+	m := IvyBridge()
+	m.Name = "FutureGen"
+	m.Model = "hypothetical (§6.2 recommendations)"
+	m.HasHWIPFix = true
+	m.LBRDepth = 32
+	return m
+}
+
+// All returns the three paper machines in the paper's presentation order.
+func All() []Machine {
+	return []Machine{MagnyCours(), Westmere(), IvyBridge()}
+}
+
+// AllExtended returns the paper machines plus the §6.2 FutureGen model.
+func AllExtended() []Machine {
+	return append(All(), FutureGen())
+}
+
+// ByName returns the machine with the given name (including FutureGen),
+// or an error.
+func ByName(name string) (Machine, error) {
+	for _, m := range AllExtended() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("machine: unknown machine %q", name)
+}

@@ -1,0 +1,92 @@
+package machine
+
+import "testing"
+
+func TestAllMachines(t *testing.T) {
+	ms := All()
+	if len(ms) != 3 {
+		t.Fatalf("machines = %d", len(ms))
+	}
+	names := []string{"MagnyCours", "Westmere", "IvyBridge"}
+	for i, want := range names {
+		if ms[i].Name != want {
+			t.Errorf("machine %d = %s, want %s", i, ms[i].Name, want)
+		}
+		if ms[i].String() == "" {
+			t.Error("empty machine string")
+		}
+		if ms[i].CPU.DispatchWidth <= 0 || ms[i].CPU.RetireWidth <= 0 {
+			t.Errorf("%s has no core widths", want)
+		}
+		if ms[i].SkidCycles == 0 {
+			t.Errorf("%s has zero skid", want)
+		}
+	}
+}
+
+func TestPaperFeatureMatrix(t *testing.T) {
+	amd := MagnyCours()
+	if amd.Vendor != AMD {
+		t.Error("MagnyCours vendor")
+	}
+	if amd.HasLBR || amd.HasPEBS || amd.HasPDIR || amd.HasFixedCounter {
+		t.Error("MagnyCours must have no LBR/PEBS/PDIR/fixed counter (§4.2)")
+	}
+	if !amd.HasIBS || !amd.HasHW4LSBRandom || amd.HasSWPeriodRandom {
+		t.Error("MagnyCours IBS/randomization flags wrong")
+	}
+
+	wsm := Westmere()
+	if wsm.Vendor != Intel || !wsm.HasPEBS || !wsm.HasLBR || !wsm.HasFixedCounter {
+		t.Error("Westmere base features wrong")
+	}
+	if wsm.HasPDIR {
+		t.Error("Westmere must not have PDIR (PREC_DIST arrives with Ivy Bridge)")
+	}
+	if wsm.LBRDepth != 16 {
+		t.Errorf("Westmere LBR depth = %d", wsm.LBRDepth)
+	}
+
+	ivb := IvyBridge()
+	if !ivb.HasPDIR || !ivb.HasPEBS || !ivb.HasLBR || !ivb.HasFixedCounter {
+		t.Error("IvyBridge features wrong")
+	}
+	if ivb.HasIBS {
+		t.Error("IvyBridge has IBS")
+	}
+}
+
+func TestSkidOrdering(t *testing.T) {
+	// The AMD skid is the largest, Ivy Bridge the smallest — the paper's
+	// platform ranking for imprecise sampling quality.
+	if !(MagnyCours().SkidCycles > Westmere().SkidCycles) {
+		t.Error("AMD skid not largest")
+	}
+	if !(Westmere().SkidCycles > IvyBridge().SkidCycles) {
+		t.Error("Westmere skid not above IvyBridge")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"MagnyCours", "Westmere", "IvyBridge"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("ByName(%s) returned %s", name, m.Name)
+		}
+	}
+	if _, err := ByName("Skylake"); err == nil {
+		t.Error("ByName(Skylake) did not fail")
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if AMD.String() != "AMD" || Intel.String() != "Intel" {
+		t.Error("vendor names")
+	}
+	if Vendor(9).String() != "unknown" {
+		t.Error("invalid vendor name")
+	}
+}

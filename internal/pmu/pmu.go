@@ -1,0 +1,530 @@
+// Package pmu models the Performance Monitoring Unit of the simulated
+// machines: event counters, counter-overflow interrupts (PMIs) with skid,
+// the Intel precise mechanisms (PEBS and the Ivy Bridge precisely-
+// distributed PDIR flavor), AMD Instruction Based Sampling (IBS), and the
+// Last Branch Record (LBR) facility.
+//
+// The package deliberately models the *causes* of sampling inaccuracy the
+// paper identifies rather than injecting error distributions:
+//
+//   - Imprecise events: the PMI is delivered SkidCycles after the
+//     triggering instruction retires, and the sampled IP is whatever
+//     instruction is at the head of the retirement stream at delivery
+//     time. Long-latency instructions occupy the head for many cycles, so
+//     they soak up samples (the shadow/skid biases of §3.1).
+//   - PEBS: overflow arms the facility; the hardware captures the next
+//     event occurrence that retires in a *later* cycle (occurrences in the
+//     same retirement burst cannot be captured), reproducing the
+//     "distribution of samples is not guaranteed" caveat of Table 3. The
+//     record carries the next-instruction IP (the infamous IP+1).
+//   - PDIR (INST_RETIRED.PREC_DIST): captures exactly the Nth event with
+//     no burst bias; the record is still IP+1.
+//   - IBS: counts uops, tags the instruction containing the overflowing
+//     uop, and reports its exact IP. Its 4-LSB hardware randomization
+//     overwrites the low bits of the period — destroying the primality of
+//     any software-chosen period.
+//   - LBR: a ring of the last N taken-branch (source, target) pairs,
+//     snapshotted into the sample record on demand.
+package pmu
+
+import (
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/stats"
+)
+
+// Event selects what a sampling counter counts.
+type Event uint8
+
+const (
+	// EvInstRetired counts retired instructions
+	// (INST_RETIRED.ANY / INST_RETIRED.ALL / RETIRED_INSTRUCTIONS).
+	EvInstRetired Event = iota
+	// EvUopsRetired counts retired micro-ops (AMD RETIRED_UOPS; the basis
+	// of IBS op sampling).
+	EvUopsRetired
+	// EvBrTaken counts retired taken branches
+	// (BR_INST_RETIRED.NEAR_TAKEN / BR_INST_EXEC:TAKEN).
+	EvBrTaken
+)
+
+// String returns the generic event name.
+func (e Event) String() string {
+	switch e {
+	case EvInstRetired:
+		return "inst_retired"
+	case EvUopsRetired:
+		return "uops_retired"
+	case EvBrTaken:
+		return "br_taken"
+	default:
+		return "unknown"
+	}
+}
+
+// Precision selects the sample-capture mechanism.
+type Precision uint8
+
+const (
+	// Imprecise is plain counter overflow + interrupt: the sampled IP is
+	// subject to skid and shadow.
+	Imprecise Precision = iota
+	// PrecisePEBS is Intel Precise Event Based Sampling: arm on
+	// overflow, capture the next eligible event occurrence, report IP+1.
+	PrecisePEBS
+	// PreciseDist is the Ivy Bridge precisely-distributed PEBS flavor
+	// (PDIR): captures exactly the overflowing occurrence, reports IP+1.
+	PreciseDist
+	// PreciseIBS is AMD Instruction Based Sampling: uop-based tagging
+	// with an exact reported IP.
+	PreciseIBS
+)
+
+// String returns the mechanism name.
+func (p Precision) String() string {
+	switch p {
+	case Imprecise:
+		return "imprecise"
+	case PrecisePEBS:
+		return "pebs"
+	case PreciseDist:
+		return "pdir"
+	case PreciseIBS:
+		return "ibs"
+	default:
+		return "unknown"
+	}
+}
+
+// RandMode selects sampling-period randomization.
+type RandMode uint8
+
+const (
+	// RandNone reloads the same period every time.
+	RandNone RandMode = iota
+	// RandSoftware adds a zero-mean software jitter to every reload, as a
+	// patched perf would (the paper notes mainline perf cannot).
+	RandSoftware
+	// RandHW4LSB is the AMD IBS hardware scheme: the low 4 bits of the
+	// reload value are replaced with random bits. Note this rounds the
+	// period down to a multiple of 16 first — a prime software period
+	// does not survive it.
+	RandHW4LSB
+)
+
+// String returns the mode name.
+func (r RandMode) String() string {
+	switch r {
+	case RandNone:
+		return "none"
+	case RandSoftware:
+		return "software"
+	case RandHW4LSB:
+		return "hw4lsb"
+	default:
+		return "unknown"
+	}
+}
+
+// BranchRecord is one LBR entry: a retired taken branch from From to To
+// (code indices).
+type BranchRecord struct {
+	From, To uint32
+}
+
+// Sample is one collected PMU sample.
+type Sample struct {
+	// IP is the instruction address (code index) a profiling tool would
+	// attribute the sample to. Depending on the mechanism this may be the
+	// skidded delivery address, the PEBS next-instruction IP, or the IBS
+	// tagged instruction.
+	IP uint32
+	// TriggerIP is the ground-truth address of the instruction whose
+	// retirement overflowed the counter. Only diagnostics and tests may
+	// use it; profile construction must not (tools cannot see it).
+	TriggerIP uint32
+	// Cycle is the capture cycle.
+	Cycle uint64
+	// Seq is the dynamic instruction number at capture.
+	Seq uint64
+	// Period is the effective sampling period that led to this sample
+	// (after randomization), in event units.
+	Period uint64
+	// LBR is the branch-record snapshot at capture, oldest first; nil if
+	// the configuration does not capture LBR.
+	LBR []BranchRecord
+}
+
+// Config programs one sampling counter.
+type Config struct {
+	// Event is the counted event.
+	Event Event
+	// Precision is the capture mechanism.
+	Precision Precision
+	// Period is the base sampling period in event units.
+	Period uint64
+	// Rand is the period randomization mode.
+	Rand RandMode
+	// RandAmp is the software-jitter amplitude (events); used only with
+	// RandSoftware. Zero selects Period/8.
+	RandAmp uint64
+	// SkidCycles is the PMI delivery latency for Imprecise sampling.
+	SkidCycles uint64
+	// CaptureLBR snapshots the LBR stack into each sample.
+	CaptureLBR bool
+	// LBRDepth is the LBR stack depth when CaptureLBR is set.
+	LBRDepth int
+	// Seed seeds the period randomizer.
+	Seed uint64
+	// HWExactIP makes precise records carry the triggering instruction's
+	// own IP instead of the next-instruction IP — the §6.2 hardware fix,
+	// only present on the FutureGen machine model.
+	HWExactIP bool
+	// LBRContention models a second LBR consumer sharing the facility in
+	// call-stack filtering mode (perf --call-graph lbr), per §6.2's
+	// warning that the LBR is "a valuable single resource" and the IP+1
+	// fix in hardware would "avoid collisions on LBRs ... with other
+	// filtered collections such as call-stack mode". The value is the
+	// fraction of samples whose LBR snapshot reflects the *other*
+	// consumer's filtering (calls/returns only) instead of all taken
+	// branches — useless, and silently wrong, for basic-block counting.
+	LBRContention float64
+	// FreqMode enables perf-style frequency mode: instead of a fixed
+	// event period, the PMU retunes the period after every sample so
+	// samples arrive roughly every TargetIntervalCycles. Mainline perf
+	// defaults to this ("an architectural event is typically set to
+	// capture a sample every ~1 millisecond", §3.4) — and it trades the
+	// period-choice problem for a time-uniform sample distribution,
+	// which measures cycles, not instruction counts.
+	FreqMode bool
+	// TargetIntervalCycles is the frequency-mode sampling interval target
+	// (cycles between samples). Zero selects Period (assumes IPC ≈ 1).
+	TargetIntervalCycles uint64
+}
+
+// PMU is the monitor implementation that samples a run. It implements
+// cpu.Monitor.
+type PMU struct {
+	cfg     Config
+	rng     *stats.RNG
+	lbr     lbrRing
+	csRing  lbrRing // call-stack-filtered ring for the contention model
+	samples []Sample
+
+	counter    uint64
+	effPeriod  uint64
+	basePeriod uint64 // mutable in frequency mode
+	lastSample uint64 // cycle of the previous sample (frequency mode)
+	armed      bool   // PEBS armed, waiting for an eligible occurrence
+	armCycle   uint64
+	pendingPMI bool // imprecise PMI scheduled
+	deliverAt  uint64
+	trigIP     uint32
+
+	pendingIBS bool // IBS tag displaced by hardware randomization
+
+	// Totals (counting mode runs alongside sampling, like a real PMU's
+	// fixed counters).
+	TotalEvents uint64
+	Overflows   uint64
+	DroppedPMIs uint64
+}
+
+// New creates a PMU for the given configuration.
+func New(cfg Config) *PMU {
+	if cfg.Period == 0 {
+		panic("pmu: zero sampling period")
+	}
+	if cfg.RandAmp == 0 {
+		cfg.RandAmp = cfg.Period / 8
+	}
+	if cfg.LBRDepth <= 0 {
+		cfg.LBRDepth = 16
+	}
+	if cfg.FreqMode && cfg.TargetIntervalCycles == 0 {
+		cfg.TargetIntervalCycles = cfg.Period
+	}
+	p := &PMU{cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0x9a11ce5eed), basePeriod: cfg.Period}
+	p.lbr.init(cfg.LBRDepth)
+	p.csRing.init(cfg.LBRDepth)
+	p.effPeriod = p.nextPeriod()
+	return p
+}
+
+// Samples returns the collected samples.
+func (p *PMU) Samples() []Sample { return p.samples }
+
+// Config returns the active configuration.
+func (p *PMU) Config() Config { return p.cfg }
+
+// nextPeriod applies the randomization policy to produce the next reload
+// value.
+func (p *PMU) nextPeriod() uint64 {
+	base := p.basePeriod
+	switch p.cfg.Rand {
+	case RandNone:
+		return base
+	case RandSoftware:
+		j := p.rng.Jitter(p.cfg.RandAmp)
+		v := int64(base) + j
+		if v < 1 {
+			v = 1
+		}
+		return uint64(v)
+	case RandHW4LSB:
+		return (base &^ 15) | p.rng.Uint64n(16)
+	default:
+		return base
+	}
+}
+
+// units returns how many event units ev contributes to the counter.
+func (p *PMU) units(ev cpu.RetireEvent) uint64 {
+	switch p.cfg.Event {
+	case EvInstRetired:
+		return 1
+	case EvUopsRetired:
+		return uint64(ev.Uops)
+	case EvBrTaken:
+		if ev.Taken {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// OnRetire implements cpu.Monitor.
+func (p *PMU) OnRetire(ev cpu.RetireEvent) {
+	// LBR updates first: a retiring taken branch is in the stack by the
+	// time any PMI for it could be taken.
+	if ev.Taken && p.cfg.CaptureLBR {
+		p.lbr.push(BranchRecord{From: ev.Idx, To: ev.Target})
+		if p.cfg.LBRContention > 0 {
+			// The competing consumer runs the facility in call-stack
+			// mode: calls push, returns pop, other branches are filtered
+			// out.
+			switch {
+			case ev.Op.IsCall():
+				p.csRing.push(BranchRecord{From: ev.Idx, To: ev.Target})
+			case ev.Op.IsRet():
+				p.csRing.pop()
+			}
+		}
+	}
+
+	// Deliver a pending imprecise PMI: the sampled IP is the oldest
+	// not-yet-retired instruction at delivery time, i.e. the first
+	// instruction whose retirement cycle reaches the delivery cycle.
+	if p.pendingPMI && ev.Cycle >= p.deliverAt {
+		p.record(ev.Idx, ev, p.effPeriodForSample())
+		p.pendingPMI = false
+	}
+
+	// Deliver a pending IBS tag: under hardware period randomization the
+	// counter expires mid dispatch-window and the tagged uop comes from
+	// the following window, displacing the reported instruction forward
+	// (see Config.SkidCycles doc and DESIGN.md on the AMD randomization
+	// finding).
+	if p.pendingIBS && ev.Cycle > p.armCycle {
+		p.record(ev.Idx, ev, p.effPeriodForSample())
+		p.pendingIBS = false
+	}
+
+	// PEBS capture: armed, and this is an eligible occurrence (an event
+	// unit retiring in a cycle strictly after arming — occurrences inside
+	// the arming burst are not capturable).
+	u := p.units(ev)
+	if p.armed && u > 0 && ev.Cycle > p.armCycle {
+		p.capturePrecise(ev)
+		p.armed = false
+	}
+
+	if u == 0 {
+		return
+	}
+	p.TotalEvents += u
+	p.counter += u
+	if p.counter < p.effPeriod {
+		return
+	}
+
+	// Counter overflow at this instruction.
+	p.Overflows++
+	p.counter -= p.effPeriod
+	p.trigIP = ev.Idx
+	switch p.cfg.Precision {
+	case Imprecise:
+		if p.pendingPMI {
+			// Previous PMI not yet delivered; the new overflow is lost.
+			p.DroppedPMIs++
+		} else {
+			p.pendingPMI = true
+			// Interrupt delivery latency is not a constant on real
+			// hardware: it depends on interruptibility windows and
+			// pipeline drain state. Model it as the machine skid plus a
+			// uniform jitter of up to a quarter of the skid.
+			jitter := uint64(0)
+			if j := p.cfg.SkidCycles / 4; j > 0 {
+				jitter = p.rng.Uint64n(j + 1)
+			}
+			p.deliverAt = ev.Cycle + p.cfg.SkidCycles + jitter
+		}
+	case PrecisePEBS:
+		if p.armed {
+			p.DroppedPMIs++
+		} else {
+			p.armed = true
+			p.armCycle = ev.Cycle
+		}
+	case PreciseDist:
+		// PDIR: capture exactly this occurrence.
+		p.capturePrecise(ev)
+	case PreciseIBS:
+		if p.cfg.Rand == RandHW4LSB {
+			// With hardware period randomization the counter expires
+			// untethered from instruction boundaries, so the tag attaches
+			// to a uop of the next dispatch/retire group; like PEBS
+			// arming, the capture is biased toward the heads of
+			// retirement bursts (post-stall instructions). This is the
+			// mechanism behind the paper's observation that AMD results
+			// worsen when the built-in randomization is used (§5.1); see
+			// DESIGN.md for the modelling rationale. Unlike PEBS, IBS
+			// reports the exact IP of the tagged instruction.
+			if p.pendingIBS {
+				p.DroppedPMIs++
+			} else {
+				p.pendingIBS = true
+				p.armCycle = ev.Cycle
+			}
+		} else {
+			// IBS proper: the instruction containing the overflowing uop
+			// is tagged and its exact IP is reported.
+			p.record(ev.Idx, ev, p.effPeriodForSample())
+		}
+	}
+	p.effPeriod = p.nextPeriod()
+}
+
+// capturePrecise records a PEBS/PDIR sample for the captured occurrence
+// ev. The record carries the next-instruction IP: the branch target when
+// the captured instruction is a taken branch, the next sequential address
+// otherwise. This is the IP+1 problem of Table 3.
+func (p *PMU) capturePrecise(ev cpu.RetireEvent) {
+	if p.cfg.HWExactIP {
+		// §6.2 hardware fix: the record carries the captured
+		// instruction's own IP.
+		p.record(ev.Idx, ev, p.effPeriodForSample())
+		return
+	}
+	var ip uint32
+	if ev.Taken {
+		ip = ev.Target
+	} else {
+		ip = ev.Idx + 1
+	}
+	p.record(ip, ev, p.effPeriodForSample())
+}
+
+// effPeriodForSample returns the period value to attach to a sample. For
+// attribution purposes tools only know the *base* period (randomized
+// reload values are invisible to them), so we report the base — which in
+// frequency mode is the current feedback value, exactly what perf writes
+// into each sample record.
+func (p *PMU) effPeriodForSample() uint64 { return p.basePeriod }
+
+func (p *PMU) record(ip uint32, ev cpu.RetireEvent, period uint64) {
+	if p.cfg.FreqMode {
+		p.retunePeriod(ev.Cycle)
+	}
+	s := Sample{
+		IP:        ip,
+		TriggerIP: p.trigIP,
+		Cycle:     ev.Cycle,
+		Seq:       ev.Seq,
+		Period:    period,
+	}
+	if p.cfg.CaptureLBR {
+		if p.cfg.LBRContention > 0 && p.rng.Float64() < p.cfg.LBRContention {
+			// The other consumer owned the LBR when this PMI fired: the
+			// snapshot holds call-stack-filtered records.
+			s.LBR = p.csRing.snapshot()
+		} else {
+			s.LBR = p.lbr.snapshot()
+		}
+	}
+	p.samples = append(p.samples, s)
+}
+
+// retunePeriod implements the frequency-mode feedback loop, following the
+// kernel's perf_adjust_period: after each sample, scale the period by the
+// ratio of the target interval to the observed one, damped by averaging
+// with the current period, and clamped to a sane range.
+func (p *PMU) retunePeriod(cycle uint64) {
+	interval := cycle - p.lastSample
+	p.lastSample = cycle
+	if interval == 0 {
+		return
+	}
+	ideal := float64(p.basePeriod) * float64(p.cfg.TargetIntervalCycles) / float64(interval)
+	next := uint64((float64(p.basePeriod) + ideal) / 2)
+	const minPeriod = 16
+	if next < minPeriod {
+		next = minPeriod
+	}
+	if max := p.cfg.Period * 64; next > max {
+		next = max
+	}
+	p.basePeriod = next
+}
+
+// EffectiveBasePeriod returns the current base period — constant in fixed
+// mode, the converged feedback value in frequency mode.
+func (p *PMU) EffectiveBasePeriod() uint64 { return p.basePeriod }
+
+// lbrRing is the Last Branch Record stack: a ring buffer overwritten by
+// every retiring taken branch.
+type lbrRing struct {
+	entries []BranchRecord
+	pos     int
+	filled  int
+}
+
+func (l *lbrRing) init(depth int) {
+	l.entries = make([]BranchRecord, depth)
+	l.pos = 0
+	l.filled = 0
+}
+
+func (l *lbrRing) push(r BranchRecord) {
+	l.entries[l.pos] = r
+	l.pos = (l.pos + 1) % len(l.entries)
+	if l.filled < len(l.entries) {
+		l.filled++
+	}
+}
+
+// pop removes the newest entry (call-stack mode return handling).
+func (l *lbrRing) pop() {
+	if l.filled == 0 {
+		return
+	}
+	l.pos--
+	if l.pos < 0 {
+		l.pos += len(l.entries)
+	}
+	l.filled--
+}
+
+// snapshot returns the stack contents, oldest branch first.
+func (l *lbrRing) snapshot() []BranchRecord {
+	out := make([]BranchRecord, l.filled)
+	start := l.pos - l.filled
+	if start < 0 {
+		start += len(l.entries)
+	}
+	for i := 0; i < l.filled; i++ {
+		out[i] = l.entries[(start+i)%len(l.entries)]
+	}
+	return out
+}

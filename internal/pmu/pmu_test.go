@@ -1,0 +1,367 @@
+package pmu
+
+import (
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/isa"
+)
+
+// feed drives a PMU with a synthetic retirement stream. Each step is one
+// retired instruction.
+type step struct {
+	idx    uint32
+	cycle  uint64
+	uops   uint8
+	taken  bool
+	target uint32
+}
+
+func feed(p *PMU, steps []step) {
+	for i, s := range steps {
+		uops := s.uops
+		if uops == 0 {
+			uops = 1
+		}
+		p.OnRetire(cpu.RetireEvent{
+			Idx:    s.idx,
+			Cycle:  s.cycle,
+			Seq:    uint64(i + 1),
+			Op:     isa.OpAdd,
+			Uops:   uops,
+			Taken:  s.taken,
+			Target: s.target,
+		})
+	}
+}
+
+// seq builds a linear stream: instruction k at index k, one per cycle.
+func seq(n int) []step {
+	out := make([]step, n)
+	for i := range out {
+		out[i] = step{idx: uint32(i), cycle: uint64(i)}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	New(Config{Period: 0})
+}
+
+func TestImpreciseSkidDelivery(t *testing.T) {
+	// Period 10, skid 5 cycles, no randomization: the counter overflows
+	// at instruction 9 (10th event), and the PMI delivers at the first
+	// instruction retiring at cycle >= 9+5+jitter. With SkidCycles=4 the
+	// jitter draw is Uint64n(2); pin it to zero by using skid not
+	// divisible by 4... simpler: skid < 4 disables jitter (skid/4 == 0).
+	p := New(Config{Event: EvInstRetired, Precision: Imprecise, Period: 10, SkidCycles: 3, Seed: 1})
+	feed(p, seq(40))
+	samples := p.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	s := samples[0]
+	if s.TriggerIP != 9 {
+		t.Errorf("trigger = %d, want 9", s.TriggerIP)
+	}
+	if s.IP != 12 { // delivered at cycle 9+3 → instruction 12
+		t.Errorf("recorded IP = %d, want 12", s.IP)
+	}
+	if s.Period != 10 {
+		t.Errorf("period = %d", s.Period)
+	}
+}
+
+func TestImpreciseSkidAttachesToStall(t *testing.T) {
+	// A stall: instructions 0..9 at cycles 0..9, then instruction 10
+	// retires at cycle 50 (long stall). A PMI triggered at instr 9
+	// (cycle 9) with skid 3 must attach to the stalled instruction 10 —
+	// the shadow effect.
+	steps := seq(10)
+	steps = append(steps, step{idx: 10, cycle: 50})
+	steps = append(steps, step{idx: 11, cycle: 51})
+	p := New(Config{Event: EvInstRetired, Precision: Imprecise, Period: 10, SkidCycles: 3, Seed: 1})
+	feed(p, steps)
+	if len(p.Samples()) != 1 {
+		t.Fatalf("samples = %d", len(p.Samples()))
+	}
+	if got := p.Samples()[0].IP; got != 10 {
+		t.Errorf("sample IP = %d, want stalled instruction 10", got)
+	}
+}
+
+func TestPEBSCapturesNextCycleAndIPPlus1(t *testing.T) {
+	// Stream with a burst: instructions 5,6,7 all retire in cycle 5.
+	// Overflow at instruction 5 (period 6, events 0..5) arms PEBS; the
+	// capture must skip burst-mates (cycle 5) and take instruction 8
+	// (cycle 6), recording IP+1 = 9.
+	steps := []step{
+		{idx: 0, cycle: 0}, {idx: 1, cycle: 1}, {idx: 2, cycle: 2},
+		{idx: 3, cycle: 3}, {idx: 4, cycle: 4},
+		{idx: 5, cycle: 5}, {idx: 6, cycle: 5}, {idx: 7, cycle: 5},
+		{idx: 8, cycle: 6}, {idx: 9, cycle: 7}, {idx: 10, cycle: 8},
+	}
+	p := New(Config{Event: EvInstRetired, Precision: PrecisePEBS, Period: 6, Seed: 1})
+	feed(p, steps)
+	if len(p.Samples()) != 1 {
+		t.Fatalf("samples = %d", len(p.Samples()))
+	}
+	s := p.Samples()[0]
+	if s.TriggerIP != 5 {
+		t.Errorf("trigger = %d", s.TriggerIP)
+	}
+	if s.IP != 9 {
+		t.Errorf("recorded IP = %d, want 9 (instruction 8 + 1)", s.IP)
+	}
+}
+
+func TestPEBSTakenBranchRecordsTarget(t *testing.T) {
+	// When the captured instruction is a taken branch, the PEBS record
+	// holds the branch target (the next instruction executed), not the
+	// fallthrough.
+	steps := []step{
+		{idx: 0, cycle: 0}, {idx: 1, cycle: 1},
+		{idx: 2, cycle: 2, taken: true, target: 7}, // captured: taken branch
+		{idx: 7, cycle: 3},
+	}
+	p := New(Config{Event: EvInstRetired, Precision: PrecisePEBS, Period: 2, Seed: 1})
+	feed(p, steps)
+	if len(p.Samples()) == 0 {
+		t.Fatal("no samples")
+	}
+	if got := p.Samples()[0].IP; got != 7 {
+		t.Errorf("recorded IP = %d, want branch target 7", got)
+	}
+}
+
+func TestPDIRCapturesExactTrigger(t *testing.T) {
+	// PDIR records the overflowing occurrence itself (+1).
+	p := New(Config{Event: EvInstRetired, Precision: PreciseDist, Period: 10, Seed: 1})
+	feed(p, seq(35))
+	samples := p.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	for k, s := range samples {
+		wantTrig := uint32(10*(k+1) - 1)
+		if s.TriggerIP != wantTrig {
+			t.Errorf("sample %d trigger = %d, want %d", k, s.TriggerIP, wantTrig)
+		}
+		if s.IP != wantTrig+1 {
+			t.Errorf("sample %d IP = %d, want %d", k, s.IP, wantTrig+1)
+		}
+	}
+}
+
+func TestIBSCountsUopsAndReportsExactIP(t *testing.T) {
+	// Multi-uop instructions advance the counter faster. Period 10 uops;
+	// each instruction has 4 uops, so overflow happens at instruction 2
+	// (12 uops), reported exactly (no IP+1).
+	steps := seq(10)
+	for i := range steps {
+		steps[i].uops = 4
+	}
+	p := New(Config{Event: EvUopsRetired, Precision: PreciseIBS, Period: 10, Seed: 1})
+	feed(p, steps)
+	if len(p.Samples()) < 2 {
+		t.Fatalf("samples = %d", len(p.Samples()))
+	}
+	if got := p.Samples()[0].IP; got != 2 {
+		t.Errorf("first IBS sample IP = %d, want 2", got)
+	}
+	if p.Samples()[0].IP != p.Samples()[0].TriggerIP {
+		t.Error("IBS without randomization must report the exact trigger")
+	}
+}
+
+func TestIBSHWRandomizationDisplacesTag(t *testing.T) {
+	// With 4-LSB hardware randomization the tag attaches to the next
+	// cycle's instruction (burst-head displacement).
+	steps := seq(200)
+	p := New(Config{Event: EvUopsRetired, Precision: PreciseIBS, Period: 16, Rand: RandHW4LSB, Seed: 1})
+	feed(p, steps)
+	if len(p.Samples()) == 0 {
+		t.Fatal("no samples")
+	}
+	displaced := 0
+	for _, s := range p.Samples() {
+		if s.IP != s.TriggerIP {
+			displaced++
+		}
+		if s.IP < s.TriggerIP {
+			t.Errorf("tag moved backwards: IP %d < trigger %d", s.IP, s.TriggerIP)
+		}
+	}
+	if displaced == 0 {
+		t.Error("hardware randomization never displaced the tag")
+	}
+}
+
+func TestHW4LSBPeriodDestroysPrimality(t *testing.T) {
+	p := New(Config{Event: EvInstRetired, Precision: Imprecise, Period: 2003, Rand: RandHW4LSB, SkidCycles: 1, Seed: 9})
+	for i := 0; i < 100; i++ {
+		v := p.nextPeriod()
+		if v < 2003&^15 || v > (2003&^15)|15 {
+			t.Errorf("hw-randomized period %d outside [%d, %d]", v, 2003&^15, (2003&^15)|15)
+		}
+	}
+}
+
+func TestSoftwareRandomizationJitters(t *testing.T) {
+	base := uint64(1000)
+	p := New(Config{Event: EvInstRetired, Precision: Imprecise, Period: base, Rand: RandSoftware, RandAmp: 100, SkidCycles: 1, Seed: 3})
+	lo, hi := base, base
+	for i := 0; i < 200; i++ {
+		v := p.nextPeriod()
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < base-100 || hi > base+100 {
+		t.Errorf("software jitter out of amplitude: [%d, %d]", lo, hi)
+	}
+	if lo == hi {
+		t.Error("software randomization produced constant periods")
+	}
+}
+
+func TestBrTakenEventCountsOnlyTaken(t *testing.T) {
+	steps := []step{
+		{idx: 0, cycle: 0},
+		{idx: 1, cycle: 1, taken: true, target: 5},
+		{idx: 5, cycle: 2},
+		{idx: 6, cycle: 3, taken: true, target: 0},
+		{idx: 0, cycle: 4},
+		{idx: 1, cycle: 5, taken: true, target: 5},
+	}
+	p := New(Config{Event: EvBrTaken, Precision: Imprecise, Period: 2, SkidCycles: 0, Seed: 1})
+	feed(p, steps)
+	if p.TotalEvents != 3 {
+		t.Errorf("taken-branch events = %d, want 3", p.TotalEvents)
+	}
+	if p.Overflows != 1 {
+		t.Errorf("overflows = %d, want 1", p.Overflows)
+	}
+}
+
+func TestLBRRingOrder(t *testing.T) {
+	var l lbrRing
+	l.init(4)
+	if got := l.snapshot(); len(got) != 0 {
+		t.Errorf("empty ring snapshot = %v", got)
+	}
+	for i := 1; i <= 3; i++ {
+		l.push(BranchRecord{From: uint32(i), To: uint32(i * 10)})
+	}
+	s := l.snapshot()
+	if len(s) != 3 {
+		t.Fatalf("snapshot len = %d", len(s))
+	}
+	if s[0].From != 1 || s[2].From != 3 {
+		t.Errorf("order wrong: %v", s)
+	}
+	// Overflow the ring: oldest entries drop.
+	for i := 4; i <= 9; i++ {
+		l.push(BranchRecord{From: uint32(i)})
+	}
+	s = l.snapshot()
+	if len(s) != 4 {
+		t.Fatalf("full snapshot len = %d", len(s))
+	}
+	if s[0].From != 6 || s[3].From != 9 {
+		t.Errorf("ring overflow order wrong: %v", s)
+	}
+}
+
+func TestLBRSnapshotInSamples(t *testing.T) {
+	steps := []step{
+		{idx: 0, cycle: 0},
+		{idx: 1, cycle: 1, taken: true, target: 10},
+		{idx: 10, cycle: 2},
+		{idx: 11, cycle: 3, taken: true, target: 0},
+		{idx: 0, cycle: 10},
+		{idx: 1, cycle: 11, taken: true, target: 10},
+		{idx: 10, cycle: 12},
+	}
+	p := New(Config{
+		Event: EvBrTaken, Precision: Imprecise, Period: 3,
+		SkidCycles: 0, CaptureLBR: true, LBRDepth: 8, Seed: 1,
+	})
+	feed(p, steps)
+	if len(p.Samples()) != 1 {
+		t.Fatalf("samples = %d", len(p.Samples()))
+	}
+	lbr := p.Samples()[0].LBR
+	if len(lbr) != 3 {
+		t.Fatalf("LBR snapshot = %v", lbr)
+	}
+	// The triggering branch (the third taken) must be the newest entry.
+	if lbr[2].From != 1 || lbr[2].To != 10 {
+		t.Errorf("newest LBR entry = %v", lbr[2])
+	}
+}
+
+func TestDroppedPMIAccounting(t *testing.T) {
+	// Period 2 with a huge skid: overflows arrive faster than deliveries.
+	p := New(Config{Event: EvInstRetired, Precision: Imprecise, Period: 2, SkidCycles: 1000, Seed: 1})
+	feed(p, seq(100))
+	if p.DroppedPMIs == 0 {
+		t.Error("no dropped PMIs despite overlapping overflows")
+	}
+	if p.Overflows != 50 {
+		t.Errorf("overflows = %d, want 50", p.Overflows)
+	}
+}
+
+func TestCounterRemainderPreserved(t *testing.T) {
+	// Overflow preserves the remainder: with period 10 and 4-uop
+	// instructions under EvUopsRetired, overflow points drift by the
+	// remainder rather than snapping to instruction boundaries.
+	steps := seq(30)
+	for i := range steps {
+		steps[i].uops = 4
+	}
+	p := New(Config{Event: EvUopsRetired, Precision: PreciseIBS, Period: 10, Seed: 1})
+	feed(p, steps)
+	// Events: counter crosses 10 at instr 2 (12 uops, remainder 2), next
+	// crossing at cumulative 20 → instr 4 (20 uops, remainder 0), then 30
+	// → instr 7 (32, remainder 2)...
+	want := []uint32{2, 4, 7}
+	for i, w := range want {
+		if i >= len(p.Samples()) {
+			t.Fatalf("only %d samples", len(p.Samples()))
+		}
+		if got := p.Samples()[i].IP; got != w {
+			t.Errorf("sample %d at %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, e := range []Event{EvInstRetired, EvUopsRetired, EvBrTaken} {
+		if e.String() == "unknown" || e.String() == "" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+	for _, pr := range []Precision{Imprecise, PrecisePEBS, PreciseDist, PreciseIBS} {
+		if pr.String() == "unknown" || pr.String() == "" {
+			t.Errorf("precision %d has no name", pr)
+		}
+	}
+	for _, r := range []RandMode{RandNone, RandSoftware, RandHW4LSB} {
+		if r.String() == "unknown" || r.String() == "" {
+			t.Errorf("rand mode %d has no name", r)
+		}
+	}
+	if Event(99).String() != "unknown" || Precision(99).String() != "unknown" || RandMode(99).String() != "unknown" {
+		t.Error("invalid enums must stringify as unknown")
+	}
+}

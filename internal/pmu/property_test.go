@@ -1,0 +1,129 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/isa"
+)
+
+// TestQuickSampleRate: for arbitrary periods, precisions and stream
+// shapes, the number of collected samples stays within the dropped-PMI
+// accounting of the overflow count, and every overflow is either sampled
+// or counted as dropped.
+func TestQuickSampleRate(t *testing.T) {
+	f := func(seed uint64, rawPeriod uint16, precPick, randPick uint8, streamLen uint16) bool {
+		period := uint64(rawPeriod%500) + 2
+		precision := []Precision{Imprecise, PrecisePEBS, PreciseDist, PreciseIBS}[precPick%4]
+		randMode := []RandMode{RandNone, RandSoftware, RandHW4LSB}[randPick%3]
+		n := int(streamLen%2000) + 100
+
+		p := New(Config{
+			Event:      EvInstRetired,
+			Precision:  precision,
+			Period:     period,
+			Rand:       randMode,
+			SkidCycles: 10,
+			Seed:       seed,
+		})
+		for i := 0; i < n; i++ {
+			p.OnRetire(cpu.RetireEvent{
+				Idx:   uint32(i % 997),
+				Cycle: uint64(i),
+				Seq:   uint64(i + 1),
+				Op:    isa.OpAdd,
+				Uops:  1,
+			})
+		}
+		got := uint64(len(p.Samples()))
+		// Samples never exceed overflows; overflows minus drops bounds
+		// samples from below minus at most one in-flight capture.
+		if got > p.Overflows {
+			return false
+		}
+		if p.Overflows-p.DroppedPMIs > got+1 {
+			return false
+		}
+		// TotalEvents counts every instruction exactly once.
+		return p.TotalEvents == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSampleIPsComeFromStream: recorded IPs are always stream indices
+// or their +1 neighbourhood (the IP+1 semantics); never arbitrary values.
+func TestQuickSampleIPsComeFromStream(t *testing.T) {
+	f := func(seed uint64, rawPeriod uint8, precPick uint8) bool {
+		period := uint64(rawPeriod%60) + 2
+		precision := []Precision{Imprecise, PrecisePEBS, PreciseDist, PreciseIBS}[precPick%4]
+		const maxIdx = 300
+		p := New(Config{
+			Event:      EvInstRetired,
+			Precision:  precision,
+			Period:     period,
+			SkidCycles: 7,
+			Seed:       seed,
+		})
+		for i := 0; i < 3000; i++ {
+			p.OnRetire(cpu.RetireEvent{
+				Idx:   uint32(i % maxIdx),
+				Cycle: uint64(i),
+				Seq:   uint64(i + 1),
+				Op:    isa.OpAdd,
+				Uops:  1,
+			})
+		}
+		for _, s := range p.Samples() {
+			if s.IP > maxIdx { // maxIdx-1+1 is the largest legal IP+1
+				return false
+			}
+		}
+		return len(p.Samples()) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterminism: identical configs and streams produce identical
+// sample sequences.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64, rawPeriod uint8, randPick uint8) bool {
+		period := uint64(rawPeriod%100) + 2
+		randMode := []RandMode{RandNone, RandSoftware, RandHW4LSB}[randPick%3]
+		mk := func() *PMU {
+			return New(Config{
+				Event:      EvInstRetired,
+				Precision:  PreciseDist,
+				Period:     period,
+				Rand:       randMode,
+				SkidCycles: 5,
+				Seed:       seed,
+			})
+		}
+		a, b := mk(), mk()
+		for i := 0; i < 2000; i++ {
+			ev := cpu.RetireEvent{
+				Idx: uint32(i % 97), Cycle: uint64(i), Seq: uint64(i + 1),
+				Op: isa.OpAdd, Uops: 1,
+			}
+			a.OnRetire(ev)
+			b.OnRetire(ev)
+		}
+		if len(a.Samples()) != len(b.Samples()) {
+			return false
+		}
+		for i := range a.Samples() {
+			if a.Samples()[i].IP != b.Samples()[i].IP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

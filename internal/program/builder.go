@@ -1,0 +1,388 @@
+package program
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+)
+
+// Builder assembles a Program from functions, blocks and instructions.
+// Branch targets are symbolic labels resolved at Build time, so blocks and
+// functions can reference each other in any order.
+//
+// Typical use (see internal/workloads for real examples):
+//
+//	b := program.NewBuilder("kernel")
+//	f := b.Func("main")
+//	loop := f.Block("loop")
+//	loop.Addi(isa.Reg(8), isa.Reg(8), -1)
+//	loop.Cmpi(isa.Reg(8), 0)
+//	loop.Jnz("loop")
+//	exit := f.Block("exit")
+//	exit.Halt()
+//	p, err := b.Build()
+type Builder struct {
+	name     string
+	funcs    []*FuncBuilder
+	byName   map[string]*FuncBuilder
+	memWords int
+}
+
+// NewBuilder creates a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]*FuncBuilder)}
+}
+
+// SetMemWords declares how many 64-bit memory words the program uses.
+// Loads and stores wrap modulo this size at execution time.
+func (b *Builder) SetMemWords(n int) { b.memWords = n }
+
+// Func declares a function. The first function declared is the program
+// entry point. Declaring the same name twice panics: workload generators
+// are compile-time-style code, and name collisions there are bugs, not
+// runtime conditions.
+func (b *Builder) Func(name string) *FuncBuilder {
+	if _, dup := b.byName[name]; dup {
+		panic(fmt.Sprintf("program: duplicate function %q", name))
+	}
+	f := &FuncBuilder{name: name, parent: b}
+	b.funcs = append(b.funcs, f)
+	b.byName[name] = f
+	return f
+}
+
+// FuncBuilder accumulates the blocks of one function.
+type FuncBuilder struct {
+	name   string
+	parent *Builder
+	blocks []*BlockBuilder
+}
+
+// Name returns the function name.
+func (f *FuncBuilder) Name() string { return f.name }
+
+// Block declares a basic block. Blocks are laid out in declaration order;
+// a block without a terminating control transfer falls through to the next
+// declared block.
+func (f *FuncBuilder) Block(label string) *BlockBuilder {
+	for _, blk := range f.blocks {
+		if blk.label == label {
+			panic(fmt.Sprintf("program: duplicate block %q in function %q", label, f.name))
+		}
+	}
+	blk := &BlockBuilder{label: label, fn: f}
+	f.blocks = append(f.blocks, blk)
+	return blk
+}
+
+// BlockBuilder accumulates the instructions of one basic block.
+// The Op helper methods append one instruction each and return the builder
+// for chaining.
+type BlockBuilder struct {
+	label  string
+	fn     *FuncBuilder
+	instrs []isa.Instr
+	// targets[i] is the symbolic target of instrs[i] ("" when none):
+	// "label" for intra-function jumps, "fn:" prefix for calls.
+	targets []string
+}
+
+// Label returns the block label.
+func (bb *BlockBuilder) Label() string { return bb.label }
+
+func (bb *BlockBuilder) add(in isa.Instr, target string) *BlockBuilder {
+	in.Target = -1
+	bb.instrs = append(bb.instrs, in)
+	bb.targets = append(bb.targets, target)
+	return bb
+}
+
+// Raw appends a pre-built instruction with no symbolic target.
+func (bb *BlockBuilder) Raw(in isa.Instr) *BlockBuilder { return bb.add(in, "") }
+
+// Nop appends a no-op.
+func (bb *BlockBuilder) Nop() *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpNop}, "")
+}
+
+// Mov appends dst = src.
+func (bb *BlockBuilder) Mov(dst, src isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpMov, Dst: dst, Src1: src}, "")
+}
+
+// Movi appends dst = imm.
+func (bb *BlockBuilder) Movi(dst isa.Reg, imm int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpMovi, Dst: dst, Imm: imm}, "")
+}
+
+// Add appends dst = s1 + s2.
+func (bb *BlockBuilder) Add(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpAdd, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Addi appends dst = s1 + imm.
+func (bb *BlockBuilder) Addi(dst, s1 isa.Reg, imm int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpAddi, Dst: dst, Src1: s1, Imm: imm}, "")
+}
+
+// Sub appends dst = s1 - s2.
+func (bb *BlockBuilder) Sub(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpSub, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Mul appends dst = s1 * s2.
+func (bb *BlockBuilder) Mul(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpMul, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Div appends dst = s1 / s2.
+func (bb *BlockBuilder) Div(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpDiv, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Rem appends dst = s1 % s2.
+func (bb *BlockBuilder) Rem(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpRem, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// And appends dst = s1 & s2.
+func (bb *BlockBuilder) And(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpAnd, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Or appends dst = s1 | s2.
+func (bb *BlockBuilder) Or(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpOr, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Xor appends dst = s1 ^ s2.
+func (bb *BlockBuilder) Xor(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpXor, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Shl appends dst = s1 << k.
+func (bb *BlockBuilder) Shl(dst, s1 isa.Reg, k int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpShl, Dst: dst, Src1: s1, Imm: k}, "")
+}
+
+// Shr appends dst = s1 >> k (logical).
+func (bb *BlockBuilder) Shr(dst, s1 isa.Reg, k int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpShr, Dst: dst, Src1: s1, Imm: k}, "")
+}
+
+// Load appends dst = mem[(s1+disp) mod memWords].
+func (bb *BlockBuilder) Load(dst, s1 isa.Reg, disp int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpLoad, Dst: dst, Src1: s1, Imm: disp}, "")
+}
+
+// Store appends mem[(s2+disp) mod memWords] = s1.
+func (bb *BlockBuilder) Store(s1, s2 isa.Reg, disp int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpStore, Src1: s1, Src2: s2, Imm: disp}, "")
+}
+
+// Fadd appends dst = s1 + s2 (FP cost model).
+func (bb *BlockBuilder) Fadd(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpFadd, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Fmul appends dst = s1 * s2 (FP cost model).
+func (bb *BlockBuilder) Fmul(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpFmul, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Fdiv appends dst = s1 / s2 (FP cost model).
+func (bb *BlockBuilder) Fdiv(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpFdiv, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Fma appends dst = s1*s2 + dst (FP cost model).
+func (bb *BlockBuilder) Fma(dst, s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpFma, Dst: dst, Src1: s1, Src2: s2}, "")
+}
+
+// Cmp appends flags = compare(s1, s2).
+func (bb *BlockBuilder) Cmp(s1, s2 isa.Reg) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpCmp, Src1: s1, Src2: s2}, "")
+}
+
+// Cmpi appends flags = compare(s1, imm).
+func (bb *BlockBuilder) Cmpi(s1 isa.Reg, imm int64) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpCmpi, Src1: s1, Imm: imm}, "")
+}
+
+// Jmp appends an unconditional jump to the labelled block in this function.
+func (bb *BlockBuilder) Jmp(label string) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpJmp}, label)
+}
+
+// Jz appends a jump-if-equal to the labelled block.
+func (bb *BlockBuilder) Jz(label string) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpJz}, label)
+}
+
+// Jnz appends a jump-if-not-equal to the labelled block.
+func (bb *BlockBuilder) Jnz(label string) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpJnz}, label)
+}
+
+// Jlt appends a jump-if-less-than to the labelled block.
+func (bb *BlockBuilder) Jlt(label string) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpJlt}, label)
+}
+
+// Jge appends a jump-if-greater-or-equal to the labelled block.
+func (bb *BlockBuilder) Jge(label string) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpJge}, label)
+}
+
+// Call appends a call to the named function.
+func (bb *BlockBuilder) Call(fn string) *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpCall}, "fn:"+fn)
+}
+
+// Ret appends a return.
+func (bb *BlockBuilder) Ret() *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpRet}, "")
+}
+
+// Halt appends the program-terminating halt.
+func (bb *BlockBuilder) Halt() *BlockBuilder {
+	return bb.add(isa.Instr{Op: isa.OpHalt}, "")
+}
+
+// Build linearizes, resolves labels and validates. The builder must not be
+// reused afterwards.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.funcs) == 0 {
+		return nil, fmt.Errorf("program %q: no functions", b.name)
+	}
+	p := &Program{Name: b.name, MemWords: b.memWords}
+	if p.MemWords <= 0 {
+		p.MemWords = 1 << 16 // 64K words (512 KiB): plenty for the workloads
+	}
+
+	// Pass 0: split blocks at mid-block control transfers. Calls (and any
+	// other transfer written mid-block) terminate a basic block in the
+	// profiling sense — the LBR decoder relies on every block having at
+	// most one transfer, as its last instruction. Split blocks get
+	// derived labels ("loop$1", ...) that cannot collide with user labels
+	// and cannot be branched to (branches resolve to user labels only).
+	for _, fb := range b.funcs {
+		var split []*BlockBuilder
+		for _, blkb := range fb.blocks {
+			start, part := 0, 0
+			cut := func(end int) {
+				label := blkb.label
+				if part > 0 {
+					label = fmt.Sprintf("%s$%d", blkb.label, part)
+				}
+				split = append(split, &BlockBuilder{
+					label:   label,
+					fn:      fb,
+					instrs:  blkb.instrs[start:end],
+					targets: blkb.targets[start:end],
+				})
+				part++
+				start = end
+			}
+			for i := range blkb.instrs {
+				if blkb.instrs[i].Op.IsBranch() && i != len(blkb.instrs)-1 {
+					cut(i + 1)
+				}
+			}
+			cut(len(blkb.instrs))
+		}
+		fb.blocks = split
+	}
+
+	// Pass 1: lay out code, assign IDs and start indices.
+	type pendingRef struct {
+		codeIdx int
+		fn      *FuncBuilder
+		target  string
+	}
+	var refs []pendingRef
+	blockStart := make(map[*FuncBuilder]map[string]int)
+	idx := 0
+	for fi, fb := range b.funcs {
+		if len(fb.blocks) == 0 {
+			return nil, fmt.Errorf("function %q: no blocks", fb.name)
+		}
+		fn := &Function{Name: fb.name, ID: fi, Start: idx}
+		blockStart[fb] = make(map[string]int, len(fb.blocks))
+		for _, blkb := range fb.blocks {
+			if len(blkb.instrs) == 0 {
+				return nil, fmt.Errorf("function %q: block %q is empty", fb.name, blkb.label)
+			}
+			blk := &Block{
+				Label:  blkb.label,
+				ID:     len(p.Blocks),
+				Func:   fi,
+				Start:  idx,
+				Instrs: append([]isa.Instr(nil), blkb.instrs...),
+			}
+			blockStart[fb][blkb.label] = idx
+			for i := range blk.Instrs {
+				if t := blkb.targets[i]; t != "" {
+					refs = append(refs, pendingRef{codeIdx: blk.Start + i, fn: fb, target: t})
+				}
+				idx++
+			}
+			p.Blocks = append(p.Blocks, blk)
+			fn.Blocks = append(fn.Blocks, blk)
+		}
+		fn.End = idx
+		p.Funcs = append(p.Funcs, fn)
+	}
+
+	// Pass 2: emit flat code and lookup tables.
+	p.Code = make([]isa.Instr, 0, idx)
+	p.BlockOf = make([]int32, idx)
+	p.FuncOf = make([]int32, idx)
+	for _, blk := range p.Blocks {
+		for i := range blk.Instrs {
+			p.BlockOf[blk.Start+i] = int32(blk.ID)
+			p.FuncOf[blk.Start+i] = int32(blk.Func)
+		}
+		p.Code = append(p.Code, blk.Instrs...)
+	}
+
+	// Pass 3: resolve symbolic targets in both the flat code and the
+	// per-block copies (kept in sync so disassembly of either view agrees).
+	for _, ref := range refs {
+		var tgt int
+		if len(ref.target) > 3 && ref.target[:3] == "fn:" {
+			callee, ok := b.byName[ref.target[3:]]
+			if !ok {
+				return nil, fmt.Errorf("function %q: call to undefined function %q",
+					ref.fn.name, ref.target[3:])
+			}
+			tgt = blockStart[callee][callee.blocks[0].label]
+		} else {
+			start, ok := blockStart[ref.fn][ref.target]
+			if !ok {
+				return nil, fmt.Errorf("function %q: jump to undefined label %q",
+					ref.fn.name, ref.target)
+			}
+			tgt = start
+		}
+		p.Code[ref.codeIdx].Target = int32(tgt)
+		blk := p.Blocks[p.BlockOf[ref.codeIdx]]
+		blk.Instrs[ref.codeIdx-blk.Start].Target = int32(tgt)
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("program %q: %w", b.name, err)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for workload constructors whose
+// programs are statically known to be valid.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

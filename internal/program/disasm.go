@@ -1,0 +1,127 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disasm renders the whole program as annotated assembly, with function and
+// block labels and display addresses. Branch targets are shown using the
+// target block's full name.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "\n%s:            ; func %d, %d blocks, [%#x..%#x)\n",
+			f.Name, f.ID, len(f.Blocks), DisplayAddr(f.Start), DisplayAddr(f.End))
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "  .%s:\n", blk.Label)
+			for i, in := range blk.Instrs {
+				text := in.Disasm()
+				if in.Op.IsBranch() && !in.Op.IsRet() && in.Target >= 0 {
+					tb := p.Blocks[p.BlockOf[in.Target]]
+					text = in.Op.Mnemonic() + " " + tb.FullName(p)
+				}
+				fmt.Fprintf(&b, "    %#08x  %s\n", DisplayAddr(blk.Start+i), text)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Dot renders the program's control-flow graph in Graphviz DOT format,
+// one cluster per function, for visual inspection of generated workloads.
+func (p *Program) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", f.ID, f.Name)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "    b%d [label=\"%s\\n%d instrs\"];\n", blk.ID, blk.Label, blk.Len())
+		}
+		b.WriteString("  }\n")
+	}
+	for _, blk := range p.Blocks {
+		term := blk.Terminator()
+		for _, s := range p.Successors(blk) {
+			style := ""
+			if term.Op.IsCall() && p.Blocks[s].Func != blk.Func {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  b%d -> b%d%s;\n", blk.ID, s, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// StaticStats summarizes a program's static structure: the characteristics
+// §2.3 of the paper uses to distinguish enterprise codes (small fragmented
+// blocks) from HPC kernels.
+type StaticStats struct {
+	Name         string
+	Funcs        int
+	Blocks       int
+	Instrs       int
+	MeanBlockLen float64
+	// BlockLenP50/P90 are block-length percentiles.
+	BlockLenP50, BlockLenP90 float64
+	// Branches is the static count of control transfers.
+	Branches int
+	// ClassCounts is the static opcode-class mix.
+	ClassCounts map[string]int
+}
+
+// Stats computes static statistics.
+func (p *Program) Stats() StaticStats {
+	s := StaticStats{
+		Name:        p.Name,
+		Funcs:       len(p.Funcs),
+		Blocks:      len(p.Blocks),
+		Instrs:      len(p.Code),
+		ClassCounts: make(map[string]int),
+	}
+	lens := make([]float64, len(p.Blocks))
+	for i, blk := range p.Blocks {
+		lens[i] = float64(blk.Len())
+	}
+	sort.Float64s(lens)
+	total := 0.0
+	for _, l := range lens {
+		total += l
+	}
+	if len(lens) > 0 {
+		s.MeanBlockLen = total / float64(len(lens))
+		s.BlockLenP50 = lens[len(lens)/2]
+		s.BlockLenP90 = lens[len(lens)*9/10]
+	}
+	for _, in := range p.Code {
+		s.ClassCounts[in.Op.ClassOf().String()]++
+		if in.Op.IsBranch() {
+			s.Branches++
+		}
+	}
+	return s
+}
+
+// String renders the stats as a short multi-line report.
+func (s StaticStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s: %d funcs, %d blocks, %d instrs\n",
+		s.Name, s.Funcs, s.Blocks, s.Instrs)
+	fmt.Fprintf(&b, "  block length: mean %.1f, p50 %.0f, p90 %.0f\n",
+		s.MeanBlockLen, s.BlockLenP50, s.BlockLenP90)
+	fmt.Fprintf(&b, "  static branches: %d (%.1f%% of instrs)\n",
+		s.Branches, 100*float64(s.Branches)/float64(max(1, s.Instrs)))
+	classes := make([]string, 0, len(s.ClassCounts))
+	for c := range s.ClassCounts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	b.WriteString("  class mix:")
+	for _, c := range classes {
+		fmt.Fprintf(&b, " %s=%d", c, s.ClassCounts[c])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

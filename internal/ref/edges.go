@@ -1,0 +1,45 @@
+package ref
+
+import (
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/program"
+)
+
+// edgeCollector observes the functional execution stream and counts
+// block-to-block transitions exactly.
+type edgeCollector struct {
+	blockOf []int32
+	starts  []int32
+	ep      *profile.EdgeProfile
+	prev    int32 // previous block ID, -1 before the first block
+}
+
+func (c *edgeCollector) OnExec(idx uint32) {
+	b := c.blockOf[idx]
+	if int32(idx) == c.starts[b] {
+		if c.prev >= 0 {
+			c.ep.Add(int(c.prev), int(b), 1)
+		}
+		c.prev = b
+	}
+}
+
+// CollectEdges runs p functionally and returns its exact block-level edge
+// profile — the ground truth for evaluating LBR-derived edge profiles and
+// loop trip counts.
+func CollectEdges(p *program.Program) (*profile.EdgeProfile, error) {
+	c := &edgeCollector{
+		blockOf: p.BlockOf,
+		starts:  make([]int32, p.NumBlocks()),
+		ep:      profile.NewEdgeProfile(p),
+		prev:    -1,
+	}
+	for i, b := range p.Blocks {
+		c.starts[i] = int32(b.Start)
+	}
+	if _, err := cpu.RunFunctional(p, c, 0); err != nil {
+		return nil, err
+	}
+	return c.ep, nil
+}

@@ -1,0 +1,76 @@
+// Package ref produces the instrumentation-based reference profile the
+// paper obtains with Pin ("REF", §3.3): exact basic-block execution counts
+// for a workload, against which all sampling methods are scored.
+//
+// The simulator makes this trivial — a functional run with a per-block
+// counter is exact by construction — but the package still mirrors a real
+// Pin tool's shape: it observes only block entries, not simulator
+// internals, so the reference path exercises the same attribution tables
+// profiles use.
+package ref
+
+import (
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/program"
+)
+
+// Profile is the exact reference profile.
+type Profile struct {
+	// Prog is the profiled program.
+	Prog *program.Program
+	// ExecCount[b] is the exact execution count of block ID b.
+	ExecCount []uint64
+	// InstrCount[b] is ExecCount[b] × block length: the exact number of
+	// instructions retired in block b.
+	InstrCount []uint64
+	// NetInstructions is the total retired instruction count (the
+	// normalizer of the paper's accuracy metric).
+	NetInstructions uint64
+	// TakenBranches is the total taken-branch count.
+	TakenBranches uint64
+}
+
+// collector implements cpu.FuncMonitor counting block entries.
+type collector struct {
+	blockOf []int32
+	starts  []int32 // start index per block, for entry detection
+	exec    []uint64
+	lastIdx int32
+}
+
+func (c *collector) OnExec(idx uint32) {
+	b := c.blockOf[idx]
+	// A block executes when control reaches its first instruction. Any
+	// other instruction in the block was already accounted for at entry.
+	if int32(idx) == c.starts[b] {
+		c.exec[b]++
+	}
+	c.lastIdx = int32(idx)
+}
+
+// Collect runs p functionally and returns its exact profile.
+func Collect(p *program.Program) (*Profile, error) {
+	c := &collector{
+		blockOf: p.BlockOf,
+		starts:  make([]int32, p.NumBlocks()),
+		exec:    make([]uint64, p.NumBlocks()),
+	}
+	for i, b := range p.Blocks {
+		c.starts[i] = int32(b.Start)
+	}
+	res, err := cpu.RunFunctional(p, c, 0)
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{
+		Prog:            p,
+		ExecCount:       c.exec,
+		InstrCount:      make([]uint64, p.NumBlocks()),
+		NetInstructions: res.Instructions,
+		TakenBranches:   res.TakenBranches,
+	}
+	for i, b := range p.Blocks {
+		prof.InstrCount[i] = c.exec[i] * uint64(b.Len())
+	}
+	return prof, nil
+}

@@ -1,0 +1,84 @@
+package ref
+
+import (
+	"testing"
+
+	"pmutrust/internal/program"
+)
+
+// diamond builds a program whose exact block counts are known analytically:
+// a loop of N iterations alternating (on a counter's parity) between two
+// arms of different lengths.
+func diamond(t *testing.T, n int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("diamond")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, n)
+	e.Movi(15, 1)
+	test := f.Block("test")
+	test.And(14, 1, 15)
+	test.Cmpi(14, 0)
+	test.Jnz("odd")
+	even := f.Block("even")
+	even.Addi(2, 2, 1)
+	even.Addi(2, 2, 2)
+	even.Addi(2, 2, 3)
+	even.Jmp("latch")
+	odd := f.Block("odd")
+	odd.Addi(3, 3, 1)
+	latch := f.Block("latch")
+	latch.Addi(1, 1, -1)
+	latch.Cmpi(1, 0)
+	latch.Jnz("test")
+	f.Block("exit").Halt()
+	return b.MustBuild()
+}
+
+func TestExactCounts(t *testing.T) {
+	const n = 1000
+	p := diamond(t, n)
+	prof, err := Collect(p)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	byLabel := map[string]uint64{}
+	for i, blk := range p.Blocks {
+		byLabel[blk.Label] = prof.ExecCount[i]
+	}
+	if byLabel["entry"] != 1 || byLabel["exit"] != 1 {
+		t.Errorf("entry/exit counts: %d/%d", byLabel["entry"], byLabel["exit"])
+	}
+	if byLabel["test"] != n || byLabel["latch"] != n {
+		t.Errorf("loop blocks: test=%d latch=%d, want %d", byLabel["test"], byLabel["latch"], n)
+	}
+	// Counter runs n..1; odd parities = 500 each for even n.
+	if byLabel["odd"] != n/2 || byLabel["even"] != n/2 {
+		t.Errorf("arms: odd=%d even=%d, want %d", byLabel["odd"], byLabel["even"], n/2)
+	}
+}
+
+func TestInstrCountConsistency(t *testing.T) {
+	p := diamond(t, 123)
+	prof, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for i, blk := range p.Blocks {
+		if prof.InstrCount[i] != prof.ExecCount[i]*uint64(blk.Len()) {
+			t.Errorf("block %s: instr %d != exec %d × len %d",
+				blk.Label, prof.InstrCount[i], prof.ExecCount[i], blk.Len())
+		}
+		sum += prof.InstrCount[i]
+	}
+	if sum != prof.NetInstructions {
+		t.Errorf("instruction mass: blocks sum %d, net %d", sum, prof.NetInstructions)
+	}
+	if prof.TakenBranches == 0 {
+		t.Error("no taken branches recorded")
+	}
+	if prof.Prog != p {
+		t.Error("profile does not reference its program")
+	}
+}

@@ -1,0 +1,120 @@
+// Package report renders experiment results as aligned plain-text and
+// Markdown tables, matching the row/column structure of the paper's
+// Tables 1-3 so outputs can be compared side by side with the original.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title and column headers.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Note is printed below the table (provenance, caveats).
+	Note string
+	// Headers are the column names; Headers[0] names the row-label column.
+	Headers []string
+	// Rows hold cells as pre-formatted strings.
+	Rows [][]string
+}
+
+// New creates an empty table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long rows
+// panic (a harness bug).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns",
+			len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Fmt formats a float with 3 significant digits, using "-" for NaN
+// sentinel values (negative errors are impossible; the harness passes -1
+// for unsupported cells).
+func Fmt(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// FmtFactor formats an improvement factor as "3.2x".
+func FmtFactor(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}

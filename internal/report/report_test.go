@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", "name", "value")
+	t.AddRow("alpha", "1.0")
+	t.AddRow("beta")
+	t.Note = "note line"
+	return t
+}
+
+func TestStringLayout(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "alpha") || !strings.Contains(lines[3], "1.0") {
+		t.Errorf("row = %q", lines[3])
+	}
+	if lines[5] != "note line" {
+		t.Errorf("note = %q", lines[5])
+	}
+	// Columns aligned: header and row "value" columns start at the same
+	// offset.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[3], "1.0")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: header %d, row %d", hIdx, rIdx)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{"### demo", "| name | value |", "|---|---|", "| alpha | 1.0 |", "note line"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestAddRowPadsAndPanics(t *testing.T) {
+	tbl := New("t", "a", "b", "c")
+	tbl.AddRow("x") // short row padded
+	if len(tbl.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tbl.Rows[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized row did not panic")
+		}
+	}()
+	tbl.AddRow("1", "2", "3", "4")
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if Fmt(-1) != "-" {
+		t.Error("negative sentinel")
+	}
+	if Fmt(0.12345) != "0.1234" && Fmt(0.12345) != "0.1235" {
+		t.Errorf("Fmt = %q", Fmt(0.12345))
+	}
+	if FmtFactor(3.25) != "3.2x" && FmtFactor(3.25) != "3.3x" {
+		t.Errorf("FmtFactor = %q", FmtFactor(3.25))
+	}
+	if FmtFactor(0) != "-" || FmtFactor(-2) != "-" {
+		t.Error("factor sentinel")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := New("", "only")
+	out := tbl.String()
+	if strings.Contains(out, "\n\n\n") {
+		t.Errorf("stray blank lines:\n%q", out)
+	}
+	if tbl.Markdown() == "" {
+		t.Error("empty markdown")
+	}
+}

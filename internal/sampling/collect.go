@@ -1,0 +1,152 @@
+package sampling
+
+import (
+	"fmt"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/program"
+)
+
+// Options controls one collection run.
+type Options struct {
+	// PeriodBase is the base sampling period in instructions; Table 3's
+	// example is 2,000,000 on real hardware. The experiment harness scales
+	// it down together with workload sizes (see internal/experiments).
+	PeriodBase uint64
+	// Seed seeds period randomization. Runs differing only in Seed model
+	// the paper's repeated measurements.
+	Seed uint64
+	// MaxInstrs bounds the simulated run as a safety net (0 = default).
+	MaxInstrs uint64
+	// LBRContention is the fraction of samples whose LBR snapshot is
+	// stolen by a concurrent call-stack-mode consumer (§6.2's collision
+	// concern). Zero for exclusive LBR ownership.
+	LBRContention float64
+}
+
+// Run is the outcome of sampling one workload on one machine with one
+// method.
+type Run struct {
+	// Machine is the platform the run executed on.
+	Machine machine.Machine
+	// Requested is the method as requested (registry form).
+	Requested Method
+	// Method is the method after lowering onto the machine.
+	Method Method
+	// Period is the effective programmed period in event units.
+	Period uint64
+	// Samples are the collected PMU samples.
+	Samples []pmu.Sample
+	// CPU is the hardware-truth run summary.
+	CPU cpu.Result
+	// Overflows and DroppedPMIs report collection health.
+	Overflows, DroppedPMIs uint64
+}
+
+// SampleCostCycles returns the modelled cost of collecting one sample:
+// one PMI (interrupt entry, handler, buffer write) plus, for
+// LBR-capturing configurations, the MSR reads for the full stack. The
+// constants live on the Machine and follow the Bitzes & Nowak overhead
+// study [38] the paper cites for the "overhead (in collection and
+// post-processing)" drawback of LBR methods (Table 3).
+func (r *Run) SampleCostCycles() uint64 {
+	perSample := r.Machine.PMICostCycles
+	switch {
+	case r.Method.UseLBRStack:
+		// Full-stack methods read every LBR entry pair.
+		perSample += uint64(r.Machine.LBRDepth) * r.Machine.LBRReadCostCycles
+	case r.Method.Fix == FixLBRTop:
+		// The IP+1 offset fix needs only the top entry (§6.2 suggests
+		// hardware could provide it for free).
+		perSample += r.Machine.LBRReadCostCycles
+	}
+	return perSample
+}
+
+// OverheadAtHWPeriod estimates collection overhead as a fraction of total
+// runtime when sampling every hwPeriod instructions on real hardware:
+// cost / (cost + inter-sample interval), with the interval derived from
+// the run's measured cycles-per-instruction.
+//
+// The hardware period is a parameter because the simulator runs scaled-
+// down workloads with proportionally scaled-down periods (DESIGN.md §2
+// "Scaling"); overhead, unlike the accuracy error, does not survive that
+// scaling and must be evaluated at the deployment period (the paper's
+// 2,000,000, or ~1ms of instructions).
+func (r *Run) OverheadAtHWPeriod(hwPeriod uint64) float64 {
+	if r.CPU.Instructions == 0 || hwPeriod == 0 {
+		return 0
+	}
+	cpi := float64(r.CPU.Cycles) / float64(r.CPU.Instructions)
+	interval := float64(hwPeriod) * cpi
+	cost := float64(r.SampleCostCycles())
+	return cost / (cost + interval)
+}
+
+// ErrUnsupported is wrapped in errors returned when a machine cannot run a
+// method (e.g. any LBR method on Magny-Cours).
+type ErrUnsupported struct {
+	Machine string
+	Method  string
+}
+
+// Error implements error.
+func (e *ErrUnsupported) Error() string {
+	return fmt.Sprintf("sampling: machine %s does not support method %s", e.Machine, e.Method)
+}
+
+// Collect runs p on mach while sampling with method m.
+func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*Run, error) {
+	resolved, ok := Resolve(m, mach)
+	if !ok {
+		return nil, &ErrUnsupported{Machine: mach.Name, Method: m.Key}
+	}
+	if opt.PeriodBase == 0 {
+		return nil, fmt.Errorf("sampling: zero period base")
+	}
+	period := EffectivePeriod(resolved, opt.PeriodBase)
+
+	rand := pmu.RandNone
+	if resolved.Randomize {
+		switch {
+		case resolved.Precision == pmu.PreciseIBS && mach.HasHW4LSBRandom:
+			// The AMD driver cannot randomize in software; IBS hardware
+			// randomizes the 4 LSBs instead (§4.2).
+			rand = pmu.RandHW4LSB
+		case mach.HasSWPeriodRandom:
+			rand = pmu.RandSoftware
+		}
+	}
+
+	cfg := pmu.Config{
+		Event:         resolved.Event,
+		Precision:     resolved.Precision,
+		Period:        period,
+		Rand:          rand,
+		SkidCycles:    mach.SkidCycles,
+		CaptureLBR:    resolved.NeedsLBR(),
+		LBRDepth:      mach.LBRDepth,
+		Seed:          opt.Seed,
+		FreqMode:      resolved.Adaptive,
+		LBRContention: opt.LBRContention,
+		HWExactIP:     mach.HasHWIPFix,
+	}
+	unit := pmu.New(cfg)
+
+	cpuRes, err := cpu.Run(p, mach.CPU, unit, opt.MaxInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: run %s on %s: %w", p.Name, mach.Name, err)
+	}
+	return &Run{
+		Machine:     mach,
+		Requested:   m,
+		Method:      resolved,
+		Period:      period,
+		Samples:     unit.Samples(),
+		CPU:         cpuRes,
+		Overflows:   unit.Overflows,
+		DroppedPMIs: unit.DroppedPMIs,
+	}, nil
+}

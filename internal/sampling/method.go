@@ -1,0 +1,273 @@
+// Package sampling is the event-based-sampling engine: it programs a
+// simulated PMU according to one of the paper's sampling methods (Table 3)
+// and collects samples from a workload run on a given machine.
+//
+// This package, together with internal/profile and internal/lbr, is the
+// reproduction of the paper's primary contribution: a harness that
+// measures how method choices (event precision, period primality, period
+// randomization, LBR usage) change basic-block profile accuracy.
+package sampling
+
+import (
+	"fmt"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/stats"
+)
+
+// IPFix selects the sample-address correction applied during attribution.
+type IPFix uint8
+
+const (
+	// FixNone attributes the recorded IP as-is.
+	FixNone IPFix = iota
+	// FixLBRTop undoes the precise-mechanism IP+1 using the top LBR
+	// entry: if the recorded IP equals the most recent branch target, the
+	// trigger was the branch source; otherwise it was the previous
+	// sequential instruction (§6.2, Table 3 "IP+1 offset fix").
+	FixLBRTop
+)
+
+// String returns the fix name.
+func (f IPFix) String() string {
+	switch f {
+	case FixNone:
+		return "none"
+	case FixLBRTop:
+		return "lbr-top"
+	default:
+		return "unknown"
+	}
+}
+
+// PeriodKind distinguishes round from prime sampling periods.
+type PeriodKind uint8
+
+const (
+	// PeriodRound uses the base period as-is (e.g. 2,000,000).
+	PeriodRound PeriodKind = iota
+	// PeriodPrime uses the smallest prime >= base (e.g. 2,000,003).
+	PeriodPrime
+)
+
+// String returns the kind name.
+func (k PeriodKind) String() string {
+	switch k {
+	case PeriodRound:
+		return "round"
+	case PeriodPrime:
+		return "prime"
+	default:
+		return "unknown"
+	}
+}
+
+// Method is one row of the paper's Table 3: a complete description of how
+// to sample and how to turn the samples into a basic-block profile.
+type Method struct {
+	// Key is the short stable identifier used in tables and flags.
+	Key string
+	// Name is the human-readable method name from Table 3.
+	Name string
+	// Event is the counted event.
+	Event pmu.Event
+	// Precision is the capture mechanism requested. The engine lowers it
+	// to what the machine supports (see Resolve).
+	Precision pmu.Precision
+	// PeriodKind selects round or prime periods.
+	PeriodKind PeriodKind
+	// Randomize requests software period randomization.
+	Randomize bool
+	// UseLBRStack makes profile construction consume full LBR stacks
+	// (the "LBR method"); the PMI address is ignored.
+	UseLBRStack bool
+	// Adaptive enables perf-style frequency mode: the period is retuned
+	// after every sample to hold a constant time between samples. Not a
+	// Table 3 row — mainline perf's default behaviour, provided for the
+	// freq-vs-fixed experiment (A7).
+	Adaptive bool
+	// Fix is the attribution-time IP correction.
+	Fix IPFix
+	// Comment is the Table 3 "Comments" column.
+	Comment string
+	// Drawback is the Table 3 "Drawbacks" column.
+	Drawback string
+}
+
+// NeedsLBR reports whether the method requires an LBR facility.
+func (m Method) NeedsLBR() bool { return m.UseLBRStack || m.Fix == FixLBRTop }
+
+// String implements fmt.Stringer.
+func (m Method) String() string { return m.Key }
+
+// Registry returns the paper's method taxonomy (Table 3), leftmost
+// (classic) to rightmost (LBR), in the order the results tables use.
+func Registry() []Method {
+	return []Method{
+		{
+			Key:        "classic",
+			Name:       "Default (classic)",
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.Imprecise,
+			PeriodKind: PeriodRound,
+			Comment:    "Used by default in many tools. Uses a fixed-function counter to free up general counters.",
+			Drawback:   "The period is fixed and round which increases the risk of synchronization; the hardware event is imprecise.",
+		},
+		{
+			Key:        "precise",
+			Name:       "Precise event",
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.PrecisePEBS,
+			PeriodKind: PeriodRound,
+			Comment:    "Uses a precise mechanism to capture the event location (IP+1).",
+			Drawback:   "The distribution of samples is not guaranteed.",
+		},
+		{
+			Key:        "precise+rand",
+			Name:       "Precise event with randomization",
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.PrecisePEBS,
+			PeriodKind: PeriodRound,
+			Randomize:  true,
+			Comment:    "A randomized sampling period to avoid synchronization risk.",
+			Drawback:   "The distribution of samples is not guaranteed.",
+		},
+		{
+			Key:        "precise+prime",
+			Name:       "Precise event with prime period",
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.PrecisePEBS,
+			PeriodKind: PeriodPrime,
+			Comment:    "Prime periods reduce resonance which leads to improved accuracy.",
+			Drawback:   "Lack of randomization; overall low accuracy in cases like the Latency-Biased kernel.",
+		},
+		{
+			Key:        "precise+prime+rand",
+			Name:       "Precise event with randomized prime period",
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.PrecisePEBS,
+			PeriodKind: PeriodPrime,
+			Randomize:  true,
+			Comment:    "Randomization applied on the prime period further improves accuracy.",
+			Drawback:   "Still overall low accuracy in some cases.",
+		},
+		{
+			Key:        "pdir+ipfix",
+			Name:       "Precise event with distribution fix plus IP+1 offset fix",
+			Event:      pmu.EvInstRetired,
+			Precision:  pmu.PreciseDist,
+			PeriodKind: PeriodPrime,
+			Randomize:  true,
+			Fix:        FixLBRTop,
+			Comment:    "The top address from the LBR backtrace determines which basic block the trigger occurred in, fixing IP+1.",
+			Drawback:   "Good for large basic blocks; some inaccuracies for small ones.",
+		},
+		{
+			Key:         "lbr",
+			Name:        "Last Branch Record",
+			Event:       pmu.EvBrTaken,
+			Precision:   pmu.Imprecise,
+			PeriodKind:  PeriodPrime,
+			UseLBRStack: true,
+			Comment:     "Full LBR-based basic block execution count accounting.",
+			Drawback:    "Per-block errors can still reach 30-50% for some blocks; collection and post-processing overhead.",
+		},
+	}
+}
+
+// FreqMode returns the perf-default frequency-mode variant of the classic
+// method: imprecise event, period retuned to a constant sample rate. It
+// is not part of Table 3; experiment A7 contrasts it with fixed periods.
+func FreqMode() Method {
+	return Method{
+		Key:        "freq",
+		Name:       "Frequency mode (perf default)",
+		Event:      pmu.EvInstRetired,
+		Precision:  pmu.Imprecise,
+		PeriodKind: PeriodRound,
+		Adaptive:   true,
+		Comment:    "perf -F style: period feedback targets a constant time between samples (~1ms on hardware).",
+		Drawback:   "Sampling becomes time-uniform: the profile measures cycles, not instruction counts, biasing blocks by their CPI.",
+	}
+}
+
+// MethodByKey returns the registry method with the given key.
+func MethodByKey(key string) (Method, error) {
+	for _, m := range Registry() {
+		if m.Key == key {
+			return m, nil
+		}
+	}
+	return Method{}, fmt.Errorf("sampling: unknown method %q", key)
+}
+
+// Resolve lowers a method onto a machine, returning the effective method
+// and whether the machine can run it at all.
+//
+// Lowering mirrors §4.2 of the paper:
+//   - PEBS/PDIR on AMD degrade to IBS (the only precise mechanism there),
+//     which counts *uops* rather than instructions, and — being a
+//     hardware facility — applies 4-LSB hardware period randomization
+//     whenever randomization is requested (software randomization was
+//     unavailable in the AMD driver).
+//   - PDIR on Westmere degrades to plain PEBS (no PREC_DIST event).
+//   - LBR methods and the LBR-top IP fix require an LBR facility; AMD
+//     cannot run them.
+func Resolve(m Method, mach machine.Machine) (Method, bool) {
+	switch m.Precision {
+	case pmu.PrecisePEBS, pmu.PreciseDist:
+		if mach.Vendor == machine.AMD {
+			if !mach.HasIBS {
+				return m, false
+			}
+			m.Precision = pmu.PreciseIBS
+			m.Event = pmu.EvUopsRetired
+		} else if m.Precision == pmu.PreciseDist && !mach.HasPDIR {
+			m.Precision = pmu.PrecisePEBS
+		}
+	case pmu.PreciseIBS:
+		if !mach.HasIBS {
+			return m, false
+		}
+	}
+	// On hardware with the §6.2 exact-IP fix, precise records already
+	// carry the trigger IP: the LBR-based software fix is unnecessary
+	// (and would mis-correct), so it is dropped — along with the LBR
+	// capture it required.
+	if mach.HasHWIPFix && m.Fix == FixLBRTop {
+		m.Fix = FixNone
+	}
+	if m.NeedsLBR() && !mach.HasLBR {
+		return m, false
+	}
+	return m, true
+}
+
+// EffectivePeriod computes the period the PMU is programmed with: the base
+// adjusted for kind (prime periods take the next prime >= base) and for
+// the event unit (uop-based events scale the period by the typical
+// uops-per-instruction ratio so sample counts stay comparable).
+func EffectivePeriod(m Method, base uint64) uint64 {
+	p := base
+	switch m.Event {
+	case pmu.EvUopsRetired:
+		// Tools using uop events scale the period by an assumed
+		// uops-per-instruction ratio to keep the sampling rate similar.
+		// 1.25 is the conventional estimate.
+		p = p * 5 / 4
+	case pmu.EvBrTaken:
+		// Taken-branch periods are scaled by the typical enterprise
+		// instructions-per-taken-branch ratio (~8, within the 6-12 band
+		// of Yasin et al. [13]) so the PMI rate matches the other
+		// methods.
+		p = base / 8
+		if p == 0 {
+			p = 1
+		}
+	}
+	if m.PeriodKind == PeriodPrime {
+		p = stats.NextPrime(p)
+	}
+	return p
+}

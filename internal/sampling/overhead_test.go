@@ -1,0 +1,65 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/machine"
+)
+
+func TestSampleCostCycles(t *testing.T) {
+	mach := machine.IvyBridge()
+	mkRun := func(key string) *Run {
+		m, err := MethodByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolved, _ := Resolve(m, mach)
+		return &Run{Machine: mach, Method: resolved}
+	}
+	plain := mkRun("precise").SampleCostCycles()
+	fixed := mkRun("pdir+ipfix").SampleCostCycles()
+	full := mkRun("lbr").SampleCostCycles()
+	if plain != mach.PMICostCycles {
+		t.Errorf("plain cost = %d, want %d", plain, mach.PMICostCycles)
+	}
+	if fixed != mach.PMICostCycles+mach.LBRReadCostCycles {
+		t.Errorf("ipfix cost = %d", fixed)
+	}
+	if full != mach.PMICostCycles+uint64(mach.LBRDepth)*mach.LBRReadCostCycles {
+		t.Errorf("full-LBR cost = %d", full)
+	}
+	if !(plain < fixed && fixed < full) {
+		t.Error("cost ordering broken")
+	}
+}
+
+func TestOverheadAtHWPeriod(t *testing.T) {
+	mach := machine.IvyBridge()
+	m, _ := MethodByKey("precise")
+	resolved, _ := Resolve(m, mach)
+	run := &Run{
+		Machine: mach,
+		Method:  resolved,
+		CPU:     cpu.Result{Instructions: 1_000_000, Cycles: 1_000_000}, // CPI 1
+	}
+	// At period 2M and CPI 1: cost/(cost+2M).
+	cost := float64(mach.PMICostCycles)
+	want := cost / (cost + 2_000_000)
+	if got := run.OverheadAtHWPeriod(2_000_000); math.Abs(got-want) > 1e-12 {
+		t.Errorf("overhead = %v, want %v", got, want)
+	}
+	// Degenerate inputs.
+	if run.OverheadAtHWPeriod(0) != 0 {
+		t.Error("zero period overhead")
+	}
+	empty := &Run{Machine: mach, Method: resolved}
+	if empty.OverheadAtHWPeriod(1000) != 0 {
+		t.Error("zero-instruction overhead")
+	}
+	// Monotone: longer periods, less overhead.
+	if run.OverheadAtHWPeriod(1_000_000) <= run.OverheadAtHWPeriod(4_000_000) {
+		t.Error("overhead not monotone in period")
+	}
+}

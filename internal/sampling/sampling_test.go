@@ -1,0 +1,277 @@
+package sampling
+
+import (
+	"errors"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/program"
+	"pmutrust/internal/stats"
+)
+
+func TestRegistryMatchesTable3(t *testing.T) {
+	reg := Registry()
+	wantKeys := []string{"classic", "precise", "precise+rand", "precise+prime",
+		"precise+prime+rand", "pdir+ipfix", "lbr"}
+	if len(reg) != len(wantKeys) {
+		t.Fatalf("registry size = %d", len(reg))
+	}
+	for i, want := range wantKeys {
+		m := reg[i]
+		if m.Key != want {
+			t.Errorf("method %d = %s, want %s", i, m.Key, want)
+		}
+		if m.Name == "" || m.Comment == "" || m.Drawback == "" {
+			t.Errorf("%s missing Table 3 text", m.Key)
+		}
+	}
+	// Spot-check the Table 3 semantics.
+	classic := reg[0]
+	if classic.Precision != pmu.Imprecise || classic.PeriodKind != PeriodRound || classic.Randomize {
+		t.Error("classic method parameters wrong")
+	}
+	pdir := reg[5]
+	if pdir.Precision != pmu.PreciseDist || pdir.Fix != FixLBRTop || pdir.PeriodKind != PeriodPrime {
+		t.Error("pdir+ipfix parameters wrong")
+	}
+	lbrM := reg[6]
+	if !lbrM.UseLBRStack || lbrM.Event != pmu.EvBrTaken {
+		t.Error("lbr parameters wrong")
+	}
+}
+
+func TestMethodByKey(t *testing.T) {
+	m, err := MethodByKey("precise+prime")
+	if err != nil || m.PeriodKind != PeriodPrime {
+		t.Errorf("MethodByKey: %v %v", m, err)
+	}
+	if _, err := MethodByKey("bogus"); err == nil {
+		t.Error("bogus key accepted")
+	}
+}
+
+func TestResolveLowering(t *testing.T) {
+	amd := machine.MagnyCours()
+	wsm := machine.Westmere()
+	ivb := machine.IvyBridge()
+
+	// PEBS on AMD lowers to IBS with uop event.
+	precise, _ := MethodByKey("precise")
+	r, ok := Resolve(precise, amd)
+	if !ok || r.Precision != pmu.PreciseIBS || r.Event != pmu.EvUopsRetired {
+		t.Errorf("precise on AMD = %+v ok=%v", r, ok)
+	}
+	// PDIR on Westmere lowers to PEBS... but pdir+ipfix needs LBR, which
+	// Westmere has, so it stays runnable with PEBS precision.
+	pdir, _ := MethodByKey("pdir+ipfix")
+	r, ok = Resolve(pdir, wsm)
+	if !ok || r.Precision != pmu.PrecisePEBS {
+		t.Errorf("pdir on Westmere = %+v ok=%v", r, ok)
+	}
+	// PDIR on IvyBridge stays PDIR.
+	r, ok = Resolve(pdir, ivb)
+	if !ok || r.Precision != pmu.PreciseDist {
+		t.Errorf("pdir on IvyBridge = %+v ok=%v", r, ok)
+	}
+	// LBR methods are impossible on AMD.
+	lbrM, _ := MethodByKey("lbr")
+	if _, ok := Resolve(lbrM, amd); ok {
+		t.Error("lbr resolved on MagnyCours")
+	}
+	if _, ok := Resolve(pdir, amd); ok {
+		t.Error("pdir+ipfix (needs LBR) resolved on MagnyCours")
+	}
+	// Everything resolves on IvyBridge.
+	for _, m := range Registry() {
+		if _, ok := Resolve(m, ivb); !ok {
+			t.Errorf("%s does not resolve on IvyBridge", m.Key)
+		}
+	}
+}
+
+func TestEffectivePeriod(t *testing.T) {
+	precise, _ := MethodByKey("precise")
+	if got := EffectivePeriod(precise, 2000); got != 2000 {
+		t.Errorf("round period = %d", got)
+	}
+	prime, _ := MethodByKey("precise+prime")
+	if got := EffectivePeriod(prime, 2000); got != 2003 {
+		t.Errorf("prime period = %d", got)
+	}
+	if got := EffectivePeriod(prime, 2_000_000); got != 2_000_003 {
+		t.Errorf("paper prime period = %d", got)
+	}
+	// Uop events scale by 1.25.
+	ibs := prime
+	ibs.Event = pmu.EvUopsRetired
+	if got := EffectivePeriod(ibs, 2000); got != stats.NextPrime(2500) {
+		t.Errorf("uop period = %d", got)
+	}
+	// Taken-branch events scale by 1/8.
+	lbrM, _ := MethodByKey("lbr")
+	if got := EffectivePeriod(lbrM, 2000); got != stats.NextPrime(250) {
+		t.Errorf("taken period = %d", got)
+	}
+	if got := EffectivePeriod(lbrM, 4); got < 1 {
+		t.Errorf("tiny period = %d", got)
+	}
+}
+
+// loopProgram is a small deterministic workload for collection tests.
+func loopProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("loop")
+	f := b.Func("main")
+	e := f.Block("entry")
+	e.Movi(1, 50_000)
+	l := f.Block("loop")
+	l.Addi(2, 2, 1)
+	l.Xor(3, 3, 2)
+	l.Addi(1, 1, -1)
+	l.Cmpi(1, 0)
+	l.Jnz("loop")
+	f.Block("exit").Halt()
+	return b.MustBuild()
+}
+
+func TestCollectBasics(t *testing.T) {
+	p := loopProgram(t)
+	m, _ := MethodByKey("precise+prime")
+	run, err := Collect(p, machine.IvyBridge(), m, Options{PeriodBase: 1000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if run.Period != 1009 {
+		t.Errorf("period = %d, want 1009", run.Period)
+	}
+	if len(run.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	wantSamples := int(run.CPU.Instructions / run.Period)
+	got := len(run.Samples)
+	if got < wantSamples-2 || got > wantSamples+2 {
+		t.Errorf("samples = %d, want ~%d", got, wantSamples)
+	}
+	for _, s := range run.Samples {
+		if int(s.IP) >= len(p.Code) {
+			t.Fatalf("sample IP %d out of code range", s.IP)
+		}
+	}
+}
+
+func TestCollectUnsupported(t *testing.T) {
+	p := loopProgram(t)
+	m, _ := MethodByKey("lbr")
+	_, err := Collect(p, machine.MagnyCours(), m, Options{PeriodBase: 1000, Seed: 1})
+	var unsup *ErrUnsupported
+	if !errors.As(err, &unsup) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	if unsup.Machine != "MagnyCours" || unsup.Method != "lbr" {
+		t.Errorf("ErrUnsupported fields: %+v", unsup)
+	}
+}
+
+func TestCollectZeroPeriodRejected(t *testing.T) {
+	p := loopProgram(t)
+	m, _ := MethodByKey("classic")
+	if _, err := Collect(p, machine.IvyBridge(), m, Options{Seed: 1}); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestCollectDeterminism(t *testing.T) {
+	p := loopProgram(t)
+	m, _ := MethodByKey("precise+prime+rand")
+	a, err := Collect(p, machine.IvyBridge(), m, Options{PeriodBase: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(p, machine.IvyBridge(), m, Options{PeriodBase: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].IP != b.Samples[i].IP || a.Samples[i].Cycle != b.Samples[i].Cycle {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	// Different seed must (with randomization) give a different stream.
+	c, err := Collect(p, machine.IvyBridge(), m, Options{PeriodBase: 1000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < len(a.Samples) && i < len(c.Samples); i++ {
+		if a.Samples[i].IP != c.Samples[i].IP {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Samples) == len(c.Samples) {
+		t.Error("different seeds produced identical randomized runs")
+	}
+}
+
+func TestCollectLBRCaptures(t *testing.T) {
+	p := loopProgram(t)
+	m, _ := MethodByKey("lbr")
+	run, err := Collect(p, machine.Westmere(), m, Options{PeriodBase: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, s := range run.Samples {
+		if len(s.LBR) == 0 {
+			t.Fatal("LBR method sample without stack")
+		}
+		if len(s.LBR) > machine.Westmere().LBRDepth {
+			t.Fatalf("stack deeper than hardware: %d", len(s.LBR))
+		}
+	}
+}
+
+func TestAMDRandomizationUsesHW4LSB(t *testing.T) {
+	p := loopProgram(t)
+	m, _ := MethodByKey("precise+prime+rand")
+	run, err := Collect(p, machine.MagnyCours(), m, Options{PeriodBase: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Method.Precision != pmu.PreciseIBS {
+		t.Errorf("resolved precision = %s", run.Method.Precision)
+	}
+	// The displaced-tag model must fire at least sometimes.
+	displaced := 0
+	for _, s := range run.Samples {
+		if s.IP != s.TriggerIP {
+			displaced++
+		}
+	}
+	if displaced == 0 {
+		t.Error("AMD hw randomization produced no displaced tags")
+	}
+}
+
+func TestStringersAndHelpers(t *testing.T) {
+	if FixNone.String() == "" || FixLBRTop.String() == "" || IPFix(9).String() != "unknown" {
+		t.Error("IPFix strings")
+	}
+	if PeriodRound.String() != "round" || PeriodPrime.String() != "prime" || PeriodKind(9).String() != "unknown" {
+		t.Error("PeriodKind strings")
+	}
+	m, _ := MethodByKey("lbr")
+	if !m.NeedsLBR() || m.String() != "lbr" {
+		t.Error("method helpers")
+	}
+	m, _ = MethodByKey("classic")
+	if m.NeedsLBR() {
+		t.Error("classic needs LBR?")
+	}
+}

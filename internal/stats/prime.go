@@ -1,0 +1,115 @@
+package stats
+
+import "math/bits"
+
+// Primality utilities.
+//
+// The paper's Table 3 distinguishes "round" sampling periods (2,000,000)
+// from prime periods (2,000,003): primes cannot resonate with loop trip
+// counts whose dynamic instruction footprint divides the period. The
+// sampling engine uses NextPrime to derive a prime period from any round
+// base, exactly like a careful perf user would.
+
+// IsPrime reports whether n is prime. Deterministic for all uint64 via a
+// Miller-Rabin test with a fixed witness set proven sufficient for 64-bit
+// integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	// n is odd and > 37 here. Write n-1 = d * 2^s.
+	d := n - 1
+	s := 0
+	for d%2 == 0 {
+		d /= 2
+		s++
+	}
+	// These witnesses are sufficient for all n < 2^64 (Sinclair 2011).
+	for _, a := range []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
+		if !millerRabinWitness(n, a%n, d, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// millerRabinWitness reports whether n passes one Miller-Rabin round with
+// witness a, where n-1 = d * 2^s. a may be 0 (trivially passes).
+func millerRabinWitness(n, a, d uint64, s int) bool {
+	if a == 0 {
+		return true
+	}
+	x := powMod(a, d, n)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := 0; i < s-1; i++ {
+		x = mulMod(x, x, n)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// mulMod returns (a*b) mod m without overflow using 128-bit arithmetic.
+// Callers guarantee a, b < m, so the 128-bit product's high word is below
+// m and bits.Div64 cannot panic.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi == 0 {
+		return lo % m
+	}
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// powMod returns a^e mod m.
+func powMod(a, e, m uint64) uint64 {
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, a, m)
+		}
+		a = mulMod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// NextPrime returns the smallest prime >= n. For n <= 2 it returns 2.
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// PrevPrime returns the largest prime <= n. It panics if n < 2.
+func PrevPrime(n uint64) uint64 {
+	if n < 2 {
+		panic("stats: PrevPrime with n < 2")
+	}
+	if n == 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n--
+	}
+	for !IsPrime(n) {
+		n -= 2
+	}
+	return n
+}

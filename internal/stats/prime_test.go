@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		17: true, 19: true, 23: true, 29: true, 31: true, 37: true,
+		41: true, 97: true, 101: true,
+	}
+	for n := uint64(0); n <= 101; n++ {
+		want := primes[n]
+		if !want {
+			// Trial division for the expected value.
+			if n >= 2 {
+				want = true
+				for d := uint64(2); d*d <= n; d++ {
+					if n%d == 0 {
+						want = false
+						break
+					}
+				}
+			}
+		}
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimePaperPeriods(t *testing.T) {
+	// The paper's Table 3 example values.
+	if IsPrime(2_000_000) {
+		t.Error("2,000,000 reported prime")
+	}
+	if !IsPrime(2_000_003) {
+		t.Error("2,000,003 reported composite")
+	}
+}
+
+func TestIsPrimeLarge(t *testing.T) {
+	cases := map[uint64]bool{
+		1<<61 - 1:            true,  // Mersenne prime
+		1<<62 - 1:            false, // 3 · 715827883 · 2147483647
+		18446744073709551557: true,  // largest 64-bit prime
+		18446744073709551556: false,
+		4294967291:           true, // largest 32-bit prime
+		4294967295:           false,
+		1000000007:           true,
+		1000000007 * 2:       false,
+		999999999999999989:   true,
+	}
+	for n, want := range cases {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[uint64]uint64{
+		0: 2, 1: 2, 2: 2, 3: 3, 4: 5, 8: 11, 9: 11,
+		2_000_000: 2_000_003,
+		2500:      2503,
+		250:       251,
+		500:       503,
+	}
+	for n, want := range cases {
+		if got := NextPrime(n); got != want {
+			t.Errorf("NextPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPrevPrime(t *testing.T) {
+	cases := map[uint64]uint64{
+		2: 2, 3: 3, 4: 3, 10: 7, 100: 97, 2_000_003: 2_000_003, 2_000_002: 1_999_993,
+	}
+	for n, want := range cases {
+		if got := PrevPrime(n); got != want {
+			t.Errorf("PrevPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPrevPrimePanicsBelow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PrevPrime(1) did not panic")
+		}
+	}()
+	PrevPrime(1)
+}
+
+// Property: NextPrime(n) >= n, is prime, and no prime exists in between.
+func TestQuickNextPrime(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := uint64(raw%10_000_000) + 2
+		p := NextPrime(n)
+		if p < n || !IsPrime(p) {
+			return false
+		}
+		for k := n; k < p; k++ {
+			if IsPrime(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Miller-Rabin agrees with trial division up to 100k.
+func TestIsPrimeAgainstTrialDivision(t *testing.T) {
+	for n := uint64(2); n < 100_000; n++ {
+		want := true
+		for d := uint64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				want = false
+				break
+			}
+		}
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMulModPowMod(t *testing.T) {
+	// Check against direct computation with small moduli.
+	for _, m := range []uint64{7, 97, 1009} {
+		for a := uint64(0); a < 50; a++ {
+			for b := uint64(0); b < 50; b++ {
+				if got := mulMod(a, b, m); got != a*b%m {
+					t.Fatalf("mulMod(%d,%d,%d) = %d, want %d", a, b, m, got, a*b%m)
+				}
+			}
+		}
+	}
+	// Large operands (mulMod requires operands already reduced mod m):
+	// with m = 2^61-1, (m-1)^2 ≡ 1 (mod m).
+	m := uint64(1<<61 - 1)
+	if got := mulMod(m-1, m-1, m); got != 1 {
+		t.Errorf("mulMod(m-1, m-1, m) = %d, want 1", got)
+	}
+	if got := powMod(2, 61, m); got != 1 {
+		t.Errorf("powMod(2, 61, 2^61-1) = %d, want 1 (Fermat)", got)
+	}
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import "pmutrust/internal/program"
+
+// Application analogs (§4.3.5). Each configuration below reproduces the
+// profile-relevant characteristics of its namesake; the table in DESIGN.md
+// records the substitution rationale. The SPEC subset is the non-HPC
+// C/C++ benchmarks the paper selects as enterprise proxies (mcf, povray,
+// omnetpp, xalancbmk), plus the CERN FullCMS production workload.
+func init() {
+	register(Spec{
+		Name: "mcf",
+		Kind: App,
+		Description: "429.mcf analog: network-simplex pointer chasing — dependent " +
+			"load chains dominating the cycle budget, modest branchiness, INT only.",
+		Build: func(scale float64) *program.Program {
+			return Generate(GenConfig{
+				Name:            "mcf",
+				Seed:            0x6d6366, // "mcf"
+				OuterIters:      55_000,
+				Services:        6,
+				ZipfSkew:        1.2,
+				Depth:           2,
+				FuncsPerLevel:   5,
+				DiamondsMin:     2,
+				DiamondsMax:     4,
+				BodyMin:         3,
+				BodyMax:         9,
+				FPFrac:          0,
+				DivFrac:         0.01,
+				LoadFrac:        0.30,
+				CallProb:        0.4,
+				InnerLoopProb:   0.3,
+				InnerIters:      6,
+				PointerChase:    6,
+				ChaseTableWords: 1 << 14,
+			}, scale)
+		},
+	})
+	register(Spec{
+		Name: "povray",
+		Kind: App,
+		Description: "453.povray analog: ray tracing — FP-heavy medium blocks, " +
+			"shallow call trees, occasional long-latency divides.",
+		Build: func(scale float64) *program.Program {
+			return Generate(GenConfig{
+				Name:          "povray",
+				Seed:          0x706f76, // "pov"
+				OuterIters:    45_000,
+				Services:      8,
+				ZipfSkew:      1.1,
+				Depth:         2,
+				FuncsPerLevel: 6,
+				DiamondsMin:   2,
+				DiamondsMax:   5,
+				BodyMin:       6,
+				BodyMax:       16,
+				FPFrac:        0.55,
+				DivFrac:       0.04,
+				LoadFrac:      0.10,
+				CallProb:      0.35,
+				InnerLoopProb: 0.5,
+				InnerIters:    8,
+			}, scale)
+		},
+	})
+	register(Spec{
+		Name: "omnetpp",
+		Kind: App,
+		Description: "471.omnetpp analog: discrete event simulation — INT, heavy " +
+			"dispatch, medium call depth, queue-like loads.",
+		Build: func(scale float64) *program.Program {
+			return Generate(GenConfig{
+				Name:          "omnetpp",
+				Seed:          0x6f6d6e, // "omn"
+				OuterIters:    60_000,
+				Services:      12,
+				ZipfSkew:      1.3,
+				Depth:         3,
+				FuncsPerLevel: 8,
+				DiamondsMin:   2,
+				DiamondsMax:   4,
+				BodyMin:       3,
+				BodyMax:       8,
+				FPFrac:        0.02,
+				DivFrac:       0.01,
+				LoadFrac:      0.20,
+				CallProb:      0.45,
+				InnerLoopProb: 0.25,
+				InnerIters:    4,
+			}, scale)
+		},
+	})
+	register(Spec{
+		Name: "xalancbmk",
+		Kind: App,
+		Description: "483.xalancbmk analog: XSLT transformation — extremely branchy " +
+			"short blocks, wide dispatch ladders, long-tail hotness.",
+		Build: func(scale float64) *program.Program {
+			return Generate(GenConfig{
+				Name:          "xalancbmk",
+				Seed:          0x78616c, // "xal"
+				OuterIters:    65_000,
+				Services:      16,
+				ZipfSkew:      1.4,
+				Depth:         3,
+				FuncsPerLevel: 10,
+				DiamondsMin:   3,
+				DiamondsMax:   6,
+				BodyMin:       2,
+				BodyMax:       5,
+				FPFrac:        0,
+				DivFrac:       0.005,
+				LoadFrac:      0.15,
+				CallProb:      0.5,
+				InnerLoopProb: 0.2,
+				InnerIters:    3,
+			}, scale)
+		},
+	})
+	register(Spec{
+		Name: "FullCMS",
+		Kind: App,
+		Description: "CERN FullCMS analog: Geant4 detector simulation — deep chains " +
+			"of small fragmented FP methods; callchain-like periodic call structure " +
+			"(the case where pure LBR stops paying off, §5.2).",
+		Build: func(scale float64) *program.Program {
+			return Generate(GenConfig{
+				Name:          "FullCMS",
+				Seed:          0x636d73, // "cms"
+				OuterIters:    12_000,
+				Services:      10,
+				ZipfSkew:      1.15,
+				Depth:         5,
+				FuncsPerLevel: 8,
+				DiamondsMin:   1,
+				DiamondsMax:   3,
+				BodyMin:       3,
+				BodyMax:       8,
+				FPFrac:        0.35,
+				DivFrac:       0.02,
+				LoadFrac:      0.12,
+				CallProb:      0.65,
+				InnerLoopProb: 0.15,
+				InnerIters:    4,
+				// The hot stepping loop: a deterministic 8-deep chain of
+				// short methods run several times per event, giving the
+				// workload its callchain-kernel character (§5.2).
+				Chain: &ChainConfig{Depth: 8, Work: 6, Iters: 5},
+			}, scale)
+		},
+	})
+}

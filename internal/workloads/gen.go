@@ -1,0 +1,389 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+	"pmutrust/internal/stats"
+)
+
+// GenConfig parameterizes the synthetic application generator. Each field
+// maps to a profile-relevant characteristic of the workload being
+// imitated; see apps.go for the five paper configurations.
+type GenConfig struct {
+	// Name names the generated program.
+	Name string
+	// Seed makes the generated CFG deterministic.
+	Seed uint64
+	// OuterIters is the base trip count of the main driver loop (scaled
+	// by Spec.Build's scale argument).
+	OuterIters int
+	// Services is the number of top-level "service" functions the driver
+	// dispatches into (the workload's visible hotspots).
+	Services int
+	// ZipfSkew shapes service hotness: higher values concentrate time in
+	// fewer services (enterprise long-tail profiles use ~1.1-1.5).
+	ZipfSkew float64
+	// Depth is the maximum call depth below a service (FullCMS uses deep
+	// chains of short methods; povray stays shallow).
+	Depth int
+	// FuncsPerLevel is how many distinct functions exist at each level
+	// below the services.
+	FuncsPerLevel int
+	// DiamondsMin/Max bound the number of if/else diamonds per function:
+	// the block-fragmentation knob.
+	DiamondsMin, DiamondsMax int
+	// BodyMin/Max bound the straight-line instruction count of each
+	// diamond arm; small values produce the 6-12 instructions-per-taken-
+	// branch enterprise signature.
+	BodyMin, BodyMax int
+	// FPFrac, DivFrac, LoadFrac set the body instruction mix (remaining
+	// fraction is single-cycle ALU).
+	FPFrac, DivFrac, LoadFrac float64
+	// CallProb is the chance a diamond join calls into the next level.
+	CallProb float64
+	// InnerLoopProb is the chance a function contains a small counted
+	// inner loop; InnerIters is its trip count.
+	InnerLoopProb float64
+	// InnerIters is the inner loop trip count.
+	InnerIters int
+	// PointerChase, when positive, adds a dependent-load chain of this
+	// length to every driver iteration (the mcf signature), walking a
+	// permutation initialized at startup.
+	PointerChase int
+	// ChaseTableWords is the pointer-chase table size (power of two).
+	ChaseTableWords int
+	// Chain, when non-nil, embeds a deterministic deep call chain invoked
+	// every driver iteration — the FullCMS signature: a hot, periodic
+	// stepping loop of short methods (the "similar characteristics to the
+	// callchain kernel" of §5.2) layered over the fragmented long tail.
+	Chain *ChainConfig
+}
+
+// ChainConfig describes the embedded periodic call chain.
+type ChainConfig struct {
+	// Depth is the number of chained functions.
+	Depth int
+	// Work is the straight-line instruction count per chain function.
+	Work int
+	// Iters is how many times the chain runs per driver iteration.
+	Iters int
+}
+
+// Registers used by generated code, in addition to the kernel conventions.
+const (
+	rGA    = isa.Reg(0) // general accumulators
+	rGB    = isa.Reg(1)
+	rGC    = isa.Reg(2)
+	rGD    = isa.Reg(3)
+	rChase = isa.Reg(4) // pointer-chase cursor
+	rTmp2  = isa.Reg(5)
+	rMask  = isa.Reg(6) // dispatch mask constant
+	rInner = isa.Reg(10)
+	rIdx   = isa.Reg(11)
+)
+
+// Generate builds a synthetic application program from cfg at the given
+// scale. The static CFG depends only on cfg (including Seed); scale
+// changes the driver trip count alone.
+func Generate(cfg GenConfig, scale float64) *program.Program {
+	g := &generator{
+		cfg: cfg,
+		rng: stats.NewRNG(cfg.Seed),
+		b:   program.NewBuilder(cfg.Name),
+	}
+	return g.build(scale)
+}
+
+type generator struct {
+	cfg      GenConfig
+	rng      *stats.RNG
+	b        *program.Builder
+	shiftCtr int64
+}
+
+// nextShift cycles through LCG bit positions so distinct branch sites test
+// pseudo-independent bits.
+func (g *generator) nextShift() int64 {
+	g.shiftCtr++
+	return 1 + (g.shiftCtr*7)%53
+}
+
+func (g *generator) build(scale float64) *program.Program {
+	cfg := g.cfg
+	n := iters(cfg.OuterIters, scale)
+
+	// Plan the function name grid before emitting anything: level 0 are
+	// the services, deeper levels are shared helpers.
+	names := make([][]string, cfg.Depth+1)
+	for lvl := 0; lvl <= cfg.Depth; lvl++ {
+		count := cfg.FuncsPerLevel
+		if lvl == 0 {
+			count = cfg.Services
+		}
+		for i := 0; i < count; i++ {
+			names[lvl] = append(names[lvl], fmt.Sprintf("L%d_f%d", lvl, i))
+		}
+	}
+
+	g.emitMain(n, names[0])
+	if cfg.Chain != nil {
+		g.emitChain(*cfg.Chain)
+	}
+	for lvl := 0; lvl <= cfg.Depth; lvl++ {
+		var callees []string
+		if lvl < cfg.Depth {
+			callees = names[lvl+1]
+		}
+		for _, name := range names[lvl] {
+			g.emitFunction(name, lvl, callees)
+		}
+	}
+	if cfg.PointerChase > 0 {
+		g.emitChaseSetup()
+	}
+	return g.b.MustBuild()
+}
+
+// emitMain builds the driver: init, optional pointer-chase setup call, a
+// Zipf-dispatched service call per iteration, optional chase chain, latch.
+func (g *generator) emitMain(n int64, services []string) {
+	cfg := g.cfg
+	f := g.b.Func("main")
+
+	entry := f.Block("entry")
+	entry.Movi(rN, n)
+	entry.Movi(rGA, 0x5bd1e995)
+	entry.Movi(rGB, 3)
+	entry.Movi(rGC, 0x27d4eb2f)
+	entry.Movi(rGD, 7)
+	entry.Movi(rMask, 1023)
+	lcgInit(entry, int64(cfg.Seed|1))
+	if cfg.PointerChase > 0 {
+		entry.Movi(rChase, 1)
+		entry.Call("chaseSetup")
+	}
+
+	loop := f.Block("loop")
+	lcgStep(loop)
+	if cfg.Chain != nil {
+		loop.Call("stepping")
+	}
+	loop.Shr(rT0, rLCG, 3)
+	loop.And(rT0, rT0, rMask)
+
+	// Dispatch ladder: service k handles rT0 in [thresh[k-1], thresh[k]).
+	// Thresholds follow the Zipf CDF over 0..1023, so service 0 is the
+	// hottest. Produces the short compare-and-branch blocks typical of
+	// virtual dispatch in large object-oriented codes.
+	zipf := stats.NewZipf(len(services), cfg.ZipfSkew)
+	thresholds := zipfThresholds(zipf, 1024)
+	for k := range services {
+		if k < len(services)-1 {
+			disp := f.Block(fmt.Sprintf("disp%d", k))
+			disp.Cmpi(rT0, thresholds[k])
+			disp.Jlt(fmt.Sprintf("call%d", k))
+		} else {
+			// Last service takes the remainder; fall directly into it.
+			disp := f.Block(fmt.Sprintf("disp%d", k))
+			disp.Jmp(fmt.Sprintf("call%d", k))
+		}
+	}
+	for k, svc := range services {
+		call := f.Block(fmt.Sprintf("call%d", k))
+		call.Call(svc)
+		call.Jmp("after")
+	}
+
+	after := f.Block("after")
+	after.Addi(rGD, rGD, 1)
+	if cfg.PointerChase > 0 {
+		chase := f.Block("chase")
+		for i := 0; i < cfg.PointerChase; i++ {
+			chase.Load(rChase, rChase, 0)
+		}
+		chase.Add(rGA, rGA, rChase)
+	}
+
+	latch := f.Block("latch")
+	latch.Addi(rN, rN, -1)
+	latch.Cmpi(rN, 0)
+	latch.Jnz("loop")
+
+	exit := f.Block("exit")
+	exit.Halt()
+}
+
+// zipfThresholds converts a Zipf distribution over k outcomes into
+// cumulative integer thresholds on [0, span): outcome k covers
+// [thresholds[k-1], thresholds[k]).
+func zipfThresholds(z *stats.Zipf, span int) []int64 {
+	out := make([]int64, z.N())
+	for i := range out {
+		out[i] = int64(z.CDF(i) * float64(span))
+	}
+	out[len(out)-1] = int64(span)
+	return out
+}
+
+// emitFunction builds one generated function at the given level.
+func (g *generator) emitFunction(name string, level int, callees []string) {
+	cfg := g.cfg
+	fn := g.b.Func(name)
+	diamonds := g.rng.IntRange(cfg.DiamondsMin, cfg.DiamondsMax)
+	// Deeper functions are smaller: fragmented short methods.
+	if level > 0 && diamonds > 1 {
+		diamonds = 1 + diamonds/(level+1)
+	}
+
+	entry := fn.Block("entry")
+	g.emitBody(entry, g.rng.IntRange(cfg.BodyMin, cfg.BodyMax))
+
+	for d := 0; d < diamonds; d++ {
+		test := fn.Block(fmt.Sprintf("t%d", d))
+		test.Shr(rT0, rLCG, g.nextShift())
+		test.And(rT0, rT0, rOne)
+		test.Cmpi(rT0, 0)
+		test.Jnz(fmt.Sprintf("else%d", d))
+
+		then := fn.Block(fmt.Sprintf("then%d", d))
+		g.emitBody(then, g.rng.IntRange(cfg.BodyMin, cfg.BodyMax))
+		then.Jmp(fmt.Sprintf("join%d", d))
+
+		els := fn.Block(fmt.Sprintf("else%d", d))
+		g.emitBody(els, g.rng.IntRange(cfg.BodyMin, cfg.BodyMax))
+
+		join := fn.Block(fmt.Sprintf("join%d", d))
+		if len(callees) > 0 && g.rng.Bool(cfg.CallProb) {
+			join.Call(callees[g.rng.Intn(len(callees))])
+		} else {
+			join.Addi(rGD, rGD, 1)
+		}
+	}
+
+	if cfg.InnerLoopProb > 0 && g.rng.Bool(cfg.InnerLoopProb) {
+		pre := fn.Block("innerPre")
+		pre.Movi(rInner, int64(cfg.InnerIters))
+		body := fn.Block("innerBody")
+		g.emitBody(body, g.rng.IntRange(cfg.BodyMin, cfg.BodyMax))
+		body.Addi(rInner, rInner, -1)
+		body.Cmpi(rInner, 0)
+		body.Jnz("innerBody")
+	}
+
+	ret := fn.Block("ret")
+	ret.Ret()
+}
+
+// emitBody appends n straight-line instructions with the configured class
+// mix to bb.
+func (g *generator) emitBody(bb *program.BlockBuilder, n int) {
+	cfg := g.cfg
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < cfg.FPFrac:
+			switch g.rng.Intn(3) {
+			case 0:
+				bb.Fadd(rGA, rGA, rGB)
+			case 1:
+				bb.Fmul(rGB, rGB, rGC)
+			default:
+				bb.Fma(rGC, rGA, rGB)
+			}
+		case r < cfg.FPFrac+cfg.DivFrac:
+			if g.rng.Bool(0.5) {
+				bb.Div(rGA, rGA, rGD)
+			} else {
+				bb.Fdiv(rGB, rGB, rGD)
+			}
+			bb.Addi(rGA, rGA, 0x55) // keep operands alive
+			i++
+		case r < cfg.FPFrac+cfg.DivFrac+cfg.LoadFrac:
+			bb.Addi(rIdx, rIdx, 17)
+			bb.Load(rTmp2, rIdx, 0)
+			bb.Add(rGC, rGC, rTmp2)
+			i += 2
+		default:
+			switch g.rng.Intn(4) {
+			case 0:
+				bb.Add(rGA, rGA, rGB)
+			case 1:
+				bb.Xor(rGB, rGB, rGC)
+			case 2:
+				bb.Addi(rGC, rGC, 0x1234)
+			default:
+				bb.Or(rGD, rGD, rGA)
+			}
+		}
+	}
+}
+
+// emitChain builds the deterministic stepping loop: a "stepping" driver
+// running a Depth-deep call chain Iters times. Every chain function does
+// the same fixed FP-flavored work, so the structure (and its cycle timing)
+// repeats exactly — the periodicity that makes LBR windows cluster on
+// callchain-like code.
+func (g *generator) emitChain(cc ChainConfig) {
+	fn := g.b.Func("stepping")
+	pre := fn.Block("pre")
+	pre.Movi(rInner, int64(cc.Iters))
+
+	body := fn.Block("body")
+	body.Call("chain1")
+	body.Addi(rInner, rInner, -1)
+	body.Cmpi(rInner, 0)
+	body.Jnz("body")
+
+	done := fn.Block("done")
+	done.Ret()
+
+	for i := 1; i <= cc.Depth; i++ {
+		cf := g.b.Func(fmt.Sprintf("chain%d", i))
+		cb := cf.Block("body")
+		for w := 0; w < cc.Work; w++ {
+			switch w % 3 {
+			case 0:
+				cb.Fadd(rGA, rGA, rGB)
+			case 1:
+				cb.Fmul(rGB, rGB, rGC)
+			default:
+				cb.Addi(rGC, rGC, 5)
+			}
+		}
+		if i < cc.Depth {
+			cb.Call(fmt.Sprintf("chain%d", i+1))
+		}
+		cb.Ret()
+	}
+}
+
+// emitChaseSetup builds the startup function that initializes the
+// pointer-chase permutation: mem[i] = (i + stride) & (tableWords-1), a
+// single cycle covering the whole table.
+func (g *generator) emitChaseSetup() {
+	words := g.cfg.ChaseTableWords
+	if words <= 0 {
+		words = 1 << 12
+	}
+	g.b.SetMemWords(words)
+	const stride = 5741 // odd → full cycle over a power-of-two table
+
+	fn := g.b.Func("chaseSetup")
+	entry := fn.Block("entry")
+	entry.Movi(rIdx, 0)
+	entry.Movi(rTmp2, stride)
+
+	loop := fn.Block("loop")
+	loop.Add(rT0, rIdx, rTmp2)
+	loop.Movi(rInner, int64(words-1))
+	loop.And(rT0, rT0, rInner)
+	loop.Store(rT0, rIdx, 0)
+	loop.Addi(rIdx, rIdx, 1)
+	loop.Cmpi(rIdx, int64(words))
+	loop.Jlt("loop")
+
+	done := fn.Block("done")
+	done.Ret()
+}

@@ -1,0 +1,331 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+)
+
+// Register the four designated kernels of §4.3.
+func init() {
+	register(Spec{
+		Name: "LatencyBiased",
+		Kind: Kernel,
+		Description: "while (n--) ((n%2) ? x /= y : x += y); — alternating cheap/expensive " +
+			"paths; the PMU biases samples toward the long-latency divide (§4.3.1).",
+		Build: LatencyBiased,
+	})
+	register(Spec{
+		Name: "CallChain",
+		Kind: Kernel,
+		Description: "A loop around a 10-deep call chain of equal-work functions; " +
+			"exposes sampling bias on call chains of short methods (§4.3.2).",
+		Build: CallChain,
+	})
+	register(Spec{
+		Name: "G4Box",
+		Kind: Kernel,
+		Description: "Two functions with an even work split; a chain of tests and " +
+			"branches generating short basic blocks (§4.3.3).",
+		Build: G4Box,
+	})
+	register(Spec{
+		Name: "Test40",
+		Kind: Kernel,
+		Description: "Kernelized Geant4 doppelganger: a particle stepping loop " +
+			"conditionally triggering small fragmented physics processes (§4.3.4).",
+		Build: Test40,
+	})
+}
+
+// Registers conventions shared by the kernels (see isa.Reg):
+//
+//	r0..r7   data
+//	r8..r11  loop counters
+//	r12..r13 LCG state for data-driven branching
+//	r14..r15 scratch / constants
+const (
+	rX    = isa.Reg(0)
+	rY    = isa.Reg(1)
+	rTwo  = isa.Reg(2)
+	rAcc  = isa.Reg(3)
+	rPtr  = isa.Reg(4)
+	rVal  = isa.Reg(5)
+	rN    = isa.Reg(8)
+	rI    = isa.Reg(9)
+	rLCG  = isa.Reg(12)
+	rLCGK = isa.Reg(13)
+	rT0   = isa.Reg(14)
+	rOne  = isa.Reg(15)
+)
+
+// lcgStep appends the LCG state update used for data-driven branching:
+// r12 = r12*6364136223846793005 + 1442695040888963407 (Knuth's MMIX
+// constants), with the multiplier preloaded in r13.
+func lcgStep(bb *program.BlockBuilder) {
+	bb.Mul(rLCG, rLCG, rLCGK)
+	bb.Addi(rLCG, rLCG, 1442695040888963407)
+}
+
+// lcgInit appends LCG constant initialization.
+func lcgInit(bb *program.BlockBuilder, seed int64) {
+	bb.Movi(rLCG, seed)
+	bb.Movi(rLCGK, 6364136223846793005)
+	bb.Movi(rOne, 1)
+}
+
+// LatencyBiased builds the §4.3.1 kernel. The loop body alternates between
+// a one-instruction add path and a long-latency divide path, driven by the
+// parity of the countdown register — a direct transcription of
+//
+//	while (n--) ((n%2) ? x /= y : x += y);
+func LatencyBiased(scale float64) *program.Program {
+	n := iters(400_000, scale)
+	b := program.NewBuilder("LatencyBiased")
+	f := b.Func("main")
+
+	entry := f.Block("entry")
+	entry.Movi(rN, n)
+	entry.Movi(rX, 1<<40)
+	entry.Movi(rY, 3)
+	entry.Movi(rOne, 1)
+
+	// The parity test compiles to a single AND, as a compiler would emit
+	// for n%2 with unsigned n — the test itself must stay cheap so the
+	// cost asymmetry lives entirely in the even/odd arms.
+	test := f.Block("test")
+	test.And(rT0, rN, rOne)
+	test.Cmpi(rT0, 0)
+	test.Jnz("odd")
+
+	even := f.Block("even")
+	even.Add(rX, rX, rY)
+	even.Jmp("latch")
+
+	odd := f.Block("odd")
+	odd.Div(rX, rX, rY)
+	odd.Addi(rX, rX, 1<<30) // keep x from collapsing to 0
+
+	latch := f.Block("latch")
+	latch.Addi(rN, rN, -1)
+	latch.Cmpi(rN, 0)
+	latch.Jnz("test")
+
+	exit := f.Block("exit")
+	exit.Halt()
+	return b.MustBuild()
+}
+
+// CallChain builds the §4.3.2 kernel: a loop calling f1, which calls f2,
+// ... through f10. All ten functions do the same amount of work, so a
+// perfect profile attributes equal instruction counts to each; sampling
+// bias shows up as inequality.
+// The function bodies are sized so one loop iteration retires exactly 100
+// instructions: 1 (call f1) + 9×10 (f1..f9: 8 work + call + ret) + 6
+// (f10: 5 work + ret) + 3 (latch). Round sampling periods (2,000,000 on
+// hardware; the scaled-down defaults here) are multiples of 100, so
+// without prime periods or randomization every sample lands at the same
+// loop phase — the synchronization hazard of §3.1 in its purest form.
+func CallChain(scale float64) *program.Program {
+	const depth = 10
+	const workInstrs = 8
+	n := iters(120_000, scale)
+
+	b := program.NewBuilder("CallChain")
+	f := b.Func("main")
+	entry := f.Block("entry")
+	entry.Movi(rN, n)
+	entry.Movi(rX, 7)
+	entry.Movi(rY, 13)
+
+	loop := f.Block("loop")
+	loop.Call("f1")
+	loop.Addi(rN, rN, -1)
+	loop.Cmpi(rN, 0)
+	loop.Jnz("loop")
+
+	exit := f.Block("exit")
+	exit.Halt()
+
+	for i := 1; i <= depth; i++ {
+		fn := b.Func(fmt.Sprintf("f%d", i))
+		body := fn.Block("body")
+		// Near-equal work: a fixed-length dependency-light ALU sequence.
+		// The leaf runs 5 instructions instead of 8 so the whole
+		// iteration is exactly 100 instructions (see the function
+		// comment).
+		work := workInstrs
+		if i == depth {
+			work = 5
+		}
+		for w := 0; w < work; w++ {
+			switch w % 4 {
+			case 0:
+				body.Add(rX, rX, rY)
+			case 1:
+				body.Xor(rY, rY, rX)
+			case 2:
+				body.Addi(rX, rX, 3)
+			case 3:
+				body.Or(rY, rY, rX)
+			}
+		}
+		if i < depth {
+			body.Call(fmt.Sprintf("f%d", i+1))
+		}
+		body.Ret()
+	}
+	return b.MustBuild()
+}
+
+// G4Box builds the §4.3.3 kernel: a heavier latency-biased variant with
+// exactly two worker functions sharing the work evenly. Each function is a
+// chain of tests and conditional short blocks — the fragmented, jumpy code
+// that challenges plain sampling and favors LBR analysis.
+func G4Box(scale float64) *program.Program {
+	n := iters(60_000, scale)
+	b := program.NewBuilder("G4Box")
+	f := b.Func("main")
+
+	entry := f.Block("entry")
+	entry.Movi(rN, n)
+	entry.Movi(rX, 1<<30)
+	entry.Movi(rY, 5)
+	lcgInit(entry, 0x9e3779b9)
+
+	loop := f.Block("loop")
+	lcgStep(loop)
+	loop.Call("inside")
+	loop.Call("distanceToOut")
+	loop.Addi(rN, rN, -1)
+	loop.Cmpi(rN, 0)
+	loop.Jnz("loop")
+
+	exit := f.Block("exit")
+	exit.Halt()
+
+	// Both functions are chains of 8 test+tiny-block diamonds, driven by
+	// successive LCG bits; work is identical so the split is even.
+	buildTestChain := func(name string, shiftBase int64) {
+		fn := b.Func(name)
+		const diamonds = 8
+		for d := 0; d < diamonds; d++ {
+			test := fn.Block(fmt.Sprintf("t%d", d))
+			test.Shr(rT0, rLCG, shiftBase+int64(d*3))
+			test.And(rT0, rT0, rOne)
+			test.Cmpi(rT0, 0)
+			test.Jnz(fmt.Sprintf("alt%d", d))
+
+			// 2-instruction "then" block.
+			then := fn.Block(fmt.Sprintf("then%d", d))
+			then.Add(rX, rX, rY)
+			then.Jmp(fmt.Sprintf("join%d", d))
+
+			// 2-instruction "else" block.
+			alt := fn.Block(fmt.Sprintf("alt%d", d))
+			alt.Xor(rX, rX, rY)
+			alt.Addi(rX, rX, 1)
+
+			join := fn.Block(fmt.Sprintf("join%d", d))
+			join.Or(rY, rY, rOne)
+		}
+		last := fn.Block("ret")
+		last.Ret()
+	}
+	buildTestChain("inside", 0)
+	buildTestChain("distanceToOut", 24)
+	return b.MustBuild()
+}
+
+// Test40 builds the §4.3.4 kernel: an electron stepping through a simple
+// detector geometry. Each step updates the particle state, then
+// conditionally invokes a few small physics processes depending on where
+// the particle is and what it interacts with — a collection of small,
+// fragmented, conditionally-executed methods.
+func Test40(scale float64) *program.Program {
+	n := iters(40_000, scale)
+	b := program.NewBuilder("Test40")
+	f := b.Func("main")
+
+	entry := f.Block("entry")
+	entry.Movi(rN, n)
+	entry.Movi(rX, 1<<20) // particle energy
+	entry.Movi(rY, 3)
+	entry.Movi(rAcc, 0)
+	lcgInit(entry, 0x243f6a88)
+
+	step := f.Block("step")
+	lcgStep(step)
+	step.Call("transport")
+
+	// Material test: which medium is the particle in?
+	medium := f.Block("medium")
+	medium.Shr(rT0, rLCG, 7)
+	medium.And(rT0, rT0, rOne)
+	medium.Cmpi(rT0, 0)
+	medium.Jnz("dense")
+
+	vacuum := f.Block("vacuum")
+	vacuum.Call("msc") // multiple scattering only
+	vacuum.Jmp("decay")
+
+	dense := f.Block("dense")
+	dense.Call("ionise")
+	dense.Call("brem")
+
+	// Rare process: decay, ~1/8 of steps.
+	decay := f.Block("decay")
+	decay.Shr(rT0, rLCG, 13)
+	decay.Movi(rVal, 7)
+	decay.And(rT0, rT0, rVal)
+	decay.Cmpi(rT0, 0)
+	decay.Jnz("latch")
+
+	doDecay := f.Block("doDecay")
+	doDecay.Call("decayProc")
+
+	latch := f.Block("latch")
+	latch.Addi(rN, rN, -1)
+	latch.Cmpi(rN, 0)
+	latch.Jnz("step")
+
+	exit := f.Block("exit")
+	exit.Halt()
+
+	// Small fragmented physics processes: 3-8 instruction methods, some
+	// with an internal diamond, mixing FP (energy update) with integer
+	// bookkeeping — the signature Geant4 texture.
+	smallFn := func(name string, fpWork, intWork int, diamond bool, shift int64) {
+		fn := b.Func(name)
+		body := fn.Block("body")
+		for i := 0; i < fpWork; i++ {
+			if i%2 == 0 {
+				body.Fmul(rX, rX, rY)
+			} else {
+				body.Fadd(rX, rX, rY)
+			}
+		}
+		for i := 0; i < intWork; i++ {
+			body.Addi(rAcc, rAcc, 1)
+		}
+		if diamond {
+			body.Shr(rT0, rLCG, shift)
+			body.And(rT0, rT0, rOne)
+			body.Cmpi(rT0, 0)
+			body.Jnz("skip")
+			extra := fn.Block("extra")
+			extra.Fadd(rX, rX, rOne)
+			skip := fn.Block("skip")
+			skip.Ret()
+		} else {
+			body.Ret()
+		}
+	}
+	smallFn("transport", 2, 2, true, 17)
+	smallFn("msc", 3, 1, false, 0)
+	smallFn("ionise", 2, 2, true, 19)
+	smallFn("brem", 4, 1, false, 0)
+	smallFn("decayProc", 1, 4, true, 23)
+	return b.MustBuild()
+}

@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/ref"
+)
+
+// TestAllWorkloadsBuildAndHalt builds every registered workload at a small
+// scale, validates it, and runs it to completion both functionally and
+// under the timing model, checking the two paths agree on retirement
+// totals.
+func TestAllWorkloadsBuildAndHalt(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			p := spec.Build(0.02)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			fres, err := cpu.RunFunctional(p, nil, 200_000_000)
+			if err != nil {
+				t.Fatalf("functional run: %v", err)
+			}
+			tres, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 200_000_000)
+			if err != nil {
+				t.Fatalf("timed run: %v", err)
+			}
+			if fres.Instructions != tres.Instructions {
+				t.Errorf("instruction count mismatch: functional %d, timed %d",
+					fres.Instructions, tres.Instructions)
+			}
+			if fres.TakenBranches != tres.TakenBranches {
+				t.Errorf("taken branch mismatch: functional %d, timed %d",
+					fres.TakenBranches, tres.TakenBranches)
+			}
+			if tres.Cycles < tres.Instructions/8 {
+				t.Errorf("suspicious IPC > 8: %d instrs in %d cycles",
+					tres.Instructions, tres.Cycles)
+			}
+			r, err := ref.Collect(p)
+			if err != nil {
+				t.Fatalf("ref: %v", err)
+			}
+			if r.NetInstructions != fres.Instructions {
+				t.Errorf("ref net instructions %d != functional %d",
+					r.NetInstructions, fres.Instructions)
+			}
+			var sum uint64
+			for _, ic := range r.InstrCount {
+				sum += ic
+			}
+			if sum != r.NetInstructions {
+				t.Errorf("ref per-block instruction sum %d != net %d", sum, r.NetInstructions)
+			}
+			t.Logf("%s: %d instrs, %d blocks, %d funcs, IPC %.2f, taken/instr 1:%.1f",
+				spec.Name, fres.Instructions, p.NumBlocks(), p.NumFuncs(),
+				tres.IPC(), float64(fres.Instructions)/float64(max(1, int(fres.TakenBranches))))
+		})
+	}
+}

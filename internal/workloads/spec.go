@@ -1,0 +1,121 @@
+// Package workloads constructs the paper's evaluation programs for the
+// simulator: the four designated kernels of §4.3 (Latency-Biased,
+// CallChain, G4Box, Test40) and synthetic analogs of the application set
+// (the SPEC CPU2006 enterprise-proxy subset and the CERN FullCMS
+// production workload).
+//
+// The applications are *generated*, not ported: what the accuracy study
+// observes is the dynamic retirement stream over a static CFG, so each
+// generator reproduces its workload's profile-relevant characteristics —
+// block-size distribution, instructions-per-taken-branch (the 6-12
+// enterprise band of Yasin et al.), call-chain depth, hot/cold long-tail
+// shape, and instruction class mix — rather than its semantics. DESIGN.md
+// documents this substitution.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"pmutrust/internal/program"
+)
+
+// Kind classifies workloads the way the paper's results tables do.
+type Kind uint8
+
+const (
+	// Kernel is a designated microbenchmark (Table 1).
+	Kernel Kind = iota
+	// App is a full application analog (Table 2).
+	App
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == Kernel {
+		return "kernel"
+	}
+	return "app"
+}
+
+// Spec describes one buildable workload.
+type Spec struct {
+	// Name is the table row name ("LatencyBiased", "mcf", ...).
+	Name string
+	// Kind classifies the workload.
+	Kind Kind
+	// Description summarizes what the workload stresses.
+	Description string
+	// Build constructs the program at the given scale. Scale 1.0 is the
+	// default experiment size; tests use smaller scales. Scale only
+	// changes iteration counts, never the static CFG, so profiles at
+	// different scales remain comparable.
+	Build func(scale float64) *program.Program
+}
+
+var registry []Spec
+
+func register(s Spec) {
+	for _, r := range registry {
+		if r.Name == s.Name {
+			panic(fmt.Sprintf("workloads: duplicate spec %q", s.Name))
+		}
+	}
+	registry = append(registry, s)
+}
+
+// All returns every registered workload, kernels first, each group in
+// paper order.
+func All() []Spec {
+	out := append([]Spec(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Kernels returns the Table 1 workloads in paper order.
+func Kernels() []Spec { return filter(Kernel) }
+
+// Apps returns the Table 2 workloads in paper order.
+func Apps() []Spec { return filter(App) }
+
+func filter(k Kind) []Spec {
+	var out []Spec
+	for _, s := range registry {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// MustBuild builds the named workload at the given scale, panicking on
+// unknown names — a convenience for benchmarks and examples where the name
+// is a literal.
+func MustBuild(name string, scale float64) *program.Program {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s.Build(scale)
+}
+
+// iters scales a base iteration count, keeping at least 1.
+func iters(base int, scale float64) int64 {
+	n := int64(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/ref"
+)
+
+func TestRegistryContents(t *testing.T) {
+	kernels := Kernels()
+	wantK := []string{"LatencyBiased", "CallChain", "G4Box", "Test40"}
+	if len(kernels) != len(wantK) {
+		t.Fatalf("kernels = %d", len(kernels))
+	}
+	for i, w := range wantK {
+		if kernels[i].Name != w {
+			t.Errorf("kernel %d = %s, want %s", i, kernels[i].Name, w)
+		}
+		if kernels[i].Kind != Kernel {
+			t.Errorf("%s kind = %v", w, kernels[i].Kind)
+		}
+		if kernels[i].Description == "" {
+			t.Errorf("%s lacks a description", w)
+		}
+	}
+	apps := Apps()
+	wantA := []string{"mcf", "povray", "omnetpp", "xalancbmk", "FullCMS"}
+	if len(apps) != len(wantA) {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	for i, w := range wantA {
+		if apps[i].Name != w {
+			t.Errorf("app %d = %s, want %s", i, apps[i].Name, w)
+		}
+	}
+	if len(All()) != len(kernels)+len(apps) {
+		t.Error("All() size mismatch")
+	}
+	if _, err := ByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCallChainIterationLength(t *testing.T) {
+	// The documented resonance property: exactly 100 instructions per
+	// iteration. Measure two scales and difference out the fixed
+	// prologue/epilogue.
+	p1 := CallChain(1.0 / 120) // 1000 iters
+	p2 := CallChain(2.0 / 120) // 2000 iters
+	r1, err := cpu.RunFunctional(p1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cpu.RunFunctional(p2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := (r2.Instructions - r1.Instructions) / 1000
+	if perIter != 100 {
+		t.Errorf("CallChain iteration = %d instructions, want 100", perIter)
+	}
+}
+
+func TestCallChainEqualWork(t *testing.T) {
+	// The ten chain functions must get near-equal instruction counts
+	// (f10 is deliberately 3 instructions lighter, ~30% of one function's
+	// share at most).
+	p := CallChain(0.05)
+	r, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFunc := make(map[string]uint64)
+	for i, blk := range p.Blocks {
+		byFunc[p.Funcs[blk.Func].Name] += r.InstrCount[i]
+	}
+	f1 := byFunc["f1"]
+	for _, fn := range []string{"f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9"} {
+		if byFunc[fn] != f1 {
+			t.Errorf("%s count %d != f1 count %d", fn, byFunc[fn], f1)
+		}
+	}
+	if byFunc["f10"] >= f1 {
+		t.Errorf("leaf f10 (%d) not lighter than f1 (%d)", byFunc["f10"], f1)
+	}
+}
+
+func TestLatencyBiasedArmsBalanced(t *testing.T) {
+	p := LatencyBiased(0.1)
+	r, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var even, odd uint64
+	for i, blk := range p.Blocks {
+		switch blk.Label {
+		case "even":
+			even = r.ExecCount[i]
+		case "odd":
+			odd = r.ExecCount[i]
+		}
+	}
+	if even == 0 || odd == 0 {
+		t.Fatal("arm not executed")
+	}
+	diff := int64(even) - int64(odd)
+	if diff < -1 || diff > 1 {
+		t.Errorf("arms unbalanced: even %d, odd %d", even, odd)
+	}
+}
+
+func TestG4BoxEvenSplit(t *testing.T) {
+	p := G4Box(0.05)
+	r, err := ref.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFunc := make(map[string]uint64)
+	for i, blk := range p.Blocks {
+		byFunc[p.Funcs[blk.Func].Name] += r.InstrCount[i]
+	}
+	in, out := float64(byFunc["inside"]), float64(byFunc["distanceToOut"])
+	if in == 0 || out == 0 {
+		t.Fatal("worker function not executed")
+	}
+	ratio := in / out
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("work split %f not even (§4.3.3 requires an even split)", ratio)
+	}
+}
+
+func TestGeneratedDeterminism(t *testing.T) {
+	a := Generate(GenConfig{
+		Name: "g", Seed: 9, OuterIters: 100, Services: 3, ZipfSkew: 1.2,
+		Depth: 2, FuncsPerLevel: 3, DiamondsMin: 1, DiamondsMax: 3,
+		BodyMin: 2, BodyMax: 6, CallProb: 0.5,
+	}, 1)
+	b := Generate(GenConfig{
+		Name: "g", Seed: 9, OuterIters: 100, Services: 3, ZipfSkew: 1.2,
+		Depth: 2, FuncsPerLevel: 3, DiamondsMin: 1, DiamondsMax: 3,
+		BodyMin: 2, BodyMax: 6, CallProb: 0.5,
+	}, 1)
+	if len(a.Code) != len(b.Code) {
+		t.Fatalf("same seed, different code sizes: %d vs %d", len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("same seed, different instruction at %d", i)
+		}
+	}
+	c := Generate(GenConfig{
+		Name: "g", Seed: 10, OuterIters: 100, Services: 3, ZipfSkew: 1.2,
+		Depth: 2, FuncsPerLevel: 3, DiamondsMin: 1, DiamondsMax: 3,
+		BodyMin: 2, BodyMax: 6, CallProb: 0.5,
+	}, 1)
+	if len(a.Code) == len(c.Code) {
+		same := true
+		for i := range a.Code {
+			if a.Code[i] != c.Code[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical programs")
+		}
+	}
+}
+
+func TestScaleOnlyChangesIterations(t *testing.T) {
+	for _, spec := range All() {
+		p1 := spec.Build(0.01)
+		p2 := spec.Build(0.05)
+		if len(p1.Code) != len(p2.Code) {
+			t.Errorf("%s: scale changed static code size (%d vs %d)",
+				spec.Name, len(p1.Code), len(p2.Code))
+		}
+	}
+}
+
+// Property: arbitrary generator configurations produce valid programs that
+// halt.
+func TestQuickGeneratedProgramsValidAndHalt(t *testing.T) {
+	f := func(seed uint64, services, depth, funcs, dmin, dspan, bmin, bspan uint8) bool {
+		cfg := GenConfig{
+			Name:          "q",
+			Seed:          seed,
+			OuterIters:    20,
+			Services:      1 + int(services%6),
+			ZipfSkew:      1.1,
+			Depth:         int(depth % 4),
+			FuncsPerLevel: 1 + int(funcs%5),
+			DiamondsMin:   1 + int(dmin%3),
+			DiamondsMax:   1 + int(dmin%3) + int(dspan%3),
+			BodyMin:       1 + int(bmin%4),
+			BodyMax:       1 + int(bmin%4) + int(bspan%6),
+			FPFrac:        0.2,
+			DivFrac:       0.02,
+			LoadFrac:      0.1,
+			CallProb:      0.5,
+			InnerLoopProb: 0.3,
+			InnerIters:    3,
+		}
+		p := Generate(cfg, 1)
+		if p.Validate() != nil {
+			return false
+		}
+		_, err := cpu.RunFunctional(p, nil, 10_000_000)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnterpriseBranchDensity(t *testing.T) {
+	// Yasin et al.: instructions per taken branch around 6-12 for
+	// enterprise codes. Allow a wider guard band but catch regressions
+	// that would change the sampling regime.
+	for _, spec := range Apps() {
+		p := spec.Build(0.02)
+		res, err := cpu.RunFunctional(p, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		ratio := float64(res.Instructions) / float64(res.TakenBranches)
+		if ratio < 4 || ratio > 16 {
+			t.Errorf("%s: %.1f instructions per taken branch, outside 4-16", spec.Name, ratio)
+		}
+	}
+}

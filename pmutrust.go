@@ -1,0 +1,188 @@
+// Package pmutrust is a harness for studying — and establishing trust in —
+// the accuracy of hardware-performance-counter profiling, reproducing
+// Nowak, Yasin, Mendelson and Zwaenepoel, "Establishing a Base of Trust
+// with Performance Counters for Enterprise Workloads" (USENIX ATC 2015).
+//
+// The package front-door wires together the building blocks a user needs
+// for the paper's workflow:
+//
+//  1. pick a workload (the paper's kernels and enterprise-application
+//     analogs, or any program built with the Builder DSL),
+//  2. pick a machine model (Magny-Cours, Westmere, Ivy Bridge),
+//  3. pick a sampling method from the Table 3 registry (classic, precise
+//     variants, PDIR with LBR IP-fix, full LBR),
+//  4. collect samples on the simulated PMU, build a basic-block profile,
+//     and score it against exact instrumentation with the paper's
+//     accuracy-error metric.
+//
+// Minimal example (see examples/quickstart for the runnable version):
+//
+//	spec, _ := pmutrust.WorkloadByName("G4Box")
+//	prog := spec.Build(1.0)
+//	reference, _ := pmutrust.Reference(prog)
+//	method, _ := pmutrust.MethodByKey("lbr")
+//	prof, run, _ := pmutrust.Profile(prog, pmutrust.IvyBridge(), method,
+//		pmutrust.Options{PeriodBase: 4000, Seed: 1})
+//	errVal, _ := pmutrust.AccuracyError(prof, reference)
+//	fmt.Printf("%s: %d samples, error %.4f\n", run.Method.Key, len(run.Samples), errVal)
+//
+// The heavy lifting lives in the internal packages (isa, program, cpu,
+// pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
+// experiments); this package re-exports the stable surface.
+package pmutrust
+
+import (
+	"pmutrust/internal/analysis"
+	"pmutrust/internal/core"
+	"pmutrust/internal/lbr"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/profile"
+	"pmutrust/internal/program"
+	"pmutrust/internal/ref"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// Re-exported core types. The aliases are the supported public names;
+// their methods and fields are documented at the definition sites.
+type (
+	// Program is a built, validated workload program.
+	Program = program.Program
+	// Builder constructs Programs from functions, blocks and instructions.
+	Builder = program.Builder
+	// Machine models one of the paper's evaluation platforms.
+	Machine = machine.Machine
+	// Method is one sampling method of the paper's Table 3 registry.
+	Method = sampling.Method
+	// Options controls a collection run.
+	Options = sampling.Options
+	// Run is the outcome of one sampling collection.
+	Run = sampling.Run
+	// BlockProfile is an estimated basic-block profile.
+	BlockProfile = profile.BlockProfile
+	// FunctionProfile aggregates a BlockProfile by function.
+	FunctionProfile = profile.FunctionProfile
+	// Reference is the exact instrumentation-based profile ("REF").
+	ReferenceProfile = ref.Profile
+	// WorkloadSpec describes a buildable evaluation workload.
+	WorkloadSpec = workloads.Spec
+	// RankAgreement compares estimated and exact function rankings.
+	RankAgreement = analysis.RankAgreement
+	// Assessment is a full per-method trust evaluation with a
+	// recommendation (the paper's §6.3, operationalized).
+	Assessment = core.Assessment
+	// AssessOptions controls an Assess run.
+	AssessOptions = core.Options
+	// EdgeProfile holds control-flow edge traversal counts (PGO input).
+	EdgeProfile = profile.EdgeProfile
+	// LoopStat is a loop discovered from backedges, with its trip count.
+	LoopStat = profile.LoopStat
+)
+
+// NewBuilder starts a new program. See internal/program for the DSL.
+func NewBuilder(name string) *Builder { return program.NewBuilder(name) }
+
+// Workloads returns all evaluation workloads (kernels then applications).
+func Workloads() []WorkloadSpec { return workloads.All() }
+
+// Kernels returns the paper's §4.3 kernels.
+func Kernels() []WorkloadSpec { return workloads.Kernels() }
+
+// Apps returns the paper's application analogs.
+func Apps() []WorkloadSpec { return workloads.Apps() }
+
+// WorkloadByName looks up one workload.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workloads.ByName(name) }
+
+// MagnyCours returns the AMD Opteron 6164 HE machine model.
+func MagnyCours() Machine { return machine.MagnyCours() }
+
+// Westmere returns the Intel Xeon X5650 machine model.
+func Westmere() Machine { return machine.Westmere() }
+
+// IvyBridge returns the Intel Xeon E3-1265L machine model.
+func IvyBridge() Machine { return machine.IvyBridge() }
+
+// Machines returns the three paper machines.
+func Machines() []Machine { return machine.All() }
+
+// MachineByName looks up a machine model by name.
+func MachineByName(name string) (Machine, error) { return machine.ByName(name) }
+
+// Methods returns the paper's Table 3 method registry.
+func Methods() []Method { return sampling.Registry() }
+
+// MethodByKey looks up one method ("classic", "precise", "precise+rand",
+// "precise+prime", "precise+prime+rand", "pdir+ipfix", "lbr").
+func MethodByKey(key string) (Method, error) { return sampling.MethodByKey(key) }
+
+// Reference runs prog under exact instrumentation (the paper's Pin "REF"
+// role) and returns per-block ground truth.
+func Reference(prog *Program) (*ReferenceProfile, error) { return ref.Collect(prog) }
+
+// Collect samples prog on mach with method m and returns the raw run.
+// Most callers want Profile instead.
+func Collect(prog *Program, mach Machine, m Method, opt Options) (*Run, error) {
+	return sampling.Collect(prog, mach, m, opt)
+}
+
+// Profile samples prog on mach with method m and builds the basic-block
+// profile the way a tool using that method would (plain EBS attribution
+// with optional IP+1 fix, or full LBR-stack decoding).
+func Profile(prog *Program, mach Machine, m Method, opt Options) (*BlockProfile, *Run, error) {
+	run, err := sampling.Collect(prog, mach, m, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bp *BlockProfile
+	if run.Method.UseLBRStack {
+		bp, _, err = lbr.BuildProfile(prog, run)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		bp = profile.FromSamples(prog, run)
+	}
+	return bp, run, nil
+}
+
+// AccuracyError scores an estimated profile against the exact reference
+// with the paper's §3.3 metric (0 is perfect, lower is better).
+func AccuracyError(est *BlockProfile, reference *ReferenceProfile) (float64, error) {
+	return analysis.AccuracyError(est, reference)
+}
+
+// ImprovementFactor reports how many times smaller err is than base.
+func ImprovementFactor(base, err float64) float64 {
+	return analysis.ImprovementFactor(base, err)
+}
+
+// CompareRankings reports agreement between estimated and exact top-N
+// function rankings (the paper's §5.2 FullCMS ordering check).
+func CompareRankings(estRank, refRank []int, n int) RankAgreement {
+	return analysis.CompareRankings(estRank, refRank, n)
+}
+
+// RefFunctionRanking converts a reference profile into a function ranking
+// comparable with FunctionProfile.Ranking.
+func RefFunctionRanking(r *ReferenceProfile) []int {
+	return analysis.RefFunctionRanking(r)
+}
+
+// Assess evaluates every sampling method for prog on mach and returns the
+// measured errors plus a machine-specific method recommendation.
+func Assess(prog *Program, mach Machine, opt AssessOptions) (*Assessment, error) {
+	return core.Assess(prog, mach, opt)
+}
+
+// ReferenceEdges returns the exact block-level control-flow edge profile
+// of prog (ground truth for PGO-style edge counts and loop trip counts).
+func ReferenceEdges(prog *Program) (*EdgeProfile, error) {
+	return ref.CollectEdges(prog)
+}
+
+// EdgeProfileFromLBR reconstructs an edge profile from an LBR-method run
+// (§2.1: basic-block graphs and loop trip counts from branch records).
+func EdgeProfileFromLBR(prog *Program, run *Run) (*EdgeProfile, error) {
+	return lbr.BuildEdgeProfile(prog, run)
+}
