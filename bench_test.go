@@ -10,6 +10,8 @@
 package pmutrust_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"pmutrust/internal/cpu"
@@ -160,6 +162,37 @@ func BenchmarkAblationRandAmp(b *testing.B) {
 		if _, _, err := r.AblateRandAmp(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Sweep layer ------------------------------------------------------------
+
+// BenchmarkSweepKernels runs the full kernels × machines × methods grid
+// through the parallel sweep layer at 1 worker and at GOMAXPROCS: the
+// ratio of the two is the harness's multicore speedup. A fresh runner
+// per iteration keeps workload builds and reference collection inside
+// the measured work, as in a cold full-table run.
+func BenchmarkSweepKernels(b *testing.B) {
+	g := experiments.Grid{
+		Workloads: workloads.Kernels(),
+		Machines:  machine.All(),
+		Methods:   sampling.Registry(),
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner(benchScale(), 42)
+				ms, err := r.Sweep(g, experiments.SweepOptions{Parallel: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(ms)), "cells")
+			}
+		})
 	}
 }
 

@@ -7,13 +7,25 @@
 //	                     ablate-skid|ablate-period|ablate-lbr|ablate-burst|
 //	                     ablate-rand|all
 //	         [-scale paper|small] [-seed N] [-markdown]
+//	         [-parallel N] [-timeout D] [-json FILE]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for recorded paper-vs-measured comparisons.
+//
+// Measurements dispatch through the parallel sweep layer of
+// internal/experiments: -parallel bounds the worker pool (default
+// GOMAXPROCS) and -timeout stops sweeps from dispatching new cells past
+// the deadline (cells already running finish). Per-cell
+// seeds derive from (seed, workload, machine, method, repeat), so the
+// output is bit-identical at any -parallel value. -json FILE ("-" for
+// stdout) additionally writes machine-readable results — the full
+// per-cell measurement set for the matrix experiments — for the bench
+// trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +34,28 @@ import (
 	"pmutrust/internal/report"
 )
 
+// jsonResult is one experiment's machine-readable record.
+type jsonResult struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	Parallel   int    `json:"parallel"`
+	// Measurements holds per-cell results for the matrix experiments
+	// (table1, table2); experiments that only render a table omit it.
+	Measurements []experiments.Measurement `json:"measurements,omitempty"`
+	// Table is the rendered table, for humans reading the artifact.
+	Table string `json:"table"`
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment to run (see package comment)")
 		scaleName  = flag.String("scale", "paper", "experiment scale: paper or small")
 		seed       = flag.Uint64("seed", 42, "base random seed")
 		markdown   = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+		parallel   = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-experiment bound: stop dispatching new sweep cells after this wall-clock time; running cells finish (0 = none)")
+		jsonPath   = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -42,12 +70,27 @@ func main() {
 		os.Exit(2)
 	}
 	r := experiments.NewRunner(scale, *seed)
+	r.Parallel = *parallel
+	r.Timeout = *timeout
 
-	emit := func(t *report.Table) {
-		if *markdown {
-			fmt.Println(t.Markdown())
-		} else {
-			fmt.Println(t.String())
+	results := []jsonResult{}
+	emit := func(name string, t *report.Table, ms []experiments.Measurement) {
+		if *jsonPath != "-" {
+			if *markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		if *jsonPath != "" {
+			results = append(results, jsonResult{
+				Experiment:   name,
+				Scale:        scale.Name,
+				Seed:         *seed,
+				Parallel:     *parallel,
+				Measurements: ms,
+				Table:        t.String(),
+			})
 		}
 	}
 
@@ -82,15 +125,15 @@ func main() {
 			if err != nil {
 				return err
 			}
-			emit(tr.Table)
+			emit(name, tr.Table, tr.Measurements)
 		case "table2":
 			tr, err := table2()
 			if err != nil {
 				return err
 			}
-			emit(tr.Table)
+			emit(name, tr.Table, tr.Measurements)
 		case "table3":
-			emit(experiments.RunTable3())
+			emit(name, experiments.RunTable3(), nil)
 		case "factors":
 			t1, err := table1()
 			if err != nil {
@@ -100,79 +143,79 @@ func main() {
 			if err != nil {
 				return err
 			}
-			emit(r.RunFactors(t1, t2).Table)
+			emit(name, r.RunFactors(t1, t2).Table, nil)
 		case "ipfix":
 			res, err := r.RunIPFix()
 			if err != nil {
 				return err
 			}
-			emit(res.Table)
+			emit(name, res.Table, nil)
 		case "ranking":
 			res, err := r.RunRanking()
 			if err != nil {
 				return err
 			}
-			emit(res.Table)
+			emit(name, res.Table, nil)
 		case "ablate-skid":
 			t, _, err := r.AblateSkid()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "ablate-period":
 			t, _, err := r.AblatePeriod()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "ablate-lbr":
 			t, _, err := r.AblateLBRDepth()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "ablate-burst":
 			t, _, err := r.AblateBurst()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "ablate-rand":
 			t, _, err := r.AblateRandAmp()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "overhead":
 			t, _, err := r.RunOverhead()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "freq":
 			res, err := r.RunFreqVsFixed()
 			if err != nil {
 				return err
 			}
-			emit(res.Table)
+			emit(name, res.Table, nil)
 		case "lbr-contention":
 			t, _, err := r.RunLBRContention()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(name, t, nil)
 		case "stability":
 			res, err := r.RunStability(5)
 			if err != nil {
 				return err
 			}
-			emit(res.Table)
+			emit(name, res.Table, nil)
 		case "future-hw":
 			res, err := r.RunFutureHW()
 			if err != nil {
 				return err
 			}
-			emit(res.Table)
+			emit(name, res.Table, nil)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -185,10 +228,35 @@ func main() {
 			"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
 			"overhead", "freq", "lbr-contention", "stability", "future-hw"}
 	}
+	exitCode := 0
 	for _, name := range names {
 		if err := run(name); err != nil {
 			fmt.Fprintf(os.Stderr, "pmubench: %s: %v\n", name, err)
-			os.Exit(1)
+			exitCode = 1
+			break
 		}
 	}
+
+	// The JSON document is written even after a mid-run failure, so a
+	// long multi-experiment run keeps the results it already collected.
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: json: %v\n", err)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func writeJSON(path string, results []jsonResult) error {
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }

@@ -6,6 +6,7 @@
 //
 //	wlgen -list
 //	wlgen -workload G4Box [-scale 1.0] [-disasm] [-dot] [-dynamic]
+//	wlgen -all [-scale 1.0] [-parallel N]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"sort"
 
 	"pmutrust/internal/cpu"
+	"pmutrust/internal/pool"
 	"pmutrust/internal/ref"
 	"pmutrust/internal/report"
 	"pmutrust/internal/workloads"
@@ -28,8 +30,18 @@ func main() {
 		disasm       = flag.Bool("disasm", false, "print full disassembly")
 		dot          = flag.Bool("dot", false, "print the CFG in Graphviz DOT format")
 		dynamic      = flag.Bool("dynamic", true, "run the workload and print dynamic statistics")
+		all          = flag.Bool("all", false, "characterize every workload (parallel) and print a summary table")
+		parallel     = flag.Int("parallel", 0, "worker count for -all (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *all {
+		if err := summarizeAll(*scale, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *workloadName == "" {
 		t := report.New("available workloads", "name", "kind", "description")
@@ -88,4 +100,51 @@ func main() {
 	if *dot {
 		fmt.Println(p.Dot())
 	}
+}
+
+// wlRow is one workload's dynamic characterization for the -all table.
+type wlRow struct {
+	instrs, cycles uint64
+	ipc            float64
+	instrPerTaken  float64
+	blocks         int
+}
+
+// summarizeAll builds and runs every registered workload on the shared
+// bounded worker pool (workloads are independent, so this parallelizes
+// cleanly) and prints one summary row each, in registry order regardless
+// of completion order.
+func summarizeAll(scale float64, workers int) error {
+	specs := workloads.All()
+	rows := make([]wlRow, len(specs))
+	err := pool.ForEach(len(specs), workers, 0, func(i int) error {
+		p := specs[i].Build(scale)
+		res, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", specs[i].Name, err)
+		}
+		rows[i] = wlRow{
+			instrs:        res.Instructions,
+			cycles:        res.Cycles,
+			ipc:           res.IPC(),
+			instrPerTaken: float64(res.Instructions) / float64(max(1, res.TakenBranches)),
+			blocks:        p.NumBlocks(),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := report.New(fmt.Sprintf("workload characterization (scale %g)", scale),
+		"name", "kind", "instrs", "cycles", "IPC", "instr/taken", "blocks")
+	for i, s := range specs {
+		r := rows[i]
+		t.AddRow(s.Name, s.Kind.String(),
+			fmt.Sprintf("%d", r.instrs), fmt.Sprintf("%d", r.cycles),
+			fmt.Sprintf("%.2f", r.ipc), fmt.Sprintf("%.1f", r.instrPerTaken),
+			fmt.Sprintf("%d", r.blocks))
+	}
+	fmt.Println(t.String())
+	return nil
 }

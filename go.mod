@@ -1,0 +1,3 @@
+module pmutrust
+
+go 1.24

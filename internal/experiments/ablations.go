@@ -71,22 +71,26 @@ func (r *Runner) AblateSkid() (*report.Table, []SweepPoint, error) {
 	}
 	t := report.New("A1: classic-sampling error vs PMI skid (LatencyBiased, IvyBridge core)",
 		"skid (cycles)", "error")
-	var series []SweepPoint
-	for _, skid := range []uint64{0, 5, 15, 30, 60, 120, 200} {
+	skids := []uint64{0, 5, 15, 30, 60, 120, 200}
+	series := make([]SweepPoint, len(skids))
+	err = r.forEach(len(skids), r.opts(), func(i int) error {
 		cfg := pmu.Config{
 			Event:      pmu.EvInstRetired,
 			Precision:  pmu.Imprecise,
 			Period:     r.Scale.PeriodBase,
 			Rand:       pmu.RandSoftware, // isolate skid from resonance
-			SkidCycles: skid,
+			SkidCycles: skids[i],
 			Seed:       r.Seed,
 		}
 		e, err := r.measureWith(spec, mach, cfg, classic, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		series = append(series, SweepPoint{X: float64(skid), Err: e})
-		t.AddRow(fmt.Sprintf("%d", skid), report.Fmt(e))
+		series[i] = SweepPoint{X: float64(skids[i]), Err: e}
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pt := range series {
+		t.AddRow(fmt.Sprintf("%d", uint64(pt.X)), report.Fmt(pt.Err))
 	}
 	t.Note = "Skid reattaches samples to whatever stalls at PMI delivery; larger skid = stronger shadow bias."
 	return t, series, nil
@@ -107,33 +111,36 @@ func (r *Runner) AblatePeriod() (*report.Table, map[string][]SweepPoint, error) 
 	}
 	t := report.New("A2: precise-sampling error vs period (CallChain, IvyBridge)",
 		"base period", "round err", "prime err")
-	series := map[string][]SweepPoint{}
-	for _, base := range []uint64{500, 1000, 2000, 3000, 4000, 5000} {
-		var errs [2]float64
-		for i, prime := range []bool{false, true} {
-			period := base
-			if prime {
-				period = stats.NextPrime(base)
-			}
-			cfg := pmu.Config{
-				Event:     pmu.EvInstRetired,
-				Precision: pmu.PrecisePEBS,
-				Period:    period,
-				Rand:      pmu.RandNone,
-				Seed:      r.Seed,
-			}
-			e, err := r.measureWith(spec, mach, cfg, precise, false)
-			if err != nil {
-				return nil, nil, err
-			}
-			errs[i] = e
-			key := "round"
-			if prime {
-				key = "prime"
-			}
-			series[key] = append(series[key], SweepPoint{X: float64(base), Err: e})
+	bases := []uint64{500, 1000, 2000, 3000, 4000, 5000}
+	// Job index interleaves (base, round|prime), primality innermost.
+	errs := make([]float64, 2*len(bases))
+	err = r.forEach(len(errs), r.opts(), func(i int) error {
+		bi, pi := splitIdx(i, 2)
+		base := bases[bi]
+		period := base
+		if pi == 1 {
+			period = stats.NextPrime(base)
 		}
-		t.AddRow(fmt.Sprintf("%d", base), report.Fmt(errs[0]), report.Fmt(errs[1]))
+		cfg := pmu.Config{
+			Event:     pmu.EvInstRetired,
+			Precision: pmu.PrecisePEBS,
+			Period:    period,
+			Rand:      pmu.RandNone,
+			Seed:      r.Seed,
+		}
+		e, err := r.measureWith(spec, mach, cfg, precise, false)
+		errs[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	series := map[string][]SweepPoint{}
+	for i, base := range bases {
+		round, prime := errs[flatIdx(i, 0, 2)], errs[flatIdx(i, 1, 2)]
+		series["round"] = append(series["round"], SweepPoint{X: float64(base), Err: round})
+		series["prime"] = append(series["prime"], SweepPoint{X: float64(base), Err: prime})
+		t.AddRow(fmt.Sprintf("%d", base), report.Fmt(round), report.Fmt(prime))
 	}
 	t.Note = "CallChain retires exactly 100 instructions per iteration; round periods divisible by common factors resonate."
 	return t, series, nil
@@ -153,8 +160,9 @@ func (r *Runner) AblateLBRDepth() (*report.Table, []SweepPoint, error) {
 	}
 	t := report.New("A3: LBR-method error vs stack depth (G4Box, IvyBridge)",
 		"LBR depth", "error")
-	var series []SweepPoint
-	for _, depth := range []int{4, 8, 16, 32, 64} {
+	depths := []int{4, 8, 16, 32, 64}
+	series := make([]SweepPoint, len(depths))
+	err = r.forEach(len(depths), r.opts(), func(i int) error {
 		cfg := pmu.Config{
 			Event:      pmu.EvBrTaken,
 			Precision:  pmu.Imprecise,
@@ -162,15 +170,18 @@ func (r *Runner) AblateLBRDepth() (*report.Table, []SweepPoint, error) {
 			Rand:       pmu.RandNone,
 			SkidCycles: mach.SkidCycles,
 			CaptureLBR: true,
-			LBRDepth:   depth,
+			LBRDepth:   depths[i],
 			Seed:       r.Seed,
 		}
 		e, err := r.measureWith(spec, mach, cfg, lbrM, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		series = append(series, SweepPoint{X: float64(depth), Err: e})
-		t.AddRow(fmt.Sprintf("%d", depth), report.Fmt(e))
+		series[i] = SweepPoint{X: float64(depths[i]), Err: e}
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pt := range series {
+		t.AddRow(fmt.Sprintf("%d", int(pt.X)), report.Fmt(pt.Err))
 	}
 	t.Note = "16 is the Westmere/Ivy Bridge hardware depth; 32 arrives with Skylake (the paper's 'valuable single resource', §6.2)."
 	return t, series, nil
@@ -188,33 +199,39 @@ func (r *Runner) AblateBurst() (*report.Table, map[string][]SweepPoint, error) {
 	}
 	t := report.New("A4: PEBS vs PDIR error vs retire width (LatencyBiased)",
 		"retire width", "pebs err", "pdir err")
-	series := map[string][]SweepPoint{}
-	for _, width := range []int{1, 2, 4, 6, 8} {
+	m, err := sampling.MethodByKey("precise+prime+rand")
+	if err != nil {
+		return nil, nil, err
+	}
+	widths := []int{1, 2, 4, 6, 8}
+	precisions := []pmu.Precision{pmu.PrecisePEBS, pmu.PreciseDist}
+	// Job index interleaves (width, precision), precision innermost.
+	errs := make([]float64, 2*len(widths))
+	err = r.forEach(len(errs), r.opts(), func(i int) error {
+		wi, pi := splitIdx(i, 2)
 		mach := machine.IvyBridge()
-		mach.CPU.RetireWidth = width
-		mach.CPU.DispatchWidth = width
-		var errs [2]float64
-		for i, prec := range []pmu.Precision{pmu.PrecisePEBS, pmu.PreciseDist} {
-			cfg := pmu.Config{
-				Event:     pmu.EvInstRetired,
-				Precision: prec,
-				Period:    stats.NextPrime(r.Scale.PeriodBase),
-				Rand:      pmu.RandSoftware,
-				Seed:      r.Seed,
-			}
-			m, err := sampling.MethodByKey("precise+prime+rand")
-			if err != nil {
-				return nil, nil, err
-			}
-			e, err := r.measureWith(spec, mach, cfg, m, false)
-			if err != nil {
-				return nil, nil, err
-			}
-			errs[i] = e
-			key := prec.String()
-			series[key] = append(series[key], SweepPoint{X: float64(width), Err: e})
+		mach.CPU.RetireWidth = widths[wi]
+		mach.CPU.DispatchWidth = widths[wi]
+		cfg := pmu.Config{
+			Event:     pmu.EvInstRetired,
+			Precision: precisions[pi],
+			Period:    stats.NextPrime(r.Scale.PeriodBase),
+			Rand:      pmu.RandSoftware,
+			Seed:      r.Seed,
 		}
-		t.AddRow(fmt.Sprintf("%d", width), report.Fmt(errs[0]), report.Fmt(errs[1]))
+		e, err := r.measureWith(spec, mach, cfg, m, false)
+		errs[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	series := map[string][]SweepPoint{}
+	for i, width := range widths {
+		pebs, pdir := errs[flatIdx(i, 0, 2)], errs[flatIdx(i, 1, 2)]
+		series[pmu.PrecisePEBS.String()] = append(series[pmu.PrecisePEBS.String()], SweepPoint{X: float64(width), Err: pebs})
+		series[pmu.PreciseDist.String()] = append(series[pmu.PreciseDist.String()], SweepPoint{X: float64(width), Err: pdir})
+		t.AddRow(fmt.Sprintf("%d", width), report.Fmt(pebs), report.Fmt(pdir))
 	}
 	t.Note = "PEBS cannot capture occurrences inside the arming burst; PDIR has no arming step."
 	return t, series, nil
@@ -235,9 +252,11 @@ func (r *Runner) AblateRandAmp() (*report.Table, []SweepPoint, error) {
 	}
 	t := report.New("A5: precise-sampling error vs randomization amplitude (CallChain, IvyBridge)",
 		"amplitude (fraction of period)", "error")
-	var series []SweepPoint
 	base := r.Scale.PeriodBase
-	for _, frac := range []float64{0, 0.001, 0.01, 0.05, 0.125, 0.25, 0.5} {
+	fracs := []float64{0, 0.001, 0.01, 0.05, 0.125, 0.25, 0.5}
+	series := make([]SweepPoint, len(fracs))
+	err = r.forEach(len(fracs), r.opts(), func(i int) error {
+		frac := fracs[i]
 		amp := uint64(float64(base) * frac)
 		rand := pmu.RandSoftware
 		if amp == 0 {
@@ -253,11 +272,14 @@ func (r *Runner) AblateRandAmp() (*report.Table, []SweepPoint, error) {
 			Seed:      r.Seed,
 		}
 		e, err := r.measureWith(spec, mach, cfg, m, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		series = append(series, SweepPoint{X: frac, Err: e})
-		t.AddRow(fmt.Sprintf("%.3f", frac), report.Fmt(e))
+		series[i] = SweepPoint{X: frac, Err: e}
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pt := range series {
+		t.AddRow(fmt.Sprintf("%.3f", pt.X), report.Fmt(pt.Err))
 	}
 	t.Note = "Resonance breaks once the jitter spans a few loop iterations; beyond that randomization buys nothing."
 	return t, series, nil

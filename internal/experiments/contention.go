@@ -34,26 +34,35 @@ func (r *Runner) RunLBRContention() (*report.Table, []SweepPoint, error) {
 
 	t := report.New("A8: LBR-method error vs call-stack-mode contention (G4Box, IvyBridge)",
 		"contention", "error", "malformed segments")
-	var series []SweepPoint
-	for _, c := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+	contentions := []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0}
+	series := make([]SweepPoint, len(contentions))
+	malformed := make([]int, len(contentions))
+	err = r.forEach(len(contentions), r.opts(), func(i int) error {
 		run, err := sampling.Collect(p, mach, m, sampling.Options{
 			PeriodBase:    r.Scale.PeriodBase,
 			Seed:          r.Seed,
-			LBRContention: c,
+			LBRContention: contentions[i],
 		})
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		bp, ds, err := lbr.BuildProfile(p, run)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		e, err := analysis.AccuracyError(bp, reference)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		series = append(series, SweepPoint{X: c, Err: e})
-		t.AddRow(fmt.Sprintf("%.0f%%", 100*c), report.Fmt(e), fmt.Sprintf("%d", ds.Malformed))
+		series[i] = SweepPoint{X: contentions[i], Err: e}
+		malformed[i] = ds.Malformed
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, pt := range series {
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*pt.X), report.Fmt(pt.Err), fmt.Sprintf("%d", malformed[i]))
 	}
 	t.Note = "Collisions replace taken-branch windows with call-stack-filtered ones; §6.2 proposes a hardware IP+1 fix to avoid sharing the LBR at all."
 	return t, series, nil

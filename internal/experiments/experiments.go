@@ -9,7 +9,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"sync"
+	"time"
 
 	"pmutrust/internal/analysis"
 	"pmutrust/internal/lbr"
@@ -53,29 +57,67 @@ func SmallScale() Scale {
 
 // Measurement is one (workload, machine, method) accuracy result.
 type Measurement struct {
-	Workload string
-	Machine  string
-	Method   string
-	// Err is the paper's accuracy error, averaged over repeats; negative
-	// when the machine does not support the method.
-	Err float64
-	// PerRepeat holds the individual repeat errors.
-	PerRepeat []float64
-	// Samples is the sample count of the last repeat.
-	Samples int
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Method   string `json:"method"`
+	// Err is the paper's accuracy error, averaged over successful
+	// repeats; -1 when the machine does not support the method
+	// (Supported false) or when no repeat succeeded (Failed true).
+	Err float64 `json:"err"`
+	// PerRepeat holds the individual repeat errors, in repeat order.
+	PerRepeat []float64 `json:"per_repeat,omitempty"`
+	// Samples is the sample count of the first successful repeat (repeat
+	// seeds are derived from the cell identity, so this is deterministic
+	// regardless of execution order or worker count).
+	Samples int `json:"samples"`
 	// Supported reports whether the machine can run the method.
-	Supported bool
+	Supported bool `json:"supported"`
+	// Failed reports that at least one repeat errored, or that the cell
+	// never produced a result (e.g. abandoned by a sweep timeout); when
+	// no repeat succeeded, Err is -1 so a dead cell can never read as
+	// perfect accuracy.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // Runner caches built workloads and reference profiles across experiments
-// (reference collection dominates otherwise).
+// (reference collection dominates otherwise). A Runner is safe for
+// concurrent use: the caches are mutex-guarded with single-flight build
+// semantics, so two workers asking for the same workload never build it
+// twice, and every derived seed depends only on the cell identity — the
+// same grid produces bit-identical results at any worker count.
 type Runner struct {
 	Scale Scale
-	// Seed is the base seed; repeat r of any measurement uses Seed+r.
+	// Seed is the base seed. Repeat rep of a (workload, machine, method)
+	// cell draws its seed from stats.DeriveSeed(Seed, workload, machine,
+	// method, rep), giving every cell an independent, collision-free
+	// stream that does not depend on sweep order.
 	Seed uint64
+	// Parallel is the default worker count for Sweep and the parallel
+	// table runners; <= 0 means runtime.GOMAXPROCS(0).
+	Parallel int
+	// Timeout stops each sweep from dispatching new cells past the given
+	// wall-clock deadline; cells already running finish (jobs are not
+	// interruptible). 0 means none.
+	Timeout time.Duration
 
-	progs map[string]*program.Program
-	refs  map[string]*ref.Profile
+	mu    sync.Mutex
+	progs map[string]*progEntry
+	refs  map[string]*refEntry
+}
+
+// progEntry is a single-flight slot for one built workload: the first
+// worker to claim it runs Build inside the Once, later workers block on
+// the Once and reuse the result.
+type progEntry struct {
+	once sync.Once
+	p    *program.Program
+}
+
+// refEntry is the single-flight slot for one reference profile.
+type refEntry struct {
+	once sync.Once
+	rp   *ref.Profile
+	err  error
 }
 
 // NewRunner creates a runner at the given scale.
@@ -83,32 +125,52 @@ func NewRunner(s Scale, seed uint64) *Runner {
 	return &Runner{
 		Scale: s,
 		Seed:  seed,
-		progs: make(map[string]*program.Program),
-		refs:  make(map[string]*ref.Profile),
+		progs: make(map[string]*progEntry),
+		refs:  make(map[string]*refEntry),
 	}
 }
 
 // Workload returns the built program for a workload spec, cached.
+// Concurrent calls for the same spec build it exactly once.
 func (r *Runner) Workload(spec workloads.Spec) *program.Program {
-	if p, ok := r.progs[spec.Name]; ok {
-		return p
+	r.mu.Lock()
+	e, ok := r.progs[spec.Name]
+	if !ok {
+		e = &progEntry{}
+		r.progs[spec.Name] = e
 	}
-	p := spec.Build(r.Scale.Workload)
-	r.progs[spec.Name] = p
-	return p
+	r.mu.Unlock()
+	e.once.Do(func() { e.p = spec.Build(r.Scale.Workload) })
+	return e.p
 }
 
-// Reference returns the exact profile for a workload, cached.
+// Reference returns the exact profile for a workload, cached. Concurrent
+// calls for the same spec collect it exactly once; a collection error is
+// cached too, so a broken workload fails fast on every later call.
 func (r *Runner) Reference(spec workloads.Spec) (*ref.Profile, error) {
-	if rp, ok := r.refs[spec.Name]; ok {
-		return rp, nil
+	r.mu.Lock()
+	e, ok := r.refs[spec.Name]
+	if !ok {
+		e = &refEntry{}
+		r.refs[spec.Name] = e
 	}
-	rp, err := ref.Collect(r.Workload(spec))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: reference for %s: %w", spec.Name, err)
-	}
-	r.refs[spec.Name] = rp
-	return rp, nil
+	r.mu.Unlock()
+	e.once.Do(func() {
+		rp, err := ref.Collect(r.Workload(spec))
+		if err != nil {
+			e.err = fmt.Errorf("experiments: reference for %s: %w", spec.Name, err)
+			return
+		}
+		e.rp = rp
+	})
+	return e.rp, e.err
+}
+
+// repeatSeed derives the seed for one repeat of one grid cell. It is a
+// pure function of (base seed, cell identity, repeat), which is what
+// makes sweep results independent of scheduling.
+func (r *Runner) repeatSeed(spec workloads.Spec, mach machine.Machine, m sampling.Method, rep int) uint64 {
+	return stats.DeriveSeed(r.Seed, spec.Name, mach.Name, m.Key, strconv.Itoa(rep))
 }
 
 // MeasureOnce runs one (workload, machine, method) measurement with one
@@ -142,7 +204,12 @@ func (r *Runner) MeasureOnce(spec workloads.Spec, mach machine.Machine, m sampli
 	return e, len(run.Samples), nil
 }
 
-// Measure runs the configured number of repeats and averages.
+// Measure runs the configured number of repeats and averages. Each
+// repeat uses a seed derived from the cell identity (see repeatSeed);
+// Samples records the count of the first successful repeat, so the field
+// is well-defined under concurrency. When some repeats fail, the
+// successful ones are still aggregated into the returned Measurement and
+// the per-repeat failures come back joined into one error.
 func (r *Runner) Measure(spec workloads.Spec, mach machine.Machine, m sampling.Method) (Measurement, error) {
 	meas := Measurement{
 		Workload: spec.Name,
@@ -155,15 +222,24 @@ func (r *Runner) Measure(spec workloads.Spec, mach machine.Machine, m sampling.M
 	}
 	meas.Supported = true
 	var errs []float64
+	var failures []error
 	for rep := 0; rep < r.Scale.Repeats; rep++ {
-		e, n, err := r.MeasureOnce(spec, mach, m, r.Seed+uint64(rep)*0x9e37)
+		e, n, err := r.MeasureOnce(spec, mach, m, r.repeatSeed(spec, mach, m, rep))
 		if err != nil {
-			return meas, err
+			failures = append(failures, fmt.Errorf("repeat %d: %w", rep, err))
+			continue
+		}
+		if len(errs) == 0 {
+			meas.Samples = n
 		}
 		errs = append(errs, e)
-		meas.Samples = n
 	}
 	meas.PerRepeat = errs
-	meas.Err = stats.Mean(errs)
-	return meas, nil
+	meas.Failed = len(failures) > 0
+	if len(errs) > 0 {
+		meas.Err = stats.Mean(errs)
+	} else {
+		meas.Err = -1
+	}
+	return meas, errors.Join(failures...)
 }

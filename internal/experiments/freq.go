@@ -34,15 +34,19 @@ func (r *Runner) RunFreqVsFixed() (*FreqResult, error) {
 		FixedErr: make(map[string]float64),
 		FreqErr:  make(map[string]float64),
 	}
-	for _, spec := range workloads.Kernels() {
-		mf, err := r.Measure(spec, mach, fixed)
-		if err != nil {
-			return nil, err
-		}
-		mq, err := r.Measure(spec, mach, freq)
-		if err != nil {
-			return nil, err
-		}
+	kernels := workloads.Kernels()
+	// The (kernel, fixed|freq) matrix is a one-machine grid; Sweep's
+	// canonical order puts methods innermost, matching the fold below.
+	ms, err := r.Sweep(Grid{
+		Workloads: kernels,
+		Machines:  []machine.Machine{mach},
+		Methods:   []sampling.Method{fixed, freq},
+	}, r.opts())
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range kernels {
+		mf, mq := ms[flatIdx(i, 0, 2)], ms[flatIdx(i, 1, 2)]
 		res.FixedErr[spec.Name] = mf.Err
 		res.FreqErr[spec.Name] = mq.Err
 		t.AddRow(spec.Name, report.Fmt(mf.Err), report.Fmt(mq.Err))

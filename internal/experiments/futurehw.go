@@ -60,14 +60,28 @@ func (r *Runner) RunFutureHW() (*FutureHWResult, error) {
 		return analysis.AccuracyError(bp, reference)
 	}
 
-	for _, spec := range workloads.Kernels() {
-		row := []string{spec.Name}
-		for _, contention := range []float64{0, 0.5} {
-			for _, mach := range machines {
-				e, err := measure(spec, mach, contention)
-				if err != nil {
-					return nil, err
-				}
+	kernels := workloads.Kernels()
+	contentions := []float64{0, 0.5}
+	// Job index interleaves (kernel, contention, machine), machine
+	// innermost: i = flatIdx(kernel, flatIdx(contention, machine, M), C*M).
+	perKernel := len(contentions) * len(machines)
+	errs := make([]float64, len(kernels)*perKernel)
+	err = r.forEach(len(errs), r.opts(), func(i int) error {
+		ki, rest := splitIdx(i, perKernel)
+		ci, mi := splitIdx(rest, len(machines))
+		e, err := measure(kernels[ki], machines[mi], contentions[ci])
+		errs[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, spec := range kernels {
+		// Dispatch on machine name and contention value, not slice
+		// position, so reordering machines cannot swap result columns.
+		for ci, contention := range contentions {
+			for mi, mach := range machines {
+				e := errs[flatIdx(k, flatIdx(ci, mi, len(machines)), perKernel)]
 				switch {
 				case contention == 0 && mach.Name == "IvyBridge":
 					res.IvyClean[spec.Name] = e
@@ -80,10 +94,9 @@ func (r *Runner) RunFutureHW() (*FutureHWResult, error) {
 				}
 			}
 		}
-		row = append(row,
+		t.AddRow(spec.Name,
 			report.Fmt(res.IvyClean[spec.Name]), report.Fmt(res.FutureClean[spec.Name]),
 			report.Fmt(res.IvyContended[spec.Name]), report.Fmt(res.FutureContended[spec.Name]))
-		t.AddRow(row...)
 	}
 	t.Note = fmt.Sprintf(
 		"FutureGen implements §6.2: exact-IP precise records (no LBR read, no collision exposure). "+

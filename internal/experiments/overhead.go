@@ -46,36 +46,48 @@ func (r *Runner) RunOverhead() (*report.Table, map[string][]OverheadPoint, error
 	const hwScale = 2_000_000 / 4_000
 
 	bases := []uint64{500, 1000, 2000, 4000, 8000}
-	for _, base := range bases {
+	keys := []string{"pdir+ipfix", "lbr"}
+	// Job index interleaves (base, method), method innermost.
+	points := make([]OverheadPoint, 2*len(bases))
+	err = r.forEach(len(points), r.opts(), func(i int) error {
+		bi, ki := splitIdx(i, len(keys))
+		base := bases[bi]
+		m, err := sampling.MethodByKey(keys[ki])
+		if err != nil {
+			return err
+		}
+		run, err := sampling.Collect(p, mach, m, sampling.Options{
+			PeriodBase: base,
+			Seed:       r.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		var bp *profile.BlockProfile
+		if run.Method.UseLBRStack {
+			bp, _, err = lbr.BuildProfile(p, run)
+			if err != nil {
+				return err
+			}
+		} else {
+			bp = profile.FromSamples(p, run)
+		}
+		e, err := analysis.AccuracyError(bp, reference)
+		if err != nil {
+			return err
+		}
+		points[i] = OverheadPoint{Period: base, Err: e, Overhead: run.OverheadAtHWPeriod(base * hwScale)}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, base := range bases {
 		row := []string{fmt.Sprintf("%d", base), fmt.Sprintf("%d", base*hwScale)}
-		for _, key := range []string{"pdir+ipfix", "lbr"} {
-			m, err := sampling.MethodByKey(key)
-			if err != nil {
-				return nil, nil, err
-			}
-			run, err := sampling.Collect(p, mach, m, sampling.Options{
-				PeriodBase: base,
-				Seed:       r.Seed,
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-			var bp *profile.BlockProfile
-			if run.Method.UseLBRStack {
-				bp, _, err = lbr.BuildProfile(p, run)
-				if err != nil {
-					return nil, nil, err
-				}
-			} else {
-				bp = profile.FromSamples(p, run)
-			}
-			e, err := analysis.AccuracyError(bp, reference)
-			if err != nil {
-				return nil, nil, err
-			}
-			ovh := run.OverheadAtHWPeriod(base * hwScale)
-			series[key] = append(series[key], OverheadPoint{Period: base, Err: e, Overhead: ovh})
-			row = append(row, report.Fmt(e), fmt.Sprintf("%.3f%%", 100*ovh))
+		for j, key := range keys {
+			pt := points[flatIdx(i, j, len(keys))]
+			series[key] = append(series[key], pt)
+			row = append(row, report.Fmt(pt.Err), fmt.Sprintf("%.3f%%", 100*pt.Overhead))
 		}
 		t.AddRow(row...)
 	}

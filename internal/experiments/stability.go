@@ -37,17 +37,29 @@ func (r *Runner) RunStability(n int) (*StabilityResult, error) {
 	t := report.New(fmt.Sprintf("Measurement stability over %d seeds (G4Box, IvyBridge)", n),
 		"method", "mean err", "stddev", "rel spread")
 	res := &StabilityResult{Table: t, Spread: make(map[string]float64)}
+	var supported []sampling.Method
 	for _, m := range sampling.Registry() {
-		if _, ok := sampling.Resolve(m, mach); !ok {
-			continue
+		if _, ok := sampling.Resolve(m, mach); ok {
+			supported = append(supported, m)
 		}
+	}
+	// Job index interleaves (method, repeat), repeat innermost; the
+	// summary is folded sequentially afterwards so the spread per method
+	// is exact.
+	errs := make([]float64, len(supported)*n)
+	err = r.forEach(len(errs), r.opts(), func(i int) error {
+		mi, rep := splitIdx(i, n)
+		e, _, err := r.MeasureOnce(spec, mach, supported[mi], r.Seed+uint64(rep)*7919)
+		errs[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range supported {
 		var s stats.Summary
 		for rep := 0; rep < n; rep++ {
-			e, _, err := r.MeasureOnce(spec, mach, m, r.Seed+uint64(rep)*7919)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(e)
+			s.Add(errs[flatIdx(mi, rep, n)])
 		}
 		rel := 0.0
 		if s.Mean() > 0 {

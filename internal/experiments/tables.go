@@ -20,6 +20,10 @@ type TableResult struct {
 	// Cells[workload][machine][method] is the measured accuracy error;
 	// -1 marks unsupported combinations.
 	Cells map[string]map[string]map[string]float64
+	// Measurements holds the full per-cell results in Grid.Cells order
+	// (workload, then machine, then method) — the machine-readable form
+	// behind the rendered table.
+	Measurements []Measurement
 }
 
 // Get returns the error for (workload, machine, method key); -1 when
@@ -35,27 +39,33 @@ func (tr *TableResult) Get(workload, mach, method string) float64 {
 	return -1
 }
 
-// runMatrix measures every (workload, machine, method) combination and
-// renders one row per workload × machine, one column per method — the
-// layout of the paper's Tables 1 and 2.
+// runMatrix measures every (workload, machine, method) combination
+// through the parallel sweep layer and renders one row per workload ×
+// machine, one column per method — the layout of the paper's Tables 1
+// and 2. Rendering walks the measurements in canonical grid order, so
+// the table is identical at any worker count.
 func (r *Runner) runMatrix(title string, specs []workloads.Spec, machines []machine.Machine, methods []sampling.Method) (*TableResult, error) {
+	ms, err := r.Sweep(Grid{Workloads: specs, Machines: machines, Methods: methods}, r.opts())
+	if err != nil {
+		return nil, err
+	}
+
 	headers := []string{"workload", "machine"}
 	for _, m := range methods {
 		headers = append(headers, m.Key)
 	}
 	t := report.New(title, headers...)
-	tr := &TableResult{Table: t, Cells: make(map[string]map[string]map[string]float64)}
+	tr := &TableResult{Table: t, Cells: make(map[string]map[string]map[string]float64), Measurements: ms}
 
+	i := 0
 	for _, spec := range specs {
 		tr.Cells[spec.Name] = make(map[string]map[string]float64)
 		for _, mach := range machines {
 			tr.Cells[spec.Name][mach.Name] = make(map[string]float64)
 			row := []string{spec.Name, mach.Name}
 			for _, m := range methods {
-				meas, err := r.Measure(spec, mach, m)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", spec.Name, mach.Name, m.Key, err)
-				}
+				meas := ms[i]
+				i++
 				tr.Cells[spec.Name][mach.Name][m.Key] = meas.Err
 				row = append(row, report.Fmt(meas.Err))
 			}

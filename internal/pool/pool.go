@@ -1,0 +1,93 @@
+// Package pool provides the bounded worker pool shared by the experiment
+// sweep layer and the CLIs: deterministic error selection by job index,
+// an optional wall-clock timeout, and a goroutine-free sequential fast
+// path. Keeping one implementation means pool semantics (which job's
+// error wins, what a timeout abandons) cannot drift between callers.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout is wrapped in the error ForEach returns when the timeout
+// fires before every job was dispatched.
+var ErrTimeout = errors.New("pool: timed out")
+
+// ForEach runs jobs 0..n-1 on a bounded worker pool and blocks until
+// all dispatched jobs finish. workers <= 0 means runtime.GOMAXPROCS(0);
+// timeout 0 means none. Every job runs even when earlier ones fail; the
+// returned error is the first failure by job index, independent of
+// completion order. The timeout bounds dispatch, not execution: when it
+// fires, running jobs complete, undispatched jobs are dropped, and a
+// timeout error (wrapping ErrTimeout) wins over job errors — but a run
+// whose jobs were all dispatched before the deadline completes normally
+// (jobs are not interruptible).
+func ForEach(n, workers int, timeout time.Duration, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	if workers <= 1 && timeout == 0 {
+		// Sequential fast path: no goroutines, errors still collected
+		// from every job.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+
+	idx := make(chan int)
+	errs := make([]error, n)
+	var timedOut atomic.Bool
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-deadline:
+				timedOut.Store(true)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if timedOut.Load() {
+		return fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

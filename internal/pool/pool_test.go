@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var ran [50]atomic.Bool
+		if err := ForEach(len(ran), workers, 0, func(i int) error {
+			if ran[i].Swap(true) {
+				return fmt.Errorf("job %d ran twice", i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: job %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForEach(20, workers, 0, func(i int) error {
+			if i == 3 || i == 17 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachKeepsGoingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(10, 2, 0, func(i int) error {
+		ran.Add(1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 10 {
+		t.Errorf("ran %d jobs after first error, want all 10", got)
+	}
+}
+
+func TestForEachTimeout(t *testing.T) {
+	err := ForEach(1000, 2, time.Nanosecond, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(0, 4, 0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package stats
+
+// DeriveSeed derives a stable 64-bit seed from a base seed and a list of
+// string labels. The experiment harness uses it to give every cell of a
+// (workload, machine, method, repeat) sweep grid its own independent
+// random stream: the derived seed depends only on the cell's identity,
+// never on execution order or worker count, so parallel sweeps reproduce
+// sequential ones bit for bit.
+//
+// The construction is FNV-1a over the labels (with an out-of-band unit
+// separator so label boundaries matter: ("ab","c") != ("a","bc")), mixed
+// with the base seed up front and passed through a splitmix64 finalizer
+// to spread low-entropy inputs across all 64 bits. Like RNG, it is fully
+// deterministic across platforms and Go releases.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= base
+	h *= prime64
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= prime64
+		}
+		// Unit separator: FNV-1a never XORs a value >= 256 from string
+		// bytes, so this cannot collide with any label content.
+		h ^= 0x100
+		h *= prime64
+	}
+	// splitmix64 finalizer (same mixer as RNG.Uint64).
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

@@ -1,0 +1,46 @@
+package stats
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "G4Box", "IvyBridge", "lbr", "0")
+	b := DeriveSeed(42, "G4Box", "IvyBridge", "lbr", "0")
+	if a != b {
+		t.Errorf("same inputs disagree: %#x vs %#x", a, b)
+	}
+}
+
+func TestDeriveSeedLabelBoundaries(t *testing.T) {
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Error("label boundary ignored: (ab,c) == (a,bc)")
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(1, "x", "") {
+		t.Error("trailing empty label ignored")
+	}
+	if DeriveSeed(1) == DeriveSeed(2) {
+		t.Error("base seed ignored")
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	// Nearby inputs (consecutive repeats, sibling labels) must land far
+	// apart; a grid's worth of cells must not collide.
+	seen := make(map[uint64][]string)
+	labels := [][]string{}
+	for _, w := range []string{"LatencyBiased", "CallChain", "G4Box", "Test40"} {
+		for _, m := range []string{"MagnyCours", "Westmere", "IvyBridge"} {
+			for _, k := range []string{"classic", "precise", "precise+rand", "precise+prime", "precise+prime+rand", "pdir+ipfix", "lbr"} {
+				for _, rep := range []string{"0", "1", "2", "3", "4"} {
+					labels = append(labels, []string{w, m, k, rep})
+				}
+			}
+		}
+	}
+	for _, l := range labels {
+		s := DeriveSeed(42, l...)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %v and %v both map to %#x", prev, l, s)
+		}
+		seen[s] = l
+	}
+}

@@ -26,6 +26,23 @@
 //	errVal, _ := pmutrust.AccuracyError(prof, reference)
 //	fmt.Printf("%s: %d samples, error %.4f\n", run.Method.Key, len(run.Samples), errVal)
 //
+// # Experiment sweeps
+//
+// The reproduction harness in internal/experiments evaluates full
+// (workload × machine × method) grids through a parallel sweep layer:
+// experiments.Grid enumerates the cells, Runner.Sweep dispatches them to
+// a bounded worker pool (GOMAXPROCS workers by default, -parallel on
+// cmd/pmubench to override, -timeout to bound wall-clock time), and the
+// Runner's workload/reference caches are single-flight so concurrent
+// workers never build the same workload twice.
+//
+// Sweeps are deterministic by construction: repeat rep of a cell draws
+// its seed from stats.DeriveSeed(baseSeed, workload, machine, method,
+// rep) — a pure function of the cell identity — so the aggregated
+// results are bit-identical at any worker count and in any completion
+// order. cmd/pmubench exposes the sweep results as rendered tables and,
+// with -json, as machine-readable per-cell measurement records.
+//
 // The heavy lifting lives in the internal packages (isa, program, cpu,
 // pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
 // experiments); this package re-exports the stable surface.

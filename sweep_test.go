@@ -1,0 +1,46 @@
+// Paper-scale sweep determinism: the acceptance bar for the parallel
+// runner. A PaperScale() grid over three kernels × all three machines ×
+// every Table 3 method must aggregate to byte-identical results at
+// worker counts 1 and 8. This lives in the root package so the long
+// paper-scale run gets its own test-binary time budget; -short skips it
+// (the small-scale equivalent in internal/experiments always runs).
+package pmutrust_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pmutrust/internal/experiments"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+func TestPaperScaleSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sweeps take minutes")
+	}
+	g := experiments.Grid{
+		Workloads: workloads.Kernels()[:3],
+		Machines:  machine.All(),
+		Methods:   sampling.Registry(),
+	}
+	var got [][]byte
+	for _, workers := range []int{1, 8} {
+		r := experiments.NewRunner(experiments.PaperScale(), 42)
+		ms, err := r.Sweep(g, experiments.SweepOptions{Parallel: workers})
+		if err != nil {
+			t.Fatalf("Sweep(parallel=%d): %v", workers, err)
+		}
+		b, err := json.Marshal(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b)
+	}
+	if !bytes.Equal(got[0], got[1]) {
+		t.Errorf("paper-scale sweep differs between 1 and 8 workers:\n1: %s\n8: %s",
+			got[0], got[1])
+	}
+}
