@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lbrdump -workload G4Box [-machine IvyBridge] [-scale 0.2] [-period 4000]
-//	        [-stacks 3] [-seed 42]
+//	        [-stacks 3] [-seed 42] [-callgraph]
 package main
 
 import (

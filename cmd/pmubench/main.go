@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	pmubench -experiment table1|table2|table3|factors|ipfix|ranking|
-//	                     ablate-skid|ablate-period|ablate-lbr|ablate-burst|
-//	                     ablate-rand|all
+//	pmubench [-experiment table1|table2|table3|factors|ipfix|ranking|
+//	                      ablate-skid|ablate-period|ablate-lbr|ablate-burst|
+//	                      ablate-rand|overhead|freq|lbr-contention|
+//	                      stability|future-hw|all]
 //	         [-scale paper|small] [-seed N] [-markdown]
 //	         [-parallel N] [-timeout D] [-json FILE]
+//	         [-store FILE] [-resume]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
@@ -22,6 +24,15 @@
 // stdout) additionally writes machine-readable results — the full
 // per-cell measurement set for the matrix experiments — for the bench
 // trajectory.
+//
+// -store FILE persists the matrix experiments' per-cell measurements to
+// a JSONL results store as they complete, keyed by each cell's full
+// configuration (internal/results). With -resume, records already in the
+// store are served without re-measuring, making an interrupted sweep
+// restart-safe: only the missing cells run, and the tables come out
+// byte-identical to an uninterrupted run. Without -resume the store path
+// must be new or empty (pmubench refuses to clobber accumulated
+// results). cmd/pmureport renders and diffs store files.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 
 	"pmutrust/internal/experiments"
 	"pmutrust/internal/report"
+	"pmutrust/internal/results"
 )
 
 // jsonResult is one experiment's machine-readable record.
@@ -56,8 +68,14 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 0, "per-experiment bound: stop dispatching new sweep cells after this wall-clock time; running cells finish (0 = none)")
 		jsonPath   = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
+		storePath  = flag.String("store", "", "persist per-cell matrix measurements to a JSONL results store at FILE")
+		resume     = flag.Bool("resume", false, "with -store: serve cells already in the store instead of re-measuring (without it the store must be new or empty)")
 	)
 	flag.Parse()
+	if *resume && *storePath == "" {
+		fmt.Fprintln(os.Stderr, "pmubench: -resume requires -store")
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -73,7 +91,30 @@ func main() {
 	r.Parallel = *parallel
 	r.Timeout = *timeout
 
-	results := []jsonResult{}
+	var store *results.Store
+	if *storePath != "" {
+		var err error
+		if *resume {
+			store, err = results.Open(*storePath)
+		} else {
+			// Refuse to clobber accumulated results: truncating is only
+			// safe on a path the user has not already filled (e.g. a
+			// non-matrix experiment with -store would otherwise wipe
+			// the file and write nothing back).
+			if fi, serr := os.Stat(*storePath); serr == nil && fi.Size() > 0 {
+				fmt.Fprintf(os.Stderr, "pmubench: store %s already has results; use -resume to extend it or remove the file first\n", *storePath)
+				os.Exit(2)
+			}
+			store, err = results.Create(*storePath)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
+			os.Exit(2)
+		}
+		r.Store = store
+	}
+
+	jsonResults := []jsonResult{}
 	emit := func(name string, t *report.Table, ms []experiments.Measurement) {
 		if *jsonPath != "-" {
 			if *markdown {
@@ -83,7 +124,7 @@ func main() {
 			}
 		}
 		if *jsonPath != "" {
-			results = append(results, jsonResult{
+			jsonResults = append(jsonResults, jsonResult{
 				Experiment:   name,
 				Scale:        scale.Name,
 				Seed:         *seed,
@@ -240,8 +281,19 @@ func main() {
 	// The JSON document is written even after a mid-run failure, so a
 	// long multi-experiment run keeps the results it already collected.
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, results); err != nil {
+		if err := writeJSON(*jsonPath, jsonResults); err != nil {
 			fmt.Fprintf(os.Stderr, "pmubench: json: %v\n", err)
+			exitCode = 1
+		}
+	}
+	if store != nil {
+		// The served/measured split is the resume observable: a fully
+		// warm resume reports "0 newly measured".
+		stats := r.StoreStats()
+		fmt.Fprintf(os.Stderr, "pmubench: store %s: %d records (%d served from store, %d newly measured)\n",
+			*storePath, store.Len(), stats.Cached, stats.Measured)
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: store: %v\n", err)
 			exitCode = 1
 		}
 	}

@@ -6,6 +6,7 @@
 //
 //	pmuprof -workload FullCMS [-machine IvyBridge] [-method lbr]
 //	        [-scale 1.0] [-period 4000] [-seed 42] [-top 15] [-blocks]
+//	        [-trace N]
 package main
 
 import (

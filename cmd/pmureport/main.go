@@ -1,0 +1,224 @@
+// Command pmureport regenerates the paper-shaped accuracy tables from a
+// results store written by `pmubench -store`, and diffs two stores — the
+// read side of the sweep/store/report pipeline. It never re-measures:
+// everything renders from the persisted per-cell records, so reports are
+// cheap, deterministic and reproducible from the artifact alone.
+//
+// Usage:
+//
+//	pmureport -store results.jsonl [-table kernels|apps|ranking|factors|all]
+//	          [-markdown] [-csv] [-baseline classic]
+//	pmureport -compare OLD.jsonl NEW.jsonl [-tol 0.05] [-markdown]
+//
+// Report mode renders the regenerated tables (kernel matrix, application
+// matrix, per-machine method ranking, improvement factors — the analogs
+// of the paper's accuracy tables) in canonical paper order, so the same
+// store always produces the same bytes. -markdown and -csv switch the
+// output format (plain aligned text by default); -csv emits a single
+// rectangle, so it requires picking one table with -table.
+//
+// Compare mode diffs two stores cell-by-cell by (workload, machine,
+// method): cells whose error grew by more than -tol, and cells that lost
+// their measurement, are regressions. The exit status is 0 when no cell
+// regressed, 1 on regression — wire it straight into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/report"
+	"pmutrust/internal/results"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "", "results store (JSONL from pmubench -store) to render")
+		table     = flag.String("table", "all", "which table to render: kernels, apps, ranking, factors or all")
+		markdown  = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of plain text (matrix shapes only keep their rectangle)")
+		baseline  = flag.String("baseline", "classic", "baseline method for the factors table")
+		compare   = flag.String("compare", "", "compare mode: OLD store path; the NEW store path is the positional argument")
+		tol       = flag.Float64("tol", 0.05, "compare mode: error increase beyond which a cell counts as regressed")
+	)
+	flag.Parse()
+
+	switch {
+	case *compare != "":
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "pmureport: -compare OLD.jsonl needs a positional NEW.jsonl argument")
+			os.Exit(2)
+		}
+		newPath := flag.Arg(0)
+		// The flag package stops parsing at the first positional, so
+		// `-compare OLD.jsonl NEW.jsonl -tol 0.01 -markdown` leaves the
+		// trailing flags unparsed; re-parse them (ExitOnError handles
+		// bad flags, and a second positional is an error).
+		if flag.NArg() > 1 {
+			flag.CommandLine.Parse(flag.Args()[1:])
+			if flag.NArg() != 0 {
+				fmt.Fprintf(os.Stderr, "pmureport: unexpected argument %q after NEW.jsonl\n", flag.Arg(0))
+				os.Exit(2)
+			}
+		}
+		regressions, err := runCompare(*compare, newPath, *tol, *markdown, *csvOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmureport: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+	case *storePath != "":
+		if err := runReport(*storePath, *table, *baseline, *markdown, *csvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pmureport: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pmureport: one of -store or -compare is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// canonicalOrders returns the paper-order axes the renders use: the
+// workload registry (kernels then apps), the three paper machines, the
+// Table 3 method registry. Names a store holds beyond these are appended
+// sorted by the report layer.
+func canonicalOrders() (workloadOrder, machineOrder, methodOrder []string) {
+	for _, s := range workloads.All() {
+		workloadOrder = append(workloadOrder, s.Name)
+	}
+	for _, m := range machine.AllExtended() {
+		machineOrder = append(machineOrder, m.Name)
+	}
+	for _, m := range sampling.Registry() {
+		methodOrder = append(methodOrder, m.Key)
+	}
+	return
+}
+
+// split partitions records into the kernel and application groups of the
+// paper's table pair; workloads not in the registry land with the apps
+// (they are user additions, which the paper treats as applications).
+func split(recs []results.Record) (kernels, apps []results.Record) {
+	kind := make(map[string]workloads.Kind)
+	for _, s := range workloads.All() {
+		kind[s.Name] = s.Kind
+	}
+	for _, rec := range recs {
+		if k, ok := kind[rec.Workload]; ok && k == workloads.Kernel {
+			kernels = append(kernels, rec)
+		} else {
+			apps = append(apps, rec)
+		}
+	}
+	return
+}
+
+// distinctConfigs returns the distinct non-cell configuration tuples
+// (scale, workload scale, period, seed, repeats) present in a record
+// set. A store normally holds exactly one; more means it was resumed
+// under a different configuration, and any per-coordinate table would
+// silently pick one record per cell — worth a loud warning.
+func distinctConfigs(recs []results.Record) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range recs {
+		c := fmt.Sprintf("scale=%s workload_scale=%g period=%d seed=%d repeats=%d",
+			r.Scale, r.WorkloadScale, r.PeriodBase, r.Seed, r.Repeats)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
+	st, err := results.Load(storePath)
+	if err != nil {
+		return err
+	}
+	recs := st.Records()
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: store is empty", storePath)
+	}
+	if configs := distinctConfigs(recs); len(configs) > 1 {
+		fmt.Fprintf(os.Stderr, "pmureport: warning: %s holds %d configurations; tables pick one record per cell:\n",
+			storePath, len(configs))
+		for _, c := range configs {
+			fmt.Fprintf(os.Stderr, "  %s\n", c)
+		}
+	}
+	kernels, apps := split(recs)
+	wlo, mco, mto := canonicalOrders()
+
+	var tables []*report.Table
+	want := func(name string) bool { return table == "all" || table == name }
+	if want("kernels") && len(kernels) > 0 {
+		tables = append(tables, report.Matrix(
+			"Regenerated Table 4: kernel accuracy errors (lower is better)", kernels, wlo, mco, mto))
+	}
+	if want("apps") && len(apps) > 0 {
+		tables = append(tables, report.Matrix(
+			"Regenerated Table 5: application accuracy errors (lower is better)", apps, wlo, mco, mto))
+	}
+	if want("ranking") {
+		tables = append(tables, report.MethodRanking(
+			"Regenerated Table 6: method trust ranking per machine", recs, mco, mto))
+	}
+	if want("factors") {
+		tables = append(tables, report.Factors(
+			"Regenerated Table 7: accuracy improvement over "+baseline, baseline, recs, mto))
+	}
+	if len(tables) == 0 {
+		return fmt.Errorf("no table %q in store (or unknown -table value)", table)
+	}
+	if csvOut && len(tables) > 1 {
+		// Concatenated rectangles with different headers are not CSV;
+		// make the caller pick one.
+		return fmt.Errorf("-csv emits one rectangle: pick a single table with -table kernels|apps|ranking|factors")
+	}
+	for _, t := range tables {
+		switch {
+		case csvOut:
+			fmt.Print(t.CSV())
+		case markdown:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.String())
+		}
+	}
+	return nil
+}
+
+func runCompare(oldPath, newPath string, tol float64, markdown, csvOut bool) (int, error) {
+	oldSt, err := results.Load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newSt, err := results.Load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	_, regressions, t := report.CompareRecords(oldSt.Records(), newSt.Records(), tol)
+	switch {
+	case csvOut:
+		fmt.Print(t.CSV())
+	case markdown:
+		fmt.Println(t.Markdown())
+	default:
+		fmt.Println(t.String())
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "pmureport: %d cell(s) regressed beyond tolerance %.4f\n", regressions, tol)
+	}
+	return regressions, nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmutrust/internal/results"
+)
+
+func writeStore(t *testing.T, path string, errOf func(workload, method string) float64) {
+	t.Helper()
+	st, err := results.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"G4Box", "FullCMS"} {
+		for _, k := range []string{"classic", "lbr"} {
+			rec := results.Record{
+				Identity: results.Identity{
+					Workload: w, Machine: "IvyBridge", Method: k,
+					Scale: "small", WorkloadScale: 1, PeriodBase: 2000, Seed: 42, Repeats: 1,
+				},
+				Err: errOf(w, k), Samples: 50, Supported: true,
+			}
+			if err := st.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportAllShapes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	writeStore(t, path, func(w, k string) float64 {
+		if k == "lbr" {
+			return 0.1
+		}
+		return 0.5
+	})
+	for _, table := range []string{"all", "kernels", "apps", "ranking", "factors"} {
+		for _, mode := range []struct{ md, csv bool }{{false, false}, {true, false}, {false, true}} {
+			err := runReport(path, table, "classic", mode.md, mode.csv)
+			if table == "all" && mode.csv {
+				// Concatenated rectangles are not CSV; -csv must demand
+				// a single table.
+				if err == nil {
+					t.Error("-csv with -table all accepted")
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("runReport(table=%s, md=%v, csv=%v): %v", table, mode.md, mode.csv, err)
+			}
+		}
+	}
+	if err := runReport(path, "bogus", "classic", false, false); err == nil {
+		t.Error("unknown -table accepted")
+	}
+	if err := runReport(filepath.Join(t.TempDir(), "missing.jsonl"), "all", "classic", false, false); err == nil {
+		t.Error("missing store accepted")
+	}
+}
+
+func TestDistinctConfigs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	writeStore(t, path, func(w, k string) float64 { return 0.3 })
+	st, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := distinctConfigs(st.Records()); len(got) != 1 {
+		t.Fatalf("single-config store reports %d configs: %v", len(got), got)
+	}
+	// Append one record under a different seed: the store now holds two
+	// configurations and the report warns (and still renders).
+	rec := results.Record{
+		Identity: results.Identity{
+			Workload: "G4Box", Machine: "IvyBridge", Method: "classic",
+			Scale: "small", WorkloadScale: 1, PeriodBase: 2000, Seed: 99, Repeats: 1,
+		},
+		Err: 0.4, Samples: 50, Supported: true,
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := results.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := distinctConfigs(ld.Records()); len(got) != 2 {
+		t.Fatalf("two-config store reports %d configs: %v", len(got), got)
+	}
+	if err := runReport(path, "all", "classic", false, false); err != nil {
+		t.Errorf("multi-config store failed to render: %v", err)
+	}
+}
+
+func TestRunCompareRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.jsonl")
+	samePath := filepath.Join(dir, "same.jsonl")
+	worsePath := filepath.Join(dir, "worse.jsonl")
+	base := func(w, k string) float64 {
+		if k == "lbr" {
+			return 0.1
+		}
+		return 0.5
+	}
+	writeStore(t, oldPath, base)
+	writeStore(t, samePath, base)
+	writeStore(t, worsePath, func(w, k string) float64 {
+		if w == "G4Box" && k == "lbr" {
+			return 0.4 // beyond any reasonable tolerance
+		}
+		return base(w, k)
+	})
+
+	if n, err := runCompare(oldPath, samePath, 0.05, false, false); err != nil || n != 0 {
+		t.Errorf("identical stores: regressions=%d err=%v", n, err)
+	}
+	if n, err := runCompare(oldPath, worsePath, 0.05, false, false); err != nil || n != 1 {
+		t.Errorf("regressed store: regressions=%d err=%v, want 1", n, err)
+	}
+	// Inside tolerance the same delta is not a regression; the CSV and
+	// Markdown render paths must count identically to plain text.
+	if n, err := runCompare(oldPath, worsePath, 0.5, true, false); err != nil || n != 0 {
+		t.Errorf("tolerant markdown compare: regressions=%d err=%v, want 0", n, err)
+	}
+	if n, err := runCompare(oldPath, worsePath, 0.05, false, true); err != nil || n != 1 {
+		t.Errorf("csv compare: regressions=%d err=%v, want 1", n, err)
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	trustadvisor -workload FullCMS [-machine Westmere] [-scale 1.0]
-//	             [-period 4000] [-seed 42] [-repeats 3]
+//	             [-period 4000] [-seed 42] [-repeats 3] [-all-machines]
 package main
 
 import (

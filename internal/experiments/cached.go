@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pmutrust/internal/results"
+)
+
+// CellIdentity returns the results-store identity of one grid cell under
+// this runner's configuration: the cell coordinates plus every scale and
+// seed knob that feeds the measurement. Its Key() is the content address
+// SweepCached caches under.
+func (r *Runner) CellIdentity(c Cell) results.Identity {
+	return results.Identity{
+		Workload:      c.Workload.Name,
+		Machine:       c.Machine.Name,
+		Method:        c.Method.Key,
+		Scale:         r.Scale.Name,
+		WorkloadScale: r.Scale.Workload,
+		PeriodBase:    r.Scale.PeriodBase,
+		Seed:          r.Seed,
+		Repeats:       r.Scale.Repeats,
+	}
+}
+
+// record converts a completed measurement into its store form.
+func (r *Runner) record(c Cell, m Measurement) results.Record {
+	id := r.CellIdentity(c)
+	return results.Record{
+		Key:       id.Key(),
+		Identity:  id,
+		Err:       m.Err,
+		PerRepeat: m.PerRepeat,
+		Samples:   m.Samples,
+		Supported: m.Supported,
+		Failed:    m.Failed,
+	}
+}
+
+// fromRecord reconstructs the measurement a stored record captured. It is
+// the exact inverse of record over the measurement fields, which is what
+// makes a resumed sweep's aggregate byte-identical to a fresh one.
+func fromRecord(rec results.Record) Measurement {
+	return Measurement{
+		Workload:  rec.Workload,
+		Machine:   rec.Machine,
+		Method:    rec.Method,
+		Err:       rec.Err,
+		PerRepeat: rec.PerRepeat,
+		Samples:   rec.Samples,
+		Supported: rec.Supported,
+		Failed:    rec.Failed,
+	}
+}
+
+// SweepStats reports how a cached sweep split its work.
+type SweepStats struct {
+	// Cached is the number of cells served from the store.
+	Cached int
+	// Measured is the number of cells actually measured this run (and,
+	// on success, appended to the store). Cells a sweep timeout
+	// abandoned before dispatch count in neither field.
+	Measured int
+}
+
+// SweepCached is Sweep with a persistent results store: cells whose
+// content-addressed identity is already present in st are returned from
+// the store without re-measuring, the rest are measured on the worker
+// pool and appended to st as they complete. Failed cells are *not*
+// stored, so a later resume retries them.
+//
+// Because measurements are pure functions of the cell identity (the same
+// property that makes Sweep order-independent), serving a cell from the
+// store is indistinguishable from re-measuring it: an interrupted sweep
+// resumed against its store produces byte-identical aggregates to an
+// uninterrupted run.
+func (r *Runner) SweepCached(g Grid, st *results.Store, opt SweepOptions) ([]Measurement, SweepStats, error) {
+	cells := g.Cells()
+	out := make([]Measurement, len(cells))
+	var stats SweepStats
+
+	// Partition into store hits (filled immediately) and misses
+	// (dispatched to the pool). Miss slots are prefilled with the same
+	// named no-result sentinel as Sweep, so a timeout leaves identifiable
+	// Failed cells.
+	var misses []int
+	for i, c := range cells {
+		if rec, ok := st.Get(r.CellIdentity(c).Key()); ok {
+			out[i] = fromRecord(rec)
+			continue
+		}
+		out[i] = Measurement{Workload: c.Workload.Name, Machine: c.Machine.Name, Method: c.Method.Key, Err: -1, Failed: true}
+		misses = append(misses, i)
+	}
+	stats.Cached = len(cells) - len(misses)
+
+	var measured atomic.Int64
+	err := r.forEach(len(misses), opt, func(j int) error {
+		i := misses[j]
+		c := cells[i]
+		measured.Add(1)
+		meas, err := r.Measure(c.Workload, c.Machine, c.Method)
+		out[i] = meas
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", c.Workload.Name, c.Machine.Name, c.Method.Key, err)
+		}
+		if perr := st.Put(r.record(c, meas)); perr != nil {
+			return fmt.Errorf("%s/%s/%s: %w", c.Workload.Name, c.Machine.Name, c.Method.Key, perr)
+		}
+		return nil
+	})
+	stats.Measured = int(measured.Load())
+	return out, stats, err
+}
+
+// sweep dispatches a grid through the store-aware path when the Runner
+// has a Store attached, and through the plain parallel sweep otherwise.
+// The matrix experiments (Tables 1 and 2) call this, which is what makes
+// `pmubench -store` incremental end to end. Store-path stats accumulate
+// on the Runner (see StoreStats).
+func (r *Runner) sweep(g Grid) ([]Measurement, error) {
+	if r.Store != nil {
+		ms, stats, err := r.SweepCached(g, r.Store, r.opts())
+		r.mu.Lock()
+		r.storeStats.Cached += stats.Cached
+		r.storeStats.Measured += stats.Measured
+		r.mu.Unlock()
+		return ms, err
+	}
+	return r.Sweep(g, r.opts())
+}
+
+// StoreStats returns the accumulated served/measured split of every
+// store-aware sweep this Runner has dispatched — the observable behind
+// `pmubench`'s end-of-run store summary (a fully warm resume reports
+// zero measured).
+func (r *Runner) StoreStats() SweepStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storeStats
+}

@@ -21,6 +21,7 @@ import (
 	"pmutrust/internal/profile"
 	"pmutrust/internal/program"
 	"pmutrust/internal/ref"
+	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
 	"pmutrust/internal/stats"
 	"pmutrust/internal/workloads"
@@ -99,10 +100,17 @@ type Runner struct {
 	// wall-clock deadline; cells already running finish (jobs are not
 	// interruptible). 0 means none.
 	Timeout time.Duration
+	// Store, when non-nil, makes the matrix experiments (Tables 1 and 2)
+	// incremental: grid cells already present in the store are served
+	// from it and newly measured cells are appended (see SweepCached).
+	Store *results.Store
 
 	mu    sync.Mutex
 	progs map[string]*progEntry
 	refs  map[string]*refEntry
+	// storeStats accumulates the served/measured split across every
+	// store-aware sweep (see sweep and StoreStats).
+	storeStats SweepStats
 }
 
 // progEntry is a single-flight slot for one built workload: the first

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pool"
+	"pmutrust/internal/results"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// TestSweepCachedResumeByteIdentical is the resume acceptance check: a
+// sweep interrupted partway (simulated by first sweeping only a slice of
+// the grid into the store), then resumed over the full grid, must (a)
+// re-execute only the missing cells and (b) aggregate byte-identically
+// to an uninterrupted run — through a real store file reload in between,
+// as `pmubench -store out.jsonl` then `-resume` would do.
+func TestSweepCachedResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		// The -short (race) job still covers the cached path's
+		// concurrency via TestSweepCachedMatchesSweep and the store's
+		// via TestStoreConcurrentPut; three full-grid sweeps under the
+		// race detector are too slow for it.
+		t.Skip("full-grid resume determinism in -short mode")
+	}
+	full := sweepGrid()
+	partial := full
+	partial.Workloads = full.Workloads[:1]
+
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := results.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(SmallScale(), 42)
+	if _, stats, err := r1.SweepCached(partial, st, SweepOptions{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	} else if stats.Cached != 0 || stats.Measured != partial.Size() {
+		t.Fatalf("first run stats = %+v, want all %d measured", stats, partial.Size())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from the file, as a fresh process would.
+	st2, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r2 := NewRunner(SmallScale(), 42)
+	resumed, stats, err := r2.SweepCached(full, st2, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := partial.Size(); stats.Cached != want {
+		t.Errorf("resume served %d cells from store, want %d", stats.Cached, want)
+	}
+	if want := full.Size() - partial.Size(); stats.Measured != want {
+		t.Errorf("resume re-executed %d cells, want only the %d missing", stats.Measured, want)
+	}
+
+	// Uninterrupted baseline on a fresh runner and memory store.
+	r3 := NewRunner(SmallScale(), 42)
+	fresh, _, err := r3.SweepCached(full, results.NewMemory(), SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := json.Marshal(resumed)
+	fb, _ := json.Marshal(fresh)
+	if !bytes.Equal(rb, fb) {
+		t.Errorf("resumed sweep differs from uninterrupted run:\nresumed: %s\nfresh:   %s", rb, fb)
+	}
+}
+
+// TestSweepCachedMatchesSweep pins the cached path to the plain one on an
+// empty store, and checks a second pass over a warm store is all hits.
+func TestSweepCachedMatchesSweep(t *testing.T) {
+	g := Grid{
+		Workloads: workloads.Kernels()[:1],
+		Machines:  []machine.Machine{machine.IvyBridge()},
+		Methods:   sampling.Registry(),
+	}
+	st := results.NewMemory()
+	r := NewRunner(SmallScale(), 7)
+	cached, stats, err := r.SweepCached(g, st, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cached != 0 || stats.Measured != g.Size() {
+		t.Errorf("cold store stats = %+v", stats)
+	}
+	plain, err := NewRunner(SmallScale(), 7).Sweep(g, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := json.Marshal(cached)
+	pb, _ := json.Marshal(plain)
+	if !bytes.Equal(cb, pb) {
+		t.Errorf("SweepCached on empty store differs from Sweep:\ncached: %s\nplain:  %s", cb, pb)
+	}
+
+	warm, stats, err := r.SweepCached(g, st, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cached != g.Size() || stats.Measured != 0 {
+		t.Errorf("warm store stats = %+v, want all %d cached", stats, g.Size())
+	}
+	wb, _ := json.Marshal(warm)
+	if !bytes.Equal(wb, cb) {
+		t.Errorf("warm pass differs from cold pass")
+	}
+}
+
+// TestSweepCachedTimeoutNotStored checks the retry contract: cells
+// abandoned by a timeout are not written to the store, so a resume
+// attempts them again.
+func TestSweepCachedTimeoutNotStored(t *testing.T) {
+	g := sweepGrid()
+	st := results.NewMemory()
+	r := NewRunner(SmallScale(), 1)
+	ms, stats, err := r.SweepCached(g, st, SweepOptions{Parallel: 2, Timeout: time.Nanosecond})
+	if !errors.Is(err, pool.ErrTimeout) {
+		t.Fatalf("expected pool.ErrTimeout, got %v", err)
+	}
+	abandoned := 0
+	for i, c := range g.Cells() {
+		if ms[i].Failed {
+			abandoned++
+			if _, ok := st.Get(r.CellIdentity(c).Key()); ok {
+				t.Errorf("abandoned cell %s/%s/%s leaked into the store",
+					c.Workload.Name, c.Machine.Name, c.Method.Key)
+			}
+		}
+	}
+	if abandoned == 0 {
+		t.Error("1ns timeout abandoned no cells")
+	}
+	if st.Len()+abandoned != g.Size() {
+		t.Errorf("store holds %d records, %d abandoned, grid %d", st.Len(), abandoned, g.Size())
+	}
+	// Measured must count only cells that actually ran, not cells the
+	// timeout abandoned before dispatch — it is the resume observable.
+	if stats.Measured != g.Size()-abandoned {
+		t.Errorf("stats.Measured = %d, want %d (grid %d minus %d abandoned)",
+			stats.Measured, g.Size()-abandoned, g.Size(), abandoned)
+	}
+	if stats.Cached != 0 {
+		t.Errorf("stats.Cached = %d on an empty store", stats.Cached)
+	}
+}
+
+// TestRunMatrixUsesStore checks the end-to-end wiring: a Runner with a
+// Store renders Table 1 identically to one without, and a second Runner
+// resuming from the same store renders the identical table without
+// re-measuring (its workload cache stays cold).
+func TestRunMatrixUsesStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix render in -short mode")
+	}
+	st := results.NewMemory()
+	r1 := NewRunner(SmallScale(), 42)
+	r1.Store = st
+	tr1, err := r1.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewRunner(SmallScale(), 42).RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Table.String() != plain.Table.String() {
+		t.Error("store-backed Table 1 differs from plain run")
+	}
+
+	r2 := NewRunner(SmallScale(), 42)
+	r2.Store = st
+	tr2, err := r2.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Table.String() != tr1.Table.String() {
+		t.Error("resumed Table 1 render differs")
+	}
+	if len(r2.progs) != 0 {
+		t.Errorf("resumed run built %d workloads, want 0 (all cells cached)", len(r2.progs))
+	}
+}

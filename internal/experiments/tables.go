@@ -40,12 +40,14 @@ func (tr *TableResult) Get(workload, mach, method string) float64 {
 }
 
 // runMatrix measures every (workload, machine, method) combination
-// through the parallel sweep layer and renders one row per workload ×
-// machine, one column per method — the layout of the paper's Tables 1
-// and 2. Rendering walks the measurements in canonical grid order, so
-// the table is identical at any worker count.
+// through the parallel sweep layer — store-aware when the Runner has a
+// results store attached — and renders one row per workload × machine,
+// one column per method: the layout of the paper's Tables 1 and 2.
+// Rendering walks the measurements in canonical grid order, so the table
+// is identical at any worker count and whether cells were measured or
+// served from the store.
 func (r *Runner) runMatrix(title string, specs []workloads.Spec, machines []machine.Machine, methods []sampling.Method) (*TableResult, error) {
-	ms, err := r.Sweep(Grid{Workloads: specs, Machines: machines, Methods: methods}, r.opts())
+	ms, err := r.sweep(Grid{Workloads: specs, Machines: machines, Methods: methods})
 	if err != nil {
 		return nil, err
 	}

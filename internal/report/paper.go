@@ -1,0 +1,295 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"pmutrust/internal/results"
+	"pmutrust/internal/stats"
+)
+
+// This file assembles stored measurement records back into the paper's
+// table shapes, so `pmureport` can regenerate every accuracy table from
+// a results store without re-measuring. All assembly is deterministic:
+// row and column orders come from the caller's canonical orders (paper
+// order), with any names the store holds beyond them appended sorted, so
+// the same store always renders to the same bytes.
+
+// order returns the caller's preferred order filtered to names actually
+// present, with unknown names appended sorted.
+func order(preferred []string, present map[string]bool) []string {
+	out := make([]string, 0, len(present))
+	seen := make(map[string]bool, len(present))
+	for _, n := range preferred {
+		if present[n] && !seen[n] {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range present {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// collect indexes records by (workload, machine, method) and returns the
+// name sets on each axis. On duplicate coordinates the record later in
+// the input slice wins — with Store.Records() that is canonical key
+// order, which is deterministic but arbitrary across configurations, so
+// callers rendering stores that may hold several configurations (e.g.
+// resumed with a different seed or scale) should detect and surface that
+// (pmureport warns; see distinctConfigs).
+func collect(recs []results.Record) (byCell map[[3]string]results.Record, workloads, machines, methods map[string]bool) {
+	byCell = make(map[[3]string]results.Record, len(recs))
+	workloads = make(map[string]bool)
+	machines = make(map[string]bool)
+	methods = make(map[string]bool)
+	for _, r := range recs {
+		byCell[[3]string{r.Workload, r.Machine, r.Method}] = r
+		workloads[r.Workload] = true
+		machines[r.Machine] = true
+		methods[r.Method] = true
+	}
+	return
+}
+
+// Matrix renders records in the paper's accuracy-matrix shape: one row
+// per workload × machine, one column per method — the layout of Tables 1
+// and 2 (and of the regenerated Tables 4 and 5 in pmureport). Orders are
+// the caller's canonical axis orders; cells absent from the store render
+// as "-".
+func Matrix(title string, recs []results.Record, workloadOrder, machineOrder, methodOrder []string) *Table {
+	byCell, wl, mc, mt := collect(recs)
+	wls := order(workloadOrder, wl)
+	mcs := order(machineOrder, mc)
+	mts := order(methodOrder, mt)
+
+	headers := append([]string{"workload", "machine"}, mts...)
+	t := New(title, headers...)
+	for _, w := range wls {
+		for _, m := range mcs {
+			row := []string{w, m}
+			any := false
+			for _, k := range mts {
+				rec, ok := byCell[[3]string{w, m, k}]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				any = true
+				row = append(row, Fmt(rec.Err))
+			}
+			if any {
+				t.AddRow(row...)
+			}
+		}
+	}
+	return t
+}
+
+// MethodRanking renders, per machine, each method's geometric-mean error
+// over all stored workloads, best first — the "which method should I
+// trust on this box" summary (the regenerated Table 6 in pmureport).
+// Failed and unsupported cells are excluded from the geomean; a method
+// with no measured cell on a machine is omitted from that machine's
+// ranking.
+func MethodRanking(title string, recs []results.Record, machineOrder, methodOrder []string) *Table {
+	byCell, wl, mc, mt := collect(recs)
+	mcs := order(machineOrder, mc)
+	mts := order(methodOrder, mt)
+	var wls []string
+	for w := range wl {
+		wls = append(wls, w)
+	}
+	sort.Strings(wls)
+
+	t := New(title, "machine", "rank", "method", "geomean err", "cells")
+	for _, m := range mcs {
+		type entry struct {
+			method string
+			gm     float64
+			n      int
+		}
+		var entries []entry
+		for _, k := range mts {
+			var errs []float64
+			for _, w := range wls {
+				if rec, ok := byCell[[3]string{w, m, k}]; ok && rec.Err >= 0 {
+					errs = append(errs, rec.Err)
+				}
+			}
+			if len(errs) > 0 {
+				entries = append(entries, entry{k, stats.GeoMean(errs), len(errs)})
+			}
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].gm < entries[j].gm })
+		for i, e := range entries {
+			t.AddRow(m, fmt.Sprintf("%d", i+1), e.method, Fmt(e.gm), fmt.Sprintf("%d", e.n))
+		}
+	}
+	t.Note = "Geometric mean of accuracy errors over all stored workloads; lower is better, rank 1 is the machine's most trustworthy method."
+	return t
+}
+
+// Factors renders per-method improvement factors over a baseline method
+// (the regenerated Table 7 in pmureport): for every workload × machine
+// where both the baseline and the method measured successfully, the
+// factor is baselineErr/methodErr, summarized as geomean/min/max.
+func Factors(title, baseline string, recs []results.Record, methodOrder []string) *Table {
+	byCell, wl, mc, mt := collect(recs)
+	mts := order(methodOrder, mt)
+	var wls, mcs []string
+	for w := range wl {
+		wls = append(wls, w)
+	}
+	for m := range mc {
+		mcs = append(mcs, m)
+	}
+	sort.Strings(wls)
+	sort.Strings(mcs)
+
+	t := New(title, "method", "vs "+baseline+" geomean", "min", "max", "cells")
+	for _, k := range mts {
+		if k == baseline {
+			continue
+		}
+		var factors []float64
+		for _, w := range wls {
+			for _, m := range mcs {
+				b, okB := byCell[[3]string{w, m, baseline}]
+				v, okV := byCell[[3]string{w, m, k}]
+				if okB && okV && b.Err > 0 && v.Err > 0 {
+					factors = append(factors, b.Err/v.Err)
+				}
+			}
+		}
+		if len(factors) == 0 {
+			t.AddRow(k, "-", "-", "-", "0")
+			continue
+		}
+		lo, hi := factors[0], factors[0]
+		for _, f := range factors {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		t.AddRow(k, FmtFactor(stats.GeoMean(factors)), FmtFactor(lo), FmtFactor(hi),
+			fmt.Sprintf("%d", len(factors)))
+	}
+	t.Note = "Factor = baseline error / method error on cells where both measured; >1.0x means the method is more accurate than " + baseline + "."
+	return t
+}
+
+// CellDiff is one (workload, machine, method) coordinate's change
+// between two stores.
+type CellDiff struct {
+	Workload, Machine, Method string
+	// OldErr and NewErr are the accuracy errors (-1 = unsupported,
+	// failed, or absent from that store).
+	OldErr, NewErr float64
+	// Regressed marks an accuracy regression beyond the tolerance: the
+	// new error exceeds the old by more than tol, or a previously
+	// measured cell now has no valid measurement.
+	Regressed bool
+}
+
+// CompareRecords diffs two stores cell-by-cell by (workload, machine,
+// method) coordinate and returns every coordinate whose error changed
+// (beyond exact equality) plus a rendered table. The second result is
+// the number of regressions: cells whose error grew by more than tol,
+// and cells that lost their measurement — including cells absent from
+// the new store that the old store had measured, because a sweep never
+// stores failed cells, so "started failing" manifests as absence.
+// Coordinates only in the new store ("added", "now measured") and
+// absent coordinates the old store couldn't measure either are listed
+// for context but are not regressions.
+func CompareRecords(oldRecs, newRecs []results.Record, tol float64) ([]CellDiff, int, *Table) {
+	oldBy, wlO, mcO, mtO := collect(oldRecs)
+	newBy, wlN, mcN, mtN := collect(newRecs)
+	union := func(a, b map[string]bool) map[string]bool {
+		u := make(map[string]bool, len(a)+len(b))
+		for k := range a {
+			u[k] = true
+		}
+		for k := range b {
+			u[k] = true
+		}
+		return u
+	}
+	wls := order(nil, union(wlO, wlN))
+	mcs := order(nil, union(mcO, mcN))
+	mts := order(nil, union(mtO, mtN))
+
+	errOf := func(by map[[3]string]results.Record, c [3]string) (float64, bool) {
+		rec, ok := by[c]
+		if !ok {
+			return -1, false
+		}
+		return rec.Err, true
+	}
+
+	var diffs []CellDiff
+	regressions := 0
+	t := New("store comparison (old vs new accuracy error)",
+		"workload", "machine", "method", "old", "new", "delta", "verdict")
+	for _, w := range wls {
+		for _, m := range mcs {
+			for _, k := range mts {
+				c := [3]string{w, m, k}
+				oe, okO := errOf(oldBy, c)
+				ne, okN := errOf(newBy, c)
+				if !okO && !okN {
+					continue
+				}
+				if oe == ne && okO && okN {
+					continue // unchanged, keep the diff table readable
+				}
+				d := CellDiff{Workload: w, Machine: m, Method: k, OldErr: oe, NewErr: ne}
+				verdict, delta := "changed", "-"
+				switch {
+				case !okO:
+					verdict = "added"
+				case !okN && oe >= 0:
+					// Failed cells are never stored (SweepCached skips
+					// them so resumes retry), so a cell that started
+					// failing shows up as absent — that is a lost
+					// measurement, not a shrunk grid.
+					verdict = "REGRESSED (lost)"
+					d.Regressed = true
+				case !okN:
+					verdict = "removed"
+				case oe >= 0 && ne >= 0:
+					delta = fmt.Sprintf("%+.4f", ne-oe)
+					if ne-oe > tol {
+						verdict = "REGRESSED"
+						d.Regressed = true
+					} else if oe-ne > tol {
+						verdict = "improved"
+					}
+				case oe >= 0 && ne < 0:
+					// Measured before, unsupported/failed now: the cell
+					// lost its measurement.
+					verdict = "REGRESSED (lost)"
+					d.Regressed = true
+				case oe < 0 && ne >= 0:
+					verdict = "now measured"
+				}
+				if d.Regressed {
+					regressions++
+				}
+				diffs = append(diffs, d)
+				t.AddRow(w, m, k, Fmt(oe), Fmt(ne), delta, verdict)
+			}
+		}
+	}
+	t.Note = fmt.Sprintf("%d cell(s) differ, %d regression(s) beyond tolerance %.4f; unchanged cells omitted.",
+		len(diffs), regressions, tol)
+	return diffs, regressions, t
+}

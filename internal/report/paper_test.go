@@ -1,0 +1,216 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmutrust/internal/results"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureRecords is a small two-workload, two-machine, three-method
+// store slice with an unsupported cell, a failed cell and a missing
+// coordinate — enough to exercise every render branch.
+func fixtureRecords() []results.Record {
+	mk := func(w, m, k string, err float64, supported bool) results.Record {
+		rec := results.Record{
+			Identity: results.Identity{
+				Workload: w, Machine: m, Method: k,
+				Scale: "small", WorkloadScale: 1, PeriodBase: 2000, Seed: 42, Repeats: 1,
+			},
+			Err: err, Samples: 100, Supported: supported,
+		}
+		if err >= 0 {
+			rec.PerRepeat = []float64{err}
+		}
+		rec.Key = rec.Identity.Key()
+		return rec
+	}
+	return []results.Record{
+		mk("G4Box", "IvyBridge", "classic", 0.52, true),
+		mk("G4Box", "IvyBridge", "precise", 0.31, true),
+		mk("G4Box", "IvyBridge", "lbr", 0.04, true),
+		mk("G4Box", "Westmere", "classic", 0.61, true),
+		mk("G4Box", "Westmere", "precise", 0.33, true),
+		mk("G4Box", "Westmere", "lbr", 0.07, true),
+		mk("Test40", "IvyBridge", "classic", 0.44, true),
+		mk("Test40", "IvyBridge", "precise", 0.2, true),
+		mk("Test40", "IvyBridge", "lbr", 0.11, true),
+		mk("Test40", "Westmere", "classic", 0.5, true),
+		mk("Test40", "Westmere", "lbr", -1, false), // unsupported
+		// Test40/Westmere/precise deliberately absent (interrupted run).
+	}
+}
+
+var (
+	workloadOrder = []string{"G4Box", "Test40"}
+	machineOrder  = []string{"Westmere", "IvyBridge"}
+	methodOrder   = []string{"classic", "precise", "lbr"}
+)
+
+// checkGolden compares got against testdata/<name>, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestMatrixGolden(t *testing.T) {
+	m := Matrix("Regenerated Table 4: kernel accuracy errors", fixtureRecords(),
+		workloadOrder, machineOrder, methodOrder)
+	checkGolden(t, "matrix.txt", m.String())
+	checkGolden(t, "matrix.md", m.Markdown())
+	checkGolden(t, "matrix.csv", m.CSV())
+}
+
+func TestMethodRankingGolden(t *testing.T) {
+	m := MethodRanking("Regenerated Table 6: method ranking per machine", fixtureRecords(),
+		machineOrder, methodOrder)
+	checkGolden(t, "ranking.txt", m.String())
+}
+
+func TestFactorsGolden(t *testing.T) {
+	m := Factors("Regenerated Table 7: improvement over classic", "classic", fixtureRecords(),
+		methodOrder)
+	checkGolden(t, "factors.txt", m.String())
+}
+
+// TestStoreRoundTripRender is the durability acceptance check: writing
+// records to a store file, loading it back, and re-rendering must give
+// byte-identical tables — file order and JSON round-tripping must not
+// leak into the output.
+func TestStoreRoundTripRender(t *testing.T) {
+	recs := fixtureRecords()
+	direct := Matrix("t", recs, workloadOrder, machineOrder, methodOrder)
+
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := results.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert in reverse to prove render order comes from the records,
+	// not the file.
+	for i := len(recs) - 1; i >= 0; i-- {
+		if err := st.Put(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := results.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded := Matrix("t", ld.Records(), workloadOrder, machineOrder, methodOrder)
+	for _, render := range []struct{ name, a, b string }{
+		{"String", direct.String(), reloaded.String()},
+		{"Markdown", direct.Markdown(), reloaded.Markdown()},
+		{"CSV", direct.CSV(), reloaded.CSV()},
+	} {
+		if render.a != render.b {
+			t.Errorf("%s render not byte-identical after store round-trip:\n%s\nvs\n%s",
+				render.name, render.a, render.b)
+		}
+	}
+}
+
+func TestCompareRecords(t *testing.T) {
+	old := fixtureRecords()
+	newer := fixtureRecords()
+	// Regress one cell beyond tolerance, improve another, lose a third.
+	for i := range newer {
+		switch {
+		case newer[i].Workload == "G4Box" && newer[i].Machine == "IvyBridge" && newer[i].Method == "lbr":
+			newer[i].Err = 0.2 // 0.04 -> 0.2: regression
+		case newer[i].Workload == "Test40" && newer[i].Machine == "IvyBridge" && newer[i].Method == "precise":
+			newer[i].Err = 0.05 // 0.2 -> 0.05: improvement
+		case newer[i].Workload == "G4Box" && newer[i].Machine == "Westmere" && newer[i].Method == "classic":
+			newer[i].Err = -1 // measured -> failed: lost cell
+			newer[i].Failed = true
+		}
+	}
+	// Drop two cells from the new store entirely: a measured one (a
+	// failed sweep cell is never stored, so absence = lost measurement)
+	// and the unsupported one (absence of a cell that never measured is
+	// a shrunk grid, not a regression).
+	var pruned []results.Record
+	for _, rec := range newer {
+		if rec.Workload == "Test40" && rec.Machine == "IvyBridge" && rec.Method == "classic" {
+			continue
+		}
+		if rec.Workload == "Test40" && rec.Machine == "Westmere" && rec.Method == "lbr" {
+			continue
+		}
+		pruned = append(pruned, rec)
+	}
+	newer = pruned
+
+	diffs, regressions, tbl := CompareRecords(old, newer, 0.01)
+	if regressions != 3 {
+		t.Errorf("regressions = %d, want 3 (worse cell, failed cell, vanished measured cell):\n%s", regressions, tbl)
+	}
+	byCoord := make(map[string]CellDiff)
+	for _, d := range diffs {
+		byCoord[d.Workload+"/"+d.Machine+"/"+d.Method] = d
+	}
+	if d := byCoord["G4Box/IvyBridge/lbr"]; !d.Regressed {
+		t.Errorf("worse cell not flagged: %+v", d)
+	}
+	if d := byCoord["G4Box/Westmere/classic"]; !d.Regressed {
+		t.Errorf("lost cell not flagged: %+v", d)
+	}
+	if d := byCoord["Test40/IvyBridge/precise"]; d.Regressed {
+		t.Errorf("improvement flagged as regression: %+v", d)
+	}
+	if d := byCoord["Test40/IvyBridge/classic"]; !d.Regressed {
+		t.Errorf("vanished measured cell not flagged: %+v", d)
+	}
+	if d := byCoord["Test40/Westmere/lbr"]; d.Regressed {
+		t.Errorf("vanished unsupported cell flagged as regression: %+v", d)
+	}
+	for _, want := range []string{"REGRESSED", "improved", "lost"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("compare table missing %q:\n%s", want, tbl)
+		}
+	}
+
+	// Identical stores: no diffs, no regressions.
+	if diffs, regressions, _ := CompareRecords(old, old, 0.01); len(diffs) != 0 || regressions != 0 {
+		t.Errorf("self-compare produced %d diffs, %d regressions", len(diffs), regressions)
+	}
+
+	// Within tolerance: changed but not regressed.
+	slight := fixtureRecords()
+	slight[0].Err += 0.005
+	if _, regressions, _ := CompareRecords(old, slight, 0.01); regressions != 0 {
+		t.Errorf("within-tolerance change counted as regression")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := New("ignored title", "a", "b")
+	tbl.AddRow("x,y", `quote"me`)
+	tbl.Note = "ignored note"
+	got := tbl.CSV()
+	want := "a,b\n\"x,y\",\"quote\"\"me\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

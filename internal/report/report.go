@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 )
@@ -98,6 +99,20 @@ func (t *Table) Markdown() string {
 	if t.Note != "" {
 		fmt.Fprintf(&b, "\n%s\n", t.Note)
 	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 comma-separated values: a header
+// row then the data rows. Title and Note are not emitted — CSV output
+// feeds spreadsheets and diff tools, which want pure rectangles.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.Headers)
+	for _, row := range t.Rows {
+		w.Write(row)
+	}
+	w.Flush()
 	return b.String()
 }
 

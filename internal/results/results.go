@@ -1,0 +1,76 @@
+// Package results persists per-cell sweep measurements as durable,
+// diffable artifacts. A store is a JSONL file of Record lines, each keyed
+// by a content address over the cell's full configuration tuple —
+// (workload, machine, method, scale, period, base seed, repeats), the
+// same identity stats.DeriveSeed hashes for the cell's random streams.
+// Because measurements are deterministic functions of that tuple, a store
+// doubles as a cache: a resumed sweep skips every cell whose key is
+// already present and is guaranteed to reproduce the uninterrupted run
+// bit for bit.
+package results
+
+import (
+	"strconv"
+
+	"pmutrust/internal/stats"
+)
+
+// SchemaV is the store line format version, bumped on incompatible
+// Record changes so old artifacts fail loudly instead of misparse.
+const SchemaV = 1
+
+// Identity is the configuration tuple that fully determines one sweep
+// cell's measurement. Two cells with equal identities draw the same seeds
+// and therefore produce identical results.
+type Identity struct {
+	// Workload, Machine and Method name the grid cell.
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Method   string `json:"method"`
+	// Scale names the experiment scale ("paper", "small", ...).
+	Scale string `json:"scale"`
+	// WorkloadScale is the scale's workload iteration multiplier.
+	WorkloadScale float64 `json:"workload_scale"`
+	// PeriodBase is the base sampling period in instructions.
+	PeriodBase uint64 `json:"period_base"`
+	// Seed is the base seed the per-repeat seeds derive from.
+	Seed uint64 `json:"seed"`
+	// Repeats is how many repeats were averaged.
+	Repeats int `json:"repeats"`
+}
+
+// Key returns the identity's content address: a 16-hex-digit fingerprint
+// over every field. The store is keyed by it, so any configuration change
+// — a different seed, period, scale or repeat count — addresses different
+// cells and can never serve stale measurements.
+func (id Identity) Key() string {
+	return stats.Fingerprint(id.Seed,
+		id.Workload, id.Machine, id.Method, id.Scale,
+		// 'g' formatting round-trips float64 exactly, so distinct
+		// workload scales never alias.
+		strconv.FormatFloat(id.WorkloadScale, 'g', -1, 64),
+		strconv.FormatUint(id.PeriodBase, 10),
+		strconv.Itoa(id.Repeats))
+}
+
+// Record is one stored measurement: the identity that addresses it plus
+// the measured payload (mirroring experiments.Measurement).
+type Record struct {
+	// V is the line schema version (SchemaV).
+	V int `json:"v"`
+	// Key is the identity's content address, stored redundantly so a
+	// store file is greppable and diffs are self-describing.
+	Key string `json:"key"`
+	Identity
+	// Err is the accuracy error averaged over successful repeats; -1 for
+	// unsupported or failed cells.
+	Err float64 `json:"err"`
+	// PerRepeat holds the individual repeat errors, in repeat order.
+	PerRepeat []float64 `json:"per_repeat,omitempty"`
+	// Samples is the sample count of the first successful repeat.
+	Samples int `json:"samples"`
+	// Supported reports whether the machine can run the method.
+	Supported bool `json:"supported"`
+	// Failed reports that at least one repeat errored.
+	Failed bool `json:"failed,omitempty"`
+}

@@ -1,0 +1,217 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store is a keyed set of measurement Records backed by an append-only
+// JSONL file. Puts append one line each straight to the file (the file
+// is the log), so a sweep whose *process* is killed mid-run keeps every
+// completed cell, and Open tolerates the torn final line such a kill can
+// leave behind. Appends are not fsynced per Put (that would serialize
+// the sweep on the disk); Close syncs, so only an OS crash or power loss
+// between a Put and Close can lose records — and a resumed sweep simply
+// re-measures those cells. A Store is safe for concurrent use — sweep
+// workers Put from many goroutines.
+//
+// Within one file the last record for a key wins, matching the cache
+// semantics: re-putting an identical identity re-states the same value.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File // append handle; nil for a memory-only store
+	recs map[string]Record
+}
+
+// NewMemory returns an unbacked store, for tests and one-shot renders.
+func NewMemory() *Store {
+	return &Store{recs: make(map[string]Record)}
+}
+
+// Create truncates (or creates) path and returns an empty store writing
+// to it.
+func Create(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results: create store: %w", err)
+	}
+	return &Store{path: path, f: f, recs: make(map[string]Record)}, nil
+}
+
+// Open loads the records already present at path (creating the file if
+// missing) and returns a store that appends to it — the resume entry
+// point. If the file ends in a torn line (a writer was killed mid-append)
+// the tail is truncated away so subsequent appends start on a clean line
+// boundary; a malformed line elsewhere is an error, since silently
+// dropping an interior record would make a resumed sweep re-measure — and
+// re-append — cells the file already holds.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results: open store: %w", err)
+	}
+	s := &Store{path: path, f: f, recs: make(map[string]Record)}
+	good, err := s.load(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn tail, then position at the new end for appends.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: seek: %w", err)
+	}
+	return s, nil
+}
+
+// Load reads a store file read-only (no append handle). Renderers and
+// the compare path use it; Put on a loaded store keeps records in memory
+// only.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: load store: %w", err)
+	}
+	defer f.Close()
+	s := &Store{path: path, recs: make(map[string]Record)}
+	if _, err := s.load(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load parses JSONL records from r into the map and returns the byte
+// offset just past the last well-formed line. Only a malformed or
+// truncated *final* line is tolerated (it is not counted in the
+// returned offset); anything malformed earlier is corruption.
+func (s *Store) load(r io.Reader) (good int64, err error) {
+	br := bufio.NewReader(r)
+	var off int64
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			// Only a clean end-of-file qualifies as a torn tail; a real
+			// read error must propagate, or Open would truncate away
+			// valid records past a transient I/O failure.
+			return 0, fmt.Errorf("results: read store: %w", rerr)
+		}
+		complete := rerr == nil // false on EOF-terminated (torn) tail
+		if len(line) > 0 {
+			var rec Record
+			if jerr := json.Unmarshal(line, &rec); jerr != nil {
+				if complete {
+					return 0, fmt.Errorf("results: %s:%d: malformed record: %v", s.path, lineNo, jerr)
+				}
+				return off, nil // torn tail: ignore, report clean offset
+			}
+			if rec.V != SchemaV {
+				return 0, fmt.Errorf("results: %s:%d: schema v%d, want v%d", s.path, lineNo, rec.V, SchemaV)
+			}
+			if !complete {
+				// A full JSON object without a trailing newline still
+				// counts: re-write it on resume rather than risk gluing
+				// the next append onto it.
+				return off, nil
+			}
+			s.recs[rec.Key] = rec
+			off += int64(len(line))
+		}
+		if rerr == io.EOF {
+			return off, nil
+		}
+	}
+}
+
+// Put stores rec (stamping V and, if empty, Key from the identity) and,
+// for file-backed stores, appends its JSONL line.
+func (s *Store) Put(rec Record) error {
+	rec.V = SchemaV
+	if rec.Key == "" {
+		rec.Key = rec.Identity.Key()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("results: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if _, err := s.f.Write(line); err != nil {
+			return fmt.Errorf("results: append record: %w", err)
+		}
+	}
+	s.recs[rec.Key] = rec
+	return nil
+}
+
+// Get returns the record stored under key.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Len returns the number of distinct keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns all records sorted by (workload, machine, method, key)
+// — a canonical order independent of file order, so renders from a store
+// are deterministic however the sweep was scheduled or resumed.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	out := make([]Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		out = append(out, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// Path returns the backing file path ("" for memory-only stores).
+func (s *Store) Path() string { return s.path }
+
+// Close fsyncs and releases the append handle, if any. The store stays
+// readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	syncErr := s.f.Sync()
+	err := s.f.Close()
+	s.f = nil
+	if err == nil {
+		err = syncErr
+	}
+	return err
+}

@@ -1,5 +1,7 @@
 package stats
 
+import "fmt"
+
 // DeriveSeed derives a stable 64-bit seed from a base seed and a list of
 // string labels. The experiment harness uses it to give every cell of a
 // (workload, machine, method, repeat) sweep grid its own independent
@@ -35,4 +37,13 @@ func DeriveSeed(base uint64, labels ...string) uint64 {
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
 	return h ^ (h >> 31)
+}
+
+// Fingerprint renders DeriveSeed printable: a fixed-width 16-hex-digit
+// content address over (base, labels). The results store keys each sweep
+// cell by the fingerprint of its full configuration tuple, so two cells
+// share a key exactly when they would draw the same random streams and
+// hence produce the same measurement.
+func Fingerprint(base uint64, labels ...string) string {
+	return fmt.Sprintf("%016x", DeriveSeed(base, labels...))
 }

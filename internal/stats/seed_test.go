@@ -1,6 +1,9 @@
 package stats
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestDeriveSeedDeterministic(t *testing.T) {
 	a := DeriveSeed(42, "G4Box", "IvyBridge", "lbr", "0")
@@ -19,6 +22,22 @@ func TestDeriveSeedLabelBoundaries(t *testing.T) {
 	}
 	if DeriveSeed(1) == DeriveSeed(2) {
 		t.Error("base seed ignored")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	fp := Fingerprint(42, "G4Box", "IvyBridge", "lbr")
+	if len(fp) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex digits", fp)
+	}
+	if fp != Fingerprint(42, "G4Box", "IvyBridge", "lbr") {
+		t.Error("fingerprint not deterministic")
+	}
+	if fp != fmt.Sprintf("%016x", DeriveSeed(42, "G4Box", "IvyBridge", "lbr")) {
+		t.Error("fingerprint does not match DeriveSeed")
+	}
+	if Fingerprint(42, "a") == Fingerprint(43, "a") {
+		t.Error("fingerprint ignores base seed")
 	}
 }
 

@@ -43,9 +43,29 @@
 // order. cmd/pmubench exposes the sweep results as rendered tables and,
 // with -json, as machine-readable per-cell measurement records.
 //
+// # Results store, resumable sweeps and reports
+//
+// Because each cell's measurement is a pure function of its
+// configuration tuple, measurements can be persisted and reused.
+// internal/results keys each cell by a content address over (workload,
+// machine, method, scale, period, base seed, repeats) and appends
+// completed cells to a JSONL store file; Runner.SweepCached serves cells
+// already present and measures only the rest. `pmubench -store
+// results.jsonl` records a sweep as it runs, and re-running with
+// `-resume` after an interruption re-executes only the missing cells —
+// the final tables are byte-identical to an uninterrupted run.
+//
+// cmd/pmureport is the read side: it regenerates the paper-shaped
+// accuracy tables (kernel/application matrices, per-machine method
+// ranking, improvement factors) from a store file without re-measuring,
+// as plain text, Markdown or CSV, and `pmureport -compare old.jsonl
+// new.jsonl` diffs two stores cell-by-cell, exiting non-zero when a
+// cell's accuracy error regressed beyond a tolerance.
+//
 // The heavy lifting lives in the internal packages (isa, program, cpu,
 // pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
-// experiments); this package re-exports the stable surface.
+// experiments, results, report); this package re-exports the stable
+// surface.
 package pmutrust
 
 import (
