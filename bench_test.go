@@ -10,7 +10,10 @@
 package pmutrust_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
+	"os"
 	"runtime"
 	"testing"
 
@@ -194,6 +197,101 @@ func BenchmarkSweepKernels(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Engines: interp vs fast ------------------------------------------------
+
+// BenchmarkEngines times full sampling collections (workload + PMU) on the
+// Table 4 kernel set under both execution engines and writes
+// BENCH_engine.json with the per-workload speedup factor and its geomean —
+// the perf-trajectory artifact for the fast-path executor. The engines are
+// bit-identical (see internal/cpu's differential harness), so the factor
+// is pure wall-clock.
+func BenchmarkEngines(b *testing.B) {
+	type timing struct{ interpNs, fastNs float64 }
+	mach := machine.IvyBridge()
+	m, err := sampling.MethodByKey("precise+prime+rand")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const periodBase = 4000 // the PaperScale period regime
+
+	specs := workloads.Kernels()
+	timings := make(map[string]*timing, len(specs))
+	var order []string
+	for _, spec := range specs {
+		spec := spec
+		p := spec.Build(0.25)
+		timings[spec.Name] = &timing{}
+		order = append(order, spec.Name)
+		for _, eng := range []sampling.EngineMode{sampling.EngineInterp, sampling.EngineFast} {
+			eng := eng
+			b.Run(spec.Name+"/"+eng.String(), func(b *testing.B) {
+				var instrs uint64
+				for i := 0; i < b.N; i++ {
+					run, err := sampling.Collect(p, mach, m, sampling.Options{
+						PeriodBase: periodBase,
+						Seed:       42,
+						Engine:     eng,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs = run.CPU.Instructions
+				}
+				perOp := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(instrs)/perOp/1e6, "Minstr/s")
+				tm := timings[spec.Name]
+				if eng == sampling.EngineInterp {
+					tm.interpNs = perOp * 1e9
+				} else {
+					tm.fastNs = perOp * 1e9
+				}
+			})
+		}
+	}
+
+	// Emit the artifact. Under -benchtime=1x (CI smoke) the numbers are
+	// single-shot and noisy; run with a real -benchtime for the recorded
+	// trajectory.
+	type entry struct {
+		Workload string  `json:"workload"`
+		InterpNs float64 `json:"interp_ns"`
+		FastNs   float64 `json:"fast_ns"`
+		Speedup  float64 `json:"speedup"`
+	}
+	doc := struct {
+		Machine    string  `json:"machine"`
+		Method     string  `json:"method"`
+		PeriodBase uint64  `json:"period_base"`
+		Workloads  []entry `json:"workloads"`
+		Geomean    float64 `json:"geomean_speedup"`
+	}{Machine: mach.Name, Method: m.Key, PeriodBase: periodBase}
+	logGeo, n := 0.0, 0
+	for _, name := range order {
+		tm := timings[name]
+		if tm.interpNs <= 0 || tm.fastNs <= 0 {
+			continue // partial -bench filter run
+		}
+		sp := tm.interpNs / tm.fastNs
+		doc.Workloads = append(doc.Workloads, entry{
+			Workload: name, InterpNs: tm.interpNs, FastNs: tm.fastNs, Speedup: sp,
+		})
+		logGeo += math.Log(sp)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	doc.Geomean = math.Exp(logGeo / float64(n))
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("engine speedup geomean %.2fx across %d kernels (BENCH_engine.json)", doc.Geomean, n)
 }
 
 // --- Substrate micro-benchmarks ---------------------------------------------

@@ -9,7 +9,7 @@
 //	                      stability|future-hw|all]
 //	         [-scale paper|small] [-seed N] [-markdown]
 //	         [-parallel N] [-timeout D] [-json FILE]
-//	         [-store FILE] [-resume]
+//	         [-store FILE] [-resume] [-engine fast|interp|both]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
@@ -33,6 +33,14 @@
 // byte-identical to an uninterrupted run. Without -resume the store path
 // must be new or empty (pmubench refuses to clobber accumulated
 // results). cmd/pmureport renders and diffs store files.
+//
+// -engine selects the execution engine: "fast" (default) runs the
+// block-stride fast-path executor, "interp" the per-instruction reference
+// interpreter, and "both" runs every measurement under both engines and
+// fails on any sample-stream divergence. The engines are bit-identical
+// (the differential test harness enforces it), so tables, JSON artifacts
+// and store fingerprints never depend on this flag — only wall-clock time
+// does.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"pmutrust/internal/experiments"
 	"pmutrust/internal/report"
 	"pmutrust/internal/results"
+	"pmutrust/internal/sampling"
 )
 
 // jsonResult is one experiment's machine-readable record.
@@ -70,10 +79,16 @@ func main() {
 		jsonPath   = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
 		storePath  = flag.String("store", "", "persist per-cell matrix measurements to a JSONL results store at FILE")
 		resume     = flag.Bool("resume", false, "with -store: serve cells already in the store instead of re-measuring (without it the store must be new or empty)")
+		engineName = flag.String("engine", "fast", "execution engine: fast, interp, or both (run both and fail on divergence)")
 	)
 	flag.Parse()
 	if *resume && *storePath == "" {
 		fmt.Fprintln(os.Stderr, "pmubench: -resume requires -store")
+		os.Exit(2)
+	}
+	engine, err := sampling.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -90,6 +105,7 @@ func main() {
 	r := experiments.NewRunner(scale, *seed)
 	r.Parallel = *parallel
 	r.Timeout = *timeout
+	r.Engine = engine
 
 	var store *results.Store
 	if *storePath != "" {

@@ -63,7 +63,7 @@ func main() {
 	fmt.Print(p.Stats().String())
 
 	if *dynamic {
-		res, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
+		res, err := cpu.RunFast(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wlgen: run: %v\n", err)
 			os.Exit(1)
@@ -119,7 +119,7 @@ func summarizeAll(scale float64, workers int) error {
 	rows := make([]wlRow, len(specs))
 	err := pool.ForEach(len(specs), workers, 0, func(i int) error {
 		p := specs[i].Build(scale)
-		res, err := cpu.Run(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
+		res, err := cpu.RunFast(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
 		if err != nil {
 			return fmt.Errorf("%s: %w", specs[i].Name, err)
 		}

@@ -155,8 +155,7 @@ func Run(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result,
 		// ---- functional execution ----
 		taken, target, next, halt, err := s.step(in)
 		if err != nil {
-			return res, fmt.Errorf("at %#x (%s): %w",
-				program.DisplayAddr(int(idx)), in.Disasm(), err)
+			return res, runErr(idx, in, err)
 		}
 
 		// ---- writeback timing ----
@@ -227,6 +226,22 @@ func Run(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result,
 		s.pc = next
 	}
 }
+
+// runErr wraps an execution error with the faulting instruction's address
+// and disassembly. Both engines route their errors through it, so error
+// text is part of the bit-identical contract the differential harness
+// checks.
+func runErr(idx uint32, in *isa.Instr, err error) error {
+	return fmt.Errorf("at %#x (%s): %w",
+		program.DisplayAddr(int(idx)), in.Disasm(), err)
+}
+
+// errCallOverflow and errEmptyRet are shared by both engines (see runErr).
+func errCallOverflow(depth int) error {
+	return fmt.Errorf("call stack overflow (depth %d)", depth)
+}
+
+var errEmptyRet = errors.New("return with empty call stack")
 
 // step executes one instruction functionally: updates registers, flags,
 // memory and the call stack, and returns the control-flow outcome.
@@ -308,13 +323,13 @@ func (s *state) step(in *isa.Instr) (taken bool, target, next int32, halt bool, 
 		}
 	case isa.OpCall:
 		if len(s.stack) >= s.cfg.MaxCallDepth {
-			return false, 0, 0, false, fmt.Errorf("call stack overflow (depth %d)", len(s.stack))
+			return false, 0, 0, false, errCallOverflow(len(s.stack))
 		}
 		s.stack = append(s.stack, uint32(s.pc+1))
 		taken, target, next = true, in.Target, in.Target
 	case isa.OpRet:
 		if len(s.stack) == 0 {
-			return false, 0, 0, false, errors.New("return with empty call stack")
+			return false, 0, 0, false, errEmptyRet
 		}
 		ra := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]

@@ -1,0 +1,724 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+)
+
+// Engine selects the execution engine for a run. Both engines are
+// bit-identical in every observable: Result, the monitor-visible event
+// stream (for the fast engine, the bulk-advance contract below), and error
+// text. The differential harness in this package and internal/sampling
+// enforces that equivalence on the full workload grid and on fuzzed
+// programs.
+type Engine uint8
+
+const (
+	// EngineFast is the block-stride fast-path executor (RunFast), the
+	// default everywhere: same results, a multiple of the speed.
+	EngineFast Engine = iota
+	// EngineInterp is the per-instruction reference interpreter (Run).
+	EngineInterp
+)
+
+// String returns the engine name used by flags and benchmarks.
+func (e Engine) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineInterp:
+		return "interp"
+	default:
+		return "unknown"
+	}
+}
+
+// RunEngine dispatches Run or RunFast according to eng.
+func RunEngine(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64, eng Engine) (Result, error) {
+	if eng == EngineInterp {
+		return Run(p, cfg, mon, maxInstrs)
+	}
+	return RunFast(p, cfg, mon, maxInstrs)
+}
+
+// FastMonitor is the bulk-advance contract a Monitor may implement to let
+// RunFast skip per-instruction event delivery. The protocol:
+//
+//   - FastHeadroom returns how many instructions the monitor can absorb
+//     with no observable action of any kind — no sample, no overflow, no
+//     interrupt bookkeeping. 0 means "I must see every retirement": the
+//     engine then delivers full RetireEvents through OnRetire, exactly as
+//     the interpreter does, and asks again after each one.
+//   - While striding inside a headroom grant the engine does not call
+//     OnRetire at all. It accumulates (instructions, uops, taken branches)
+//     and flushes them with one BulkRetire call before the next
+//     FastHeadroom query, the next OnRetire, or run end — so the monitor's
+//     counters are exact at every point where it could observe them.
+//   - If WantBranches reports true, the engine additionally reports every
+//     retired taken branch during a stride via OnFastBranch, in retirement
+//     order (the LBR ring must see all taken branches even when no sample
+//     is near).
+//
+// The PMU (internal/pmu) is the production implementation; NopMonitor
+// implements it trivially.
+type FastMonitor interface {
+	Monitor
+
+	// FastHeadroom returns the number of instructions that can retire
+	// without any monitor-observable action beyond bulk counting and the
+	// branch stream; 0 demands per-instruction OnRetire delivery.
+	FastHeadroom() uint64
+
+	// WantBranches reports whether OnFastBranch must be called for every
+	// taken branch retired inside a stride.
+	WantBranches() bool
+
+	// OnFastBranch records one retired taken branch (from, to are code
+	// indices; op distinguishes calls and returns for call-stack-filtered
+	// consumers).
+	OnFastBranch(from, to uint32, op isa.Op)
+
+	// BulkRetire accounts a completed stride: instrs instructions carrying
+	// uops micro-ops and takenBranches taken branches. The engine
+	// guarantees the stride fits inside the last FastHeadroom grant.
+	BulkRetire(instrs, uops, takenBranches uint64)
+}
+
+// NopMonitor's FastMonitor implementation: unlimited headroom, nothing
+// recorded, so timing-only runs take the fast path end to end.
+
+// FastHeadroom implements FastMonitor.
+func (NopMonitor) FastHeadroom() uint64 { return 1 << 40 }
+
+// WantBranches implements FastMonitor.
+func (NopMonitor) WantBranches() bool { return false }
+
+// OnFastBranch implements FastMonitor.
+func (NopMonitor) OnFastBranch(from, to uint32, op isa.Op) {}
+
+// BulkRetire implements FastMonitor.
+func (NopMonitor) BulkRetire(instrs, uops, takenBranches uint64) {}
+
+// Decoded-instruction flag bits (fastInstr.fl), used by the generic
+// (event-mode) body.
+const (
+	fReads1 = 1 << iota // reads Src1
+	fReads2             // reads Src2
+	fReadsF             // reads flags
+	fWrites             // writes Dst
+	fSetsF              // sets flags
+	fCond               // conditional branch
+)
+
+// fastInstr is one predecoded instruction: the opcode's static property
+// table (latency, uops, operand flags) flattened into the instruction so
+// the stride loop never chases opInfo through method calls.
+type fastInstr struct {
+	imm    int64
+	target int32
+	op     isa.Op
+	dst    uint8
+	src1   uint8
+	src2   uint8
+	lat    uint8
+	uops   uint8
+	fl     uint8
+}
+
+// decodeProgram flattens p into the predecoded fast representation. The
+// basic-block structure is what makes the stride loop's shape legal:
+// program.Validate guarantees control transfers only terminate blocks and
+// only target block heads, so a stride is a chain of whole blocks in which
+// every instruction's successor is statically pc+1 except at block
+// terminators — exactly the cases the specialized switch handles.
+func decodeProgram(p *program.Program) []fastInstr {
+	code := make([]fastInstr, len(p.Code))
+	for i := range p.Code {
+		in := &p.Code[i]
+		op := in.Op
+		d := fastInstr{
+			imm:    in.Imm,
+			target: in.Target,
+			op:     op,
+			dst:    uint8(in.Dst),
+			src1:   uint8(in.Src1),
+			src2:   uint8(in.Src2),
+		}
+		if op.Valid() {
+			d.lat = op.Latency()
+			d.uops = op.Uops()
+			var fl uint8
+			if op.ReadsSrc1() {
+				fl |= fReads1
+			}
+			if op.ReadsSrc2() {
+				fl |= fReads2
+			}
+			if op.ReadsFlags() {
+				fl |= fReadsF
+			}
+			if op.WritesDst() {
+				fl |= fWrites
+			}
+			if op.SetsFlags() {
+				fl |= fSetsF
+			}
+			if op.IsCondBranch() {
+				fl |= fCond
+			}
+			d.fl = fl
+		}
+		code[i] = d
+	}
+	return code
+}
+
+// RunFast executes p to completion under cfg, like Run, but advances in
+// block-structured strides whenever mon (a FastMonitor) reports headroom:
+// inside a stride no RetireEvents are built and no per-instruction monitor
+// calls are made — retirement totals are flushed in bulk at observation
+// boundaries, and the stride loop runs a per-opcode specialized body
+// (operand readiness, latency and writeback folded into each case; taken
+// branches handled at block terminators, appending to the monitor's LBR
+// stream when it wants them). The engine drops to the generic
+// per-instruction event path whenever the monitor demands it (for the PMU:
+// counter within one block of overflow, armed PEBS capture window, pending
+// imprecise PMI or displaced IBS tag).
+//
+// Functional semantics, the timing model, Result, the sample stream and
+// error text are bit-identical to Run; the differential harness in this
+// package and internal/sampling enforces it. Opcodes must be valid and
+// register indices < isa.NumRegs — program.Validate checks both, and
+// Build never produces anything else. The contract holds for validated
+// programs only: on unvalidated garbage the engines may differ (both
+// panic on invalid opcodes, but an out-of-range register panics the
+// interpreter while the fast path's deliberately oversized register file
+// reads phantom zeros).
+//
+// A monitor that does not implement FastMonitor falls back to Run.
+func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result, error) {
+	fm, ok := mon.(FastMonitor)
+	if !ok {
+		return Run(p, cfg, mon, maxInstrs)
+	}
+	cfg = cfg.withDefaults()
+	if maxInstrs == 0 {
+		maxInstrs = 1 << 40
+	}
+	code := decodeProgram(p)
+
+	// Architectural state (mirrors state in engine.go). The register files
+	// are sized 256 so uint8 operand indices never need a bounds check in
+	// the stride loop; validated programs only touch the first NumRegs
+	// entries.
+	memWords := 1
+	for memWords < p.MemWords {
+		memWords <<= 1
+	}
+	mem := make([]int64, memWords)
+	memMask := int64(memWords - 1)
+	stack := make([]uint32, 0, 64)
+	var regs [256]int64
+	var regReady [256]uint64
+	var flags int64
+	var pred predictor
+	pred.init(cfg.PredictorBits)
+
+	// Timing and count state, hoisted to locals so the stride loop keeps
+	// it in registers; folded into Result at the exit points.
+	var flagsReady, dispCycle, retCycle, redirect uint64
+	var dispCount, retCount int
+	var instrs, uopsDone, takenBr, condBr, mispred uint64
+
+	dw, rw := cfg.DispatchWidth, cfg.RetireWidth
+	mispen, bubble := cfg.MispredictPenalty, cfg.TakenBranchBubble
+	maxDepth := cfg.MaxCallDepth
+	wantBr := fm.WantBranches()
+
+	pc := int32(p.Funcs[0].Start)
+
+	// Stride accounting: headroom is the remainder of the monitor's last
+	// grant; accI/accU/accB are retired-but-not-yet-flushed totals
+	// (uopsDone is updated only when accU is folded in, so Result.Uops is
+	// read as uopsDone after a flush).
+	var headroom, accI, accU, accB uint64
+
+	// Cold-path error state (call overflow / ret underflow), reached by
+	// goto so the hot loop carries no error plumbing.
+	var pendingErr error
+	var nDone uint64 // instructions completed in the failing stride
+
+	for {
+		if headroom == 0 {
+			if accI != 0 {
+				uopsDone += accU
+				fm.BulkRetire(accI, accU, accB)
+				accI, accU, accB = 0, 0, 0
+			}
+			headroom = fm.FastHeadroom()
+		}
+
+		if headroom == 0 {
+			// ---- event mode: one instruction, generic body, full event ----
+			in := &code[pc]
+			idx := uint32(pc)
+
+			d := dispCycle
+			if dispCount >= dw {
+				d++
+				dispCount = 0
+			}
+			if redirect > d {
+				d = redirect
+				dispCount = 0
+			}
+			dispCycle = d
+			dispCount++
+
+			ready := d
+			fl := in.fl
+			if fl&fReads1 != 0 {
+				ready = max(ready, regReady[in.src1])
+			}
+			if fl&fReads2 != 0 {
+				ready = max(ready, regReady[in.src2])
+			}
+			if fl&fReadsF != 0 {
+				ready = max(ready, flagsReady)
+			}
+			complete := ready + uint64(in.lat)
+
+			var taken, halt bool
+			var target int32
+			next := pc + 1
+			switch in.op {
+			case isa.OpNop:
+			case isa.OpMov:
+				regs[in.dst] = regs[in.src1]
+			case isa.OpMovi:
+				regs[in.dst] = in.imm
+			case isa.OpAdd:
+				regs[in.dst] = regs[in.src1] + regs[in.src2]
+			case isa.OpAddi:
+				regs[in.dst] = regs[in.src1] + in.imm
+			case isa.OpSub:
+				regs[in.dst] = regs[in.src1] - regs[in.src2]
+			case isa.OpMul:
+				regs[in.dst] = regs[in.src1] * regs[in.src2]
+			case isa.OpDiv:
+				if v := regs[in.src2]; v != 0 {
+					regs[in.dst] = regs[in.src1] / v
+				} else {
+					regs[in.dst] = 0
+				}
+			case isa.OpRem:
+				if v := regs[in.src2]; v != 0 {
+					regs[in.dst] = regs[in.src1] % v
+				} else {
+					regs[in.dst] = 0
+				}
+			case isa.OpAnd:
+				regs[in.dst] = regs[in.src1] & regs[in.src2]
+			case isa.OpOr:
+				regs[in.dst] = regs[in.src1] | regs[in.src2]
+			case isa.OpXor:
+				regs[in.dst] = regs[in.src1] ^ regs[in.src2]
+			case isa.OpShl:
+				regs[in.dst] = regs[in.src1] << uint(in.imm&63)
+			case isa.OpShr:
+				regs[in.dst] = int64(uint64(regs[in.src1]) >> uint(in.imm&63))
+			case isa.OpLoad:
+				regs[in.dst] = mem[(regs[in.src1]+in.imm)&memMask]
+			case isa.OpStore:
+				mem[(regs[in.src2]+in.imm)&memMask] = regs[in.src1]
+			case isa.OpFadd:
+				regs[in.dst] = regs[in.src1] + regs[in.src2]
+			case isa.OpFmul:
+				regs[in.dst] = regs[in.src1] * regs[in.src2]
+			case isa.OpFdiv:
+				if v := regs[in.src2]; v != 0 {
+					regs[in.dst] = regs[in.src1] / v
+				} else {
+					regs[in.dst] = 0
+				}
+			case isa.OpFma:
+				regs[in.dst] += regs[in.src1] * regs[in.src2]
+			case isa.OpCmp:
+				flags = regs[in.src1] - regs[in.src2]
+			case isa.OpCmpi:
+				flags = regs[in.src1] - in.imm
+			case isa.OpJmp:
+				taken, target, next = true, in.target, in.target
+			case isa.OpJz:
+				if flags == 0 {
+					taken, target, next = true, in.target, in.target
+				}
+			case isa.OpJnz:
+				if flags != 0 {
+					taken, target, next = true, in.target, in.target
+				}
+			case isa.OpJlt:
+				if flags < 0 {
+					taken, target, next = true, in.target, in.target
+				}
+			case isa.OpJge:
+				if flags >= 0 {
+					taken, target, next = true, in.target, in.target
+				}
+			case isa.OpCall:
+				if len(stack) >= maxDepth {
+					pendingErr = errCallOverflow(len(stack))
+					nDone = 0
+					goto fail
+				}
+				stack = append(stack, uint32(pc+1))
+				taken, target, next = true, in.target, in.target
+			case isa.OpRet:
+				if len(stack) == 0 {
+					pendingErr = errEmptyRet
+					nDone = 0
+					goto fail
+				}
+				ra := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				taken, target, next = true, int32(ra), int32(ra)
+			case isa.OpHalt:
+				halt = true
+			default:
+				panic(fmt.Sprintf("cpu: invalid opcode %d at index %d", in.op, idx))
+			}
+
+			if fl&fWrites != 0 {
+				regReady[in.dst] = complete
+			}
+			if fl&fSetsF != 0 {
+				flagsReady = complete
+			}
+
+			if fl&fCond != 0 {
+				condBr++
+				predTaken := pred.predict(idx)
+				pred.update(idx, taken)
+				if predTaken != taken {
+					mispred++
+					redirect = complete + mispen
+				} else if taken {
+					redirect = d + 1 + bubble
+				}
+			} else if taken {
+				redirect = d + 1 + bubble
+			}
+
+			rc := complete
+			if rc < retCycle {
+				rc = retCycle
+			}
+			if rc == retCycle {
+				if retCount >= rw {
+					rc++
+					retCount = 0
+				}
+			} else {
+				retCount = 0
+			}
+			retCycle = rc
+			retCount++
+
+			instrs++
+			uopsDone += uint64(in.uops)
+			if taken {
+				takenBr++
+			}
+
+			fm.OnRetire(RetireEvent{
+				Idx:    idx,
+				Cycle:  rc,
+				Seq:    instrs,
+				Op:     in.op,
+				Uops:   in.uops,
+				Taken:  taken,
+				Target: uint32(target),
+			})
+
+			if halt {
+				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), nil
+			}
+			if instrs >= maxInstrs {
+				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), ErrInstrLimit
+			}
+			pc = next
+			continue
+		}
+
+		// ---- stride mode: specialized per-opcode loop, no per-instruction
+		// monitor calls; taken branches stream to the LBR only when the
+		// monitor wants them.
+		{
+			n := headroom
+			if left := maxInstrs - instrs; n > left {
+				n = left
+			}
+			executed := n
+			halted := false
+
+			for i := n; i > 0; i-- {
+				in := &code[pc]
+
+				d := dispCycle
+				if dispCount >= dw {
+					d++
+					dispCount = 0
+				}
+				if redirect > d {
+					d = redirect
+					dispCount = 0
+				}
+				dispCycle = d
+				dispCount++
+
+				var complete uint64
+				next := pc + 1
+				switch in.op {
+				case isa.OpNop:
+					complete = d + uint64(in.lat)
+				case isa.OpMov:
+					complete = max(d, regReady[in.src1]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1]
+					regReady[in.dst] = complete
+				case isa.OpMovi:
+					complete = d + uint64(in.lat)
+					regs[in.dst] = in.imm
+					regReady[in.dst] = complete
+				case isa.OpAdd:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] + regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpAddi:
+					complete = max(d, regReady[in.src1]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] + in.imm
+					regReady[in.dst] = complete
+				case isa.OpSub:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] - regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpMul:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] * regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpDiv:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					if v := regs[in.src2]; v != 0 {
+						regs[in.dst] = regs[in.src1] / v
+					} else {
+						regs[in.dst] = 0
+					}
+					regReady[in.dst] = complete
+				case isa.OpRem:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					if v := regs[in.src2]; v != 0 {
+						regs[in.dst] = regs[in.src1] % v
+					} else {
+						regs[in.dst] = 0
+					}
+					regReady[in.dst] = complete
+				case isa.OpAnd:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] & regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpOr:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] | regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpXor:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] ^ regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpShl:
+					complete = max(d, regReady[in.src1]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] << uint(in.imm&63)
+					regReady[in.dst] = complete
+				case isa.OpShr:
+					complete = max(d, regReady[in.src1]) + uint64(in.lat)
+					regs[in.dst] = int64(uint64(regs[in.src1]) >> uint(in.imm&63))
+					regReady[in.dst] = complete
+				case isa.OpLoad:
+					complete = max(d, regReady[in.src1]) + uint64(in.lat)
+					regs[in.dst] = mem[(regs[in.src1]+in.imm)&memMask]
+					regReady[in.dst] = complete
+				case isa.OpStore:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					mem[(regs[in.src2]+in.imm)&memMask] = regs[in.src1]
+				case isa.OpFadd:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] + regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpFmul:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] = regs[in.src1] * regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpFdiv:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					if v := regs[in.src2]; v != 0 {
+						regs[in.dst] = regs[in.src1] / v
+					} else {
+						regs[in.dst] = 0
+					}
+					regReady[in.dst] = complete
+				case isa.OpFma:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					regs[in.dst] += regs[in.src1] * regs[in.src2]
+					regReady[in.dst] = complete
+				case isa.OpCmp:
+					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
+					flags = regs[in.src1] - regs[in.src2]
+					flagsReady = complete
+				case isa.OpCmpi:
+					complete = max(d, regReady[in.src1]) + uint64(in.lat)
+					flags = regs[in.src1] - in.imm
+					flagsReady = complete
+				case isa.OpJmp:
+					complete = d + uint64(in.lat)
+					next = in.target
+					redirect = d + 1 + bubble
+					takenBr++
+					accB++
+					if wantBr {
+						fm.OnFastBranch(uint32(pc), uint32(in.target), in.op)
+					}
+				case isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
+					complete = max(d, flagsReady) + uint64(in.lat)
+					var taken bool
+					switch in.op {
+					case isa.OpJz:
+						taken = flags == 0
+					case isa.OpJnz:
+						taken = flags != 0
+					case isa.OpJlt:
+						taken = flags < 0
+					default:
+						taken = flags >= 0
+					}
+					condBr++
+					idx := uint32(pc)
+					predTaken := pred.predict(idx)
+					pred.update(idx, taken)
+					if predTaken != taken {
+						mispred++
+						redirect = complete + mispen
+					} else if taken {
+						redirect = d + 1 + bubble
+					}
+					if taken {
+						next = in.target
+						takenBr++
+						accB++
+						if wantBr {
+							fm.OnFastBranch(idx, uint32(in.target), in.op)
+						}
+					}
+				case isa.OpCall:
+					complete = d + uint64(in.lat)
+					if len(stack) >= maxDepth {
+						pendingErr = errCallOverflow(len(stack))
+						nDone = n - i
+						goto fail
+					}
+					stack = append(stack, uint32(pc+1))
+					next = in.target
+					redirect = d + 1 + bubble
+					takenBr++
+					accB++
+					if wantBr {
+						fm.OnFastBranch(uint32(pc), uint32(in.target), in.op)
+					}
+				case isa.OpRet:
+					complete = d + uint64(in.lat)
+					if len(stack) == 0 {
+						pendingErr = errEmptyRet
+						nDone = n - i
+						goto fail
+					}
+					ra := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					next = int32(ra)
+					redirect = d + 1 + bubble
+					takenBr++
+					accB++
+					if wantBr {
+						fm.OnFastBranch(uint32(pc), ra, in.op)
+					}
+				case isa.OpHalt:
+					complete = d + uint64(in.lat)
+					halted = true
+				default:
+					panic(fmt.Sprintf("cpu: invalid opcode %d at index %d", in.op, pc))
+				}
+
+				accU += uint64(in.uops)
+
+				rc := complete
+				if rc < retCycle {
+					rc = retCycle
+				}
+				if rc == retCycle {
+					if retCount >= rw {
+						rc++
+						retCount = 0
+					}
+				} else {
+					retCount = 0
+				}
+				retCycle = rc
+				retCount++
+
+				if halted {
+					executed = n - i + 1
+					break
+				}
+				pc = next
+			}
+
+			instrs += executed
+			headroom -= executed
+			accI += executed
+			if halted {
+				uopsDone += accU
+				fm.BulkRetire(accI, accU, accB)
+				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), nil
+			}
+			if instrs >= maxInstrs {
+				uopsDone += accU
+				fm.BulkRetire(accI, accU, accB)
+				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), ErrInstrLimit
+			}
+		}
+		continue
+
+	fail:
+		// A call/ret fault aborts the run before the faulting instruction
+		// retires (matching the interpreter): account the stride's
+		// completed prefix, flush, and wrap the error exactly as Run does.
+		instrs += nDone
+		accI += nDone
+		if accI != 0 {
+			uopsDone += accU
+			fm.BulkRetire(accI, accU, accB)
+		}
+		return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred),
+			runErr(uint32(pc), &p.Code[pc], pendingErr)
+	}
+}
+
+// fastResult folds the hoisted counters back into a Result.
+func fastResult(instrs, uops, cycles, taken, cond, mispred uint64) Result {
+	return Result{
+		Instructions:  instrs,
+		Uops:          uops,
+		Cycles:        cycles,
+		TakenBranches: taken,
+		CondBranches:  cond,
+		Mispredicts:   mispred,
+	}
+}

@@ -1,0 +1,34 @@
+//go:build slow
+
+package cpu_test
+
+// Paper-scale differential fuzz (go test -tags slow): BigGenConfig
+// programs run into the millions of dynamic instructions, crossing
+// thousands of sampling periods per PMU configuration — the same regime
+// as the paper's PeriodBase 2,000,000 runs, scaled like the experiment
+// harness scales everything else.
+
+import (
+	"testing"
+
+	"pmutrust/internal/program"
+)
+
+func TestFuzzEngineEquivalenceSlow(t *testing.T) {
+	cfg := program.BigGenConfig()
+	const maxInstrs = 20_000_000
+	for seed := uint64(0); seed < 200; seed++ {
+		p := program.Random(seed, cfg)
+		msg := diffProgram(p, maxInstrs)
+		if msg == "" {
+			continue
+		}
+		min := cfg.Shrink(func(c program.GenConfig) bool {
+			return diffProgram(program.Random(seed, c), maxInstrs) != ""
+		})
+		minMsg := diffProgram(program.Random(seed, min), maxInstrs)
+		t.Fatalf("engine divergence at seed %d\n  original cfg %+v: %s\n  minimal cfg %+v: %s\n  minimal program (%d instrs):\n%s",
+			seed, cfg, msg, min, minMsg,
+			program.Random(seed, min).NumInstrs(), disasmProgram(program.Random(seed, min)))
+	}
+}

@@ -1,0 +1,386 @@
+package cpu_test
+
+// The differential harness: the fast engine's one non-negotiable contract
+// is bit-identical behaviour with the reference interpreter — same Result,
+// same monitor-visible stream, same samples, same errors. These tests
+// enforce it three ways:
+//
+//  1. forced event mode: a FastMonitor with zero headroom makes RunFast
+//     deliver every RetireEvent through its per-instruction path; the
+//     event stream must equal the interpreter's, field for field;
+//  2. mixed strides: a monitor with adversarial headroom schedules
+//     (including the PMU itself, whose overflow cadence straddles every
+//     block shape) must see identical aggregate and sample state;
+//  3. fuzz: randomized Builder-DSL programs (internal/program.Random) hunt
+//     divergence on programs no human wrote, shrinking to a minimal
+//     reproducer on failure.
+
+import (
+	"fmt"
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/isa"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/program"
+	"pmutrust/internal/workloads"
+)
+
+// streamRecorder forces event mode (zero headroom) and records the full
+// retirement stream.
+type streamRecorder struct {
+	evs []cpu.RetireEvent
+}
+
+func (r *streamRecorder) OnRetire(ev cpu.RetireEvent)                   { r.evs = append(r.evs, ev) }
+func (r *streamRecorder) FastHeadroom() uint64                          { return 0 }
+func (r *streamRecorder) WantBranches() bool                            { return false }
+func (r *streamRecorder) OnFastBranch(from, to uint32, op isa.Op)       {}
+func (r *streamRecorder) BulkRetire(instrs, uops, takenBranches uint64) {}
+
+// interpRecorder is a plain Monitor (no FastMonitor), used to record the
+// interpreter's stream.
+type interpRecorder struct {
+	evs []cpu.RetireEvent
+}
+
+func (r *interpRecorder) OnRetire(ev cpu.RetireEvent) { r.evs = append(r.evs, ev) }
+
+// mixRecorder drives the engine through adversarial stride/event mode
+// transitions: headroom grants cycle through a fixed schedule including
+// zeros, while aggregate counts from both paths are accumulated.
+type mixRecorder struct {
+	schedule []uint64
+	pos      int
+	grants   int
+	instrs   uint64 // bulk + event instructions
+	uops     uint64
+	branches uint64
+	brStream []uint32 // OnFastBranch froms + event-mode taken froms
+}
+
+func (r *mixRecorder) OnRetire(ev cpu.RetireEvent) {
+	r.instrs++
+	r.uops += uint64(ev.Uops)
+	if ev.Taken {
+		r.branches++
+		r.brStream = append(r.brStream, ev.Idx)
+	}
+}
+
+func (r *mixRecorder) FastHeadroom() uint64 {
+	h := r.schedule[r.pos%len(r.schedule)]
+	r.pos++
+	r.grants++
+	return h
+}
+
+func (r *mixRecorder) WantBranches() bool { return true }
+
+func (r *mixRecorder) OnFastBranch(from, to uint32, op isa.Op) {
+	r.branches++
+	r.brStream = append(r.brStream, from)
+}
+
+func (r *mixRecorder) BulkRetire(instrs, uops, takenBranches uint64) {
+	r.instrs += instrs
+	r.uops += uops
+}
+
+// diffResults compares the two engines' Result structs.
+func diffResults(a, b cpu.Result) error {
+	if a != b {
+		return fmt.Errorf("Result diverges:\n  interp %+v\n  fast   %+v", a, b)
+	}
+	return nil
+}
+
+// diffErrs compares run errors (nil-ness and text).
+func diffErrs(a, b error) error {
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case (a == nil) != (b == nil):
+		return fmt.Errorf("error divergence: interp err=%v, fast err=%v", a, b)
+	case a.Error() != b.Error():
+		return fmt.Errorf("error text diverges:\n  interp %q\n  fast   %q", a.Error(), b.Error())
+	}
+	return nil
+}
+
+// diffStreams compares full retirement streams event by event.
+func diffStreams(a, b []cpu.RetireEvent) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("stream length diverges: interp %d, fast %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("event %d diverges:\n  interp %+v\n  fast   %+v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// diffSamples compares PMU sample slices field by field, LBR included.
+func diffSamples(a, b []pmu.Sample) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("sample count diverges: interp %d, fast %d", len(a), len(b))
+	}
+	for i := range a {
+		sa, sb := a[i], b[i]
+		if sa.IP != sb.IP || sa.TriggerIP != sb.TriggerIP || sa.Cycle != sb.Cycle ||
+			sa.Seq != sb.Seq || sa.Period != sb.Period {
+			return fmt.Errorf("sample %d diverges:\n  interp %+v\n  fast   %+v", i, sa, sb)
+		}
+		if (sa.LBR == nil) != (sb.LBR == nil) || len(sa.LBR) != len(sb.LBR) {
+			return fmt.Errorf("sample %d LBR shape diverges: interp %v, fast %v", i, sa.LBR, sb.LBR)
+		}
+		for j := range sa.LBR {
+			if sa.LBR[j] != sb.LBR[j] {
+				return fmt.Errorf("sample %d LBR[%d] diverges: interp %+v, fast %+v",
+					i, j, sa.LBR[j], sb.LBR[j])
+			}
+		}
+	}
+	return nil
+}
+
+// diffPMU runs p under both engines with identical PMU configs and
+// compares every observable.
+func diffPMU(p *program.Program, cpuCfg cpu.Config, pmuCfg pmu.Config, maxInstrs uint64) error {
+	ui := pmu.New(pmuCfg)
+	ri, erri := cpu.Run(p, cpuCfg, ui, maxInstrs)
+	uf := pmu.New(pmuCfg)
+	rf, errf := cpu.RunFast(p, cpuCfg, uf, maxInstrs)
+	if err := diffErrs(erri, errf); err != nil {
+		return err
+	}
+	if err := diffResults(ri, rf); err != nil {
+		return err
+	}
+	if ui.Overflows != uf.Overflows || ui.DroppedPMIs != uf.DroppedPMIs || ui.TotalEvents != uf.TotalEvents {
+		return fmt.Errorf("PMU totals diverge: interp ovf=%d drop=%d tot=%d, fast ovf=%d drop=%d tot=%d",
+			ui.Overflows, ui.DroppedPMIs, ui.TotalEvents, uf.Overflows, uf.DroppedPMIs, uf.TotalEvents)
+	}
+	return diffSamples(ui.Samples(), uf.Samples())
+}
+
+// pmuConfigGrid returns PMU configurations covering every mechanism and
+// boundary regime: tiny periods keep the counter permanently near
+// overflow, skid windows force event-mode stretches, HW 4-LSB
+// randomization lands reload values inside would-be strides, LBR capture
+// exercises the branch stream, frequency mode retunes periods at every
+// sample.
+func pmuConfigGrid(seed uint64) []pmu.Config {
+	return []pmu.Config{
+		{Event: pmu.EvInstRetired, Precision: pmu.Imprecise, Period: 97, SkidCycles: 20, Seed: seed},
+		{Event: pmu.EvInstRetired, Precision: pmu.Imprecise, Period: 2, SkidCycles: 5, Seed: seed},
+		{Event: pmu.EvInstRetired, Precision: pmu.PrecisePEBS, Period: 101, Rand: pmu.RandSoftware, Seed: seed},
+		{Event: pmu.EvInstRetired, Precision: pmu.PreciseDist, Period: 89, CaptureLBR: true, LBRDepth: 8, Seed: seed},
+		{Event: pmu.EvUopsRetired, Precision: pmu.PreciseIBS, Period: 64, Rand: pmu.RandHW4LSB, Seed: seed},
+		{Event: pmu.EvUopsRetired, Precision: pmu.PreciseIBS, Period: 17, Rand: pmu.RandHW4LSB, Seed: seed},
+		{Event: pmu.EvBrTaken, Precision: pmu.Imprecise, Period: 13, SkidCycles: 10,
+			CaptureLBR: true, LBRDepth: 4, LBRContention: 0.3, Seed: seed},
+		{Event: pmu.EvInstRetired, Precision: pmu.Imprecise, Period: 50, SkidCycles: 15,
+			FreqMode: true, TargetIntervalCycles: 120, Seed: seed},
+		{Event: pmu.EvInstRetired, Precision: pmu.PrecisePEBS, Period: 1, Seed: seed},
+	}
+}
+
+// diffProgram runs the whole differential battery on one program; returns
+// a description of the first divergence, or "".
+//
+// The stream-recording and tiny-period sections run under a tighter
+// instruction cap than the PMU sections: they materialize per-instruction
+// (or per-period-of-2) state in memory, and a capped prefix diff catches
+// the same divergences — both engines always run under the same cap, so
+// the comparison stays exact.
+func diffProgram(p *program.Program, maxInstrs uint64) string {
+	cpuCfg := cpu.DefaultConfig()
+	streamCap := maxInstrs
+	if streamCap == 0 || streamCap > 150_000 {
+		streamCap = 150_000
+	}
+
+	// Forced event mode: full stream equality.
+	ir := &interpRecorder{}
+	ri, erri := cpu.Run(p, cpuCfg, ir, streamCap)
+	sr := &streamRecorder{}
+	rf, errf := cpu.RunFast(p, cpuCfg, sr, streamCap)
+	if err := diffErrs(erri, errf); err != nil {
+		return "forced event mode: " + err.Error()
+	}
+	if err := diffResults(ri, rf); err != nil {
+		return "forced event mode: " + err.Error()
+	}
+	if err := diffStreams(ir.evs, sr.evs); err != nil {
+		return "forced event mode: " + err.Error()
+	}
+
+	// Adversarial stride schedules: aggregate equality.
+	for _, schedule := range [][]uint64{
+		{1 << 40},
+		{1, 0, 2, 0, 3, 7},
+		{0, 0, 5, 1, 0, 1000},
+		{2, 2, 2, 0},
+	} {
+		mr := &mixRecorder{schedule: schedule}
+		rm, errm := cpu.RunFast(p, cpuCfg, mr, streamCap)
+		if err := diffErrs(erri, errm); err != nil {
+			return fmt.Sprintf("mix schedule %v: %v", schedule, err)
+		}
+		if err := diffResults(ri, rm); err != nil {
+			return fmt.Sprintf("mix schedule %v: %v", schedule, err)
+		}
+		if mr.instrs != ri.Instructions || mr.uops != ri.Uops || mr.branches != ri.TakenBranches {
+			return fmt.Sprintf("mix schedule %v: monitor totals diverge: instrs %d/%d uops %d/%d branches %d/%d",
+				schedule, mr.instrs, ri.Instructions, mr.uops, ri.Uops, mr.branches, ri.TakenBranches)
+		}
+		// The taken-branch stream must arrive in retirement order
+		// regardless of which path delivered each branch.
+		want := 0
+		for _, ev := range ir.evs {
+			if ev.Taken {
+				if want >= len(mr.brStream) || mr.brStream[want] != ev.Idx {
+					return fmt.Sprintf("mix schedule %v: branch stream diverges at %d", schedule, want)
+				}
+				want++
+			}
+		}
+		if erri == nil && want != len(mr.brStream) {
+			return fmt.Sprintf("mix schedule %v: branch stream has %d extra entries", schedule, len(mr.brStream)-want)
+		}
+	}
+
+	// PMU configurations: sample-stream equality. Tiny periods sample
+	// every few instructions — cap those runs so the sample slices stay
+	// small; long-period configs get the full run.
+	for ci, pmuCfg := range pmuConfigGrid(7) {
+		cap := maxInstrs
+		if pmuCfg.Period < 32 && (cap == 0 || cap > 30_000) {
+			cap = 30_000
+		}
+		if err := diffPMU(p, cpuCfg, pmuCfg, cap); err != nil {
+			return fmt.Sprintf("pmu config %d (%s/%s): %v", ci, pmuCfg.Event, pmuCfg.Precision, err)
+		}
+	}
+	return ""
+}
+
+// TestEnginesMatchOnWorkloads diffs both engines across the real workload
+// set (kernels and, outside -short, applications).
+func TestEnginesMatchOnWorkloads(t *testing.T) {
+	specs := workloads.Kernels()
+	if !testing.Short() {
+		specs = append(specs, workloads.Apps()...)
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.Build(0.1)
+			if msg := diffProgram(p, 0); msg != "" {
+				t.Fatalf("%s: %s", spec.Name, msg)
+			}
+		})
+	}
+}
+
+// TestEnginesMatchMaxInstrs: the instruction limit must cut both engines
+// at the same instruction with the same error — a fast-path stride must
+// not overshoot the budget.
+func TestEnginesMatchMaxInstrs(t *testing.T) {
+	p := workloads.MustBuild("G4Box", 0.1)
+	for _, limit := range []uint64{1, 2, 7, 100, 1001, 99_999} {
+		ir := &interpRecorder{}
+		ri, erri := cpu.Run(p, cpu.DefaultConfig(), ir, limit)
+		sr := &streamRecorder{}
+		rf, errf := cpu.RunFast(p, cpu.DefaultConfig(), sr, limit)
+		if err := diffErrs(erri, errf); err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if err := diffResults(ri, rf); err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if ri.Instructions != limit {
+			t.Fatalf("limit %d: interpreter retired %d", limit, ri.Instructions)
+		}
+		// A striding monitor must also see exactly the limit.
+		mr := &mixRecorder{schedule: []uint64{1 << 40}}
+		if _, err := cpu.RunFast(p, cpu.DefaultConfig(), mr, limit); err != cpu.ErrInstrLimit {
+			t.Fatalf("limit %d: fast stride err = %v", limit, err)
+		}
+		if mr.instrs != limit {
+			t.Fatalf("limit %d: fast stride retired %d", limit, mr.instrs)
+		}
+	}
+}
+
+// TestEnginesMatchRunErrors: engine errors (call stack overflow, empty
+// ret) carry identical text on both paths.
+func TestEnginesMatchRunErrors(t *testing.T) {
+	deep := program.NewBuilder("deep")
+	main := deep.Func("main")
+	main.Block("body").Call("f")
+	main.Block("exit").Halt()
+	f := deep.Func("f")
+	f.Block("body").Call("f") // unbounded recursion
+	f.Block("exit").Ret()
+	p, err := deep.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCallDepth = 16
+	_, erri := cpu.Run(p, cfg, &interpRecorder{}, 0)
+	_, errf := cpu.RunFast(p, cfg, &streamRecorder{}, 0)
+	if erri == nil || errf == nil {
+		t.Fatalf("expected overflow errors, got interp=%v fast=%v", erri, errf)
+	}
+	if err := diffErrs(erri, errf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzCount returns the number of fuzzed programs for the default run.
+func fuzzCount() int {
+	if testing.Short() {
+		return 150
+	}
+	return 1000
+}
+
+// TestFuzzEngineEquivalence is the randomized differential property test:
+// generated programs, full battery, shrink on failure.
+func TestFuzzEngineEquivalence(t *testing.T) {
+	cfg := program.DefaultGenConfig()
+	const maxInstrs = 5_000_000 // safety net; both engines must agree even if hit
+	n := fuzzCount()
+	for seed := uint64(0); seed < uint64(n); seed++ {
+		p := program.Random(seed, cfg)
+		msg := diffProgram(p, maxInstrs)
+		if msg == "" {
+			continue
+		}
+		min := cfg.Shrink(func(c program.GenConfig) bool {
+			return diffProgram(program.Random(seed, c), maxInstrs) != ""
+		})
+		minMsg := diffProgram(program.Random(seed, min), maxInstrs)
+		t.Fatalf("engine divergence at seed %d\n  original cfg %+v: %s\n  minimal cfg %+v: %s\n  minimal program (%d instrs):\n%s",
+			seed, cfg, msg, min, minMsg,
+			program.Random(seed, min).NumInstrs(), disasmProgram(program.Random(seed, min)))
+	}
+}
+
+// disasmProgram renders a small program for failure reports.
+func disasmProgram(p *program.Program) string {
+	out := ""
+	for i := range p.Code {
+		out += fmt.Sprintf("  %4d: %s\n", i, p.Code[i].Disasm())
+		if i > 400 {
+			out += "  ... (truncated)\n"
+			break
+		}
+	}
+	return out
+}

@@ -35,8 +35,28 @@ func (r *Runner) measureWith(spec workloads.Spec, mach machine.Machine, cfg pmu.
 		return 0, err
 	}
 	unit := pmu.New(cfg)
-	if _, err := cpu.Run(p, mach.CPU, unit, 0); err != nil {
-		return 0, err
+	eng := cpu.EngineFast
+	if r.Engine == sampling.EngineInterp {
+		eng = cpu.EngineInterp
+	}
+	cpuRes, runFailure := cpu.RunEngine(p, mach.CPU, unit, 0, eng)
+	if r.Engine == sampling.EngineBoth {
+		// Self-check against the interpreter through the same comparison
+		// protocol Collect uses for the registry paths (error parity,
+		// then every observable including the cpu.Result and the partial
+		// streams of identically failing runs).
+		ref := pmu.New(cfg)
+		refRes, refErr := cpu.Run(p, mach.CPU, ref, 0)
+		a := &sampling.Run{Machine: mach, Method: m, Period: cfg.Period, CPU: refRes,
+			Samples: ref.Samples(), Overflows: ref.Overflows, DroppedPMIs: ref.DroppedPMIs}
+		b := &sampling.Run{Machine: mach, Method: m, Period: cfg.Period, CPU: cpuRes,
+			Samples: unit.Samples(), Overflows: unit.Overflows, DroppedPMIs: unit.DroppedPMIs}
+		if err := sampling.DiffOutcome(a, refErr, b, runFailure); err != nil {
+			return 0, fmt.Errorf("engine divergence on %s/%s (custom config): %w", spec.Name, mach.Name, err)
+		}
+	}
+	if runFailure != nil {
+		return 0, runFailure
 	}
 	run := &sampling.Run{
 		Machine: mach,

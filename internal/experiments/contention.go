@@ -42,6 +42,7 @@ func (r *Runner) RunLBRContention() (*report.Table, []SweepPoint, error) {
 			PeriodBase:    r.Scale.PeriodBase,
 			Seed:          r.Seed,
 			LBRContention: contentions[i],
+			Engine:        r.Engine,
 		})
 		if err != nil {
 			return err

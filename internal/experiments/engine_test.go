@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// TestSweepEngineInvariant: a sweep's measurements — accuracy errors,
+// per-repeat series, sample counts — are byte-identical whichever engine
+// runs them, so stored results and fingerprints stay valid across engine
+// switches.
+func TestSweepEngineInvariant(t *testing.T) {
+	kernels := workloads.Kernels()[:2]
+	g := Grid{
+		Workloads: kernels,
+		Machines:  []machine.Machine{machine.IvyBridge(), machine.MagnyCours()},
+		Methods:   sampling.Registry()[:3],
+	}
+	var got [2][]Measurement
+	for i, eng := range []sampling.EngineMode{sampling.EngineInterp, sampling.EngineFast} {
+		r := NewRunner(SmallScale(), 42)
+		r.Engine = eng
+		ms, err := r.Sweep(g, SweepOptions{Parallel: 2})
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		got[i] = ms
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		for i := range got[0] {
+			if !reflect.DeepEqual(got[0][i], got[1][i]) {
+				t.Errorf("cell %d diverges:\n  interp %+v\n  fast   %+v", i, got[0][i], got[1][i])
+			}
+		}
+		t.Fatal("sweep measurements differ between engines")
+	}
+}

@@ -100,6 +100,11 @@ type Runner struct {
 	// wall-clock deadline; cells already running finish (jobs are not
 	// interruptible). 0 means none.
 	Timeout time.Duration
+	// Engine selects the execution engine for every measurement (default
+	// sampling.EngineFast). The engines are bit-identical, so results —
+	// and store fingerprints — do not depend on this; EngineBoth
+	// self-checks each cell at twice the cost.
+	Engine sampling.EngineMode
 	// Store, when non-nil, makes the matrix experiments (Tables 1 and 2)
 	// incremental: grid cells already present in the store are served
 	// from it and newly measured cells are appended (see SweepCached).
@@ -192,6 +197,7 @@ func (r *Runner) MeasureOnce(spec workloads.Spec, mach machine.Machine, m sampli
 	run, err := sampling.Collect(p, mach, m, sampling.Options{
 		PeriodBase: r.Scale.PeriodBase,
 		Seed:       seed,
+		Engine:     r.Engine,
 	})
 	if err != nil {
 		return 0, 0, err

@@ -52,6 +52,7 @@ func (r *Runner) RunFutureHW() (*FutureHWResult, error) {
 			PeriodBase:    r.Scale.PeriodBase,
 			Seed:          r.Seed,
 			LBRContention: contention,
+			Engine:        r.Engine,
 		})
 		if err != nil {
 			return 0, err

@@ -59,6 +59,7 @@ func (r *Runner) RunOverhead() (*report.Table, map[string][]OverheadPoint, error
 		run, err := sampling.Collect(p, mach, m, sampling.Options{
 			PeriodBase: base,
 			Seed:       r.Seed,
+			Engine:     r.Engine,
 		})
 		if err != nil {
 			return err

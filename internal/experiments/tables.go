@@ -260,6 +260,7 @@ func (r *Runner) RunRanking() (*RankingResult, error) {
 			run, err := sampling.Collect(p, mach, m, sampling.Options{
 				PeriodBase: r.Scale.PeriodBase,
 				Seed:       r.Seed,
+				Engine:     r.Engine,
 			})
 			if err != nil {
 				return nil, err

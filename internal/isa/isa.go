@@ -193,6 +193,12 @@ var opInfo = [numOps]struct {
 	OpHalt:  {"halt", 1, 1, ClassOther, false, false, false, false, false, false, false, false, false},
 }
 
+// MaxUops is the largest Uops() value of any defined opcode. The PMU's
+// bulk-advance headroom conversion divides by it to turn a uop budget into
+// a guaranteed-safe instruction count (internal/pmu FastHeadroom); a test
+// asserts it stays in sync with the opcode table.
+const MaxUops = 4
+
 // Valid reports whether o is a defined opcode.
 func (o Op) Valid() bool { return o < numOps }
 

@@ -164,3 +164,15 @@ func TestDisasmAllOpsNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestMaxUopsMatchesTable(t *testing.T) {
+	max := uint8(0)
+	for op := Op(0); op < Op(NumOps); op++ {
+		if u := op.Uops(); u > max {
+			max = u
+		}
+	}
+	if uint64(max) != MaxUops {
+		t.Errorf("MaxUops = %d, but the opcode table peaks at %d", MaxUops, max)
+	}
+}

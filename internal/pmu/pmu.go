@@ -29,6 +29,7 @@ package pmu
 
 import (
 	"pmutrust/internal/cpu"
+	"pmutrust/internal/isa"
 	"pmutrust/internal/stats"
 )
 
@@ -404,6 +405,81 @@ func (p *PMU) OnRetire(ev cpu.RetireEvent) {
 		}
 	}
 	p.effPeriod = p.nextPeriod()
+}
+
+// The PMU implements cpu.FastMonitor: the fast engine advances whole basic
+// blocks between PMU-relevant boundaries and falls back to per-instruction
+// OnRetire delivery exactly when the PMU says so (FastHeadroom == 0).
+var _ cpu.FastMonitor = (*PMU)(nil)
+
+// FastHeadroom implements cpu.FastMonitor. It returns the number of
+// instructions guaranteed to retire without any observable PMU action: no
+// counter overflow, no sample capture, no interrupt bookkeeping, no RNG
+// draw. The grant is zero whenever the unit is in a stateful window that
+// must observe the event stream instruction by instruction — a pending
+// imprecise PMI riding out its skid, an armed PEBS capture window, a
+// displaced IBS tag — or when the counter is within one event of overflow
+// (which under HW 4-LSB randomization can mean an entire grant of zero:
+// tiny randomized reload values keep the unit permanently near a
+// boundary).
+//
+// For uop-counted events the unit budget is converted to instructions by
+// dividing by isa.MaxUops; for taken-branch events an instruction can
+// contribute at most one unit, so the unit budget is already a safe
+// instruction count.
+func (p *PMU) FastHeadroom() uint64 {
+	if p.pendingPMI || p.pendingIBS || p.armed {
+		return 0
+	}
+	if p.counter+1 >= p.effPeriod {
+		return 0
+	}
+	avail := p.effPeriod - p.counter - 1
+	if p.cfg.Event == EvUopsRetired {
+		return avail / isa.MaxUops
+	}
+	return avail
+}
+
+// WantBranches implements cpu.FastMonitor: LBR-capturing configurations
+// must see every retired taken branch even in the middle of a stride,
+// because the ring's contents at the next sample depend on all of them.
+func (p *PMU) WantBranches() bool { return p.cfg.CaptureLBR }
+
+// OnFastBranch implements cpu.FastMonitor: the stride-mode half of the LBR
+// update in OnRetire.
+func (p *PMU) OnFastBranch(from, to uint32, op isa.Op) {
+	p.lbr.push(BranchRecord{From: from, To: to})
+	if p.cfg.LBRContention > 0 {
+		switch {
+		case op.IsCall():
+			p.csRing.push(BranchRecord{From: from, To: to})
+		case op.IsRet():
+			p.csRing.pop()
+		}
+	}
+}
+
+// BulkRetire implements cpu.FastMonitor: account a stride the engine
+// retired inside the last FastHeadroom grant. By the grant's construction
+// the counter cannot reach the reload value, so no overflow logic runs
+// here; the invariant is asserted because a violation means silently
+// diverging sample streams.
+func (p *PMU) BulkRetire(instrs, uops, takenBranches uint64) {
+	var u uint64
+	switch p.cfg.Event {
+	case EvInstRetired:
+		u = instrs
+	case EvUopsRetired:
+		u = uops
+	case EvBrTaken:
+		u = takenBranches
+	}
+	p.TotalEvents += u
+	p.counter += u
+	if p.counter >= p.effPeriod {
+		panic("pmu: BulkRetire overran the sampling period (fast-engine headroom contract violation)")
+	}
 }
 
 // capturePrecise records a PEBS/PDIR sample for the captured occurrence

@@ -175,6 +175,14 @@ func (p *Program) Validate() error {
 			}
 		}
 		for i, in := range b.Instrs {
+			if !in.Op.Valid() {
+				return fmt.Errorf("block %s: invalid opcode %d at offset %d",
+					b.Label, in.Op, i)
+			}
+			if in.Dst >= isa.NumRegs || in.Src1 >= isa.NumRegs || in.Src2 >= isa.NumRegs {
+				return fmt.Errorf("block %s: register out of range in %s at offset %d",
+					b.Label, in.Op, i)
+			}
 			if (in.Op.IsBranch() || in.Op == isa.OpHalt) && i != len(b.Instrs)-1 {
 				return fmt.Errorf("block %s: terminator %s mid-block at offset %d",
 					b.Label, in.Op, i)

@@ -300,6 +300,16 @@ func TestValidateDetectsCorruption(t *testing.T) {
 				}
 			}
 		}},
+		{"invalid opcode", func(p *Program) {
+			blk := p.Blocks[0]
+			p.Code[blk.Start].Op = isa.Op(isa.NumOps)
+			blk.Instrs[0].Op = isa.Op(isa.NumOps)
+		}},
+		{"register out of range", func(p *Program) {
+			blk := p.Blocks[0]
+			p.Code[blk.Start].Src1 = isa.NumRegs
+			blk.Instrs[0].Src1 = isa.NumRegs
+		}},
 		{"second halt outside entry", func(p *Program) {
 			// Replace work.skip's ret with halt.
 			f := p.FindFunc("work")

@@ -1,0 +1,414 @@
+package program
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+)
+
+// This file is the random-program generator behind the engine-equivalence
+// fuzzers (internal/cpu, internal/sampling): programs no human wrote, built
+// through the same Builder DSL the workloads use, and guaranteed to halt.
+//
+// Halting is by construction, not by luck:
+//
+//   - backward branches exist only as counted loops whose counter register
+//     is written exclusively by the loop's own movi/addi/cmpi/jnz skeleton
+//     — random body instructions never target r8..r11, and counter
+//     registers are assigned per function (see loopCounter) so that no
+//     call executed inside a loop's live window can reach a function that
+//     writes the same counter;
+//   - data-dependent branches (diamonds fed by LCG state in r12/r13) only
+//     jump forward;
+//   - calls only go to strictly later-declared functions, so the call
+//     graph is acyclic and the call depth is bounded by the function
+//     count.
+
+// GenConfig bounds Random. Shrink walks these knobs down when hunting a
+// minimal diverging program.
+type GenConfig struct {
+	// Funcs is the number of callee functions besides main (0..).
+	Funcs int
+	// Loops is the maximum number of counted loops per function.
+	Loops int
+	// Trips is the maximum trip count of one loop.
+	Trips int64
+	// BlockLen is the maximum length of one straight-line instruction run.
+	BlockLen int
+	// Diamonds is the maximum number of data-dependent forward diamonds
+	// per function.
+	Diamonds int
+	// MemWords sizes the program's memory (0 selects the builder default).
+	MemWords int
+}
+
+// DefaultGenConfig keeps fuzzed runs in the tens-of-thousands-of-
+// instructions range: large enough to cross many sampling periods, small
+// enough for thousands of programs per test run.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Funcs: 2, Loops: 2, Trips: 80, BlockLen: 10, Diamonds: 2, MemWords: 256}
+}
+
+// BigGenConfig is the paper-scale fuzz shape (-tags slow): deeper call
+// chains, longer loops, millions of dynamic instructions.
+func BigGenConfig() GenConfig {
+	return GenConfig{Funcs: 3, Loops: 3, Trips: 300, BlockLen: 24, Diamonds: 3, MemWords: 1024}
+}
+
+// Shrink greedily minimizes cfg while diverges keeps reporting true, and
+// returns the smallest still-diverging configuration found. Generation is
+// deterministic in (seed, cfg), so the result pins down a minimal
+// reproducer together with the seed that found the divergence.
+func (c GenConfig) Shrink(diverges func(GenConfig) bool) GenConfig {
+	cur := c
+	for {
+		improved := false
+		for _, cand := range cur.shrinkSteps() {
+			if diverges(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// shrinkSteps proposes one-knob reductions of c, largest first.
+func (c GenConfig) shrinkSteps() []GenConfig {
+	var out []GenConfig
+	if c.Trips > 1 {
+		d := c
+		d.Trips = c.Trips / 2
+		out = append(out, d)
+	}
+	if c.Funcs > 0 {
+		d := c
+		d.Funcs--
+		out = append(out, d)
+	}
+	if c.Loops > 0 {
+		d := c
+		d.Loops--
+		out = append(out, d)
+	}
+	if c.Diamonds > 0 {
+		d := c
+		d.Diamonds--
+		out = append(out, d)
+	}
+	if c.BlockLen > 1 {
+		d := c
+		d.BlockLen = c.BlockLen / 2
+		out = append(out, d)
+	}
+	return out
+}
+
+// genRNG is a self-contained splitmix64: the generator must not depend on
+// higher layers (stats sits above program in the import order).
+type genRNG struct{ s uint64 }
+
+func (g *genRNG) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *genRNG) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.next() % uint64(n))
+}
+
+func (g *genRNG) int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(g.next() % uint64(n))
+}
+
+// dataRegs are the registers random instructions may write: everything
+// except the loop counters r8..r11 and the LCG state r12..r13.
+var dataRegs = []isa.Reg{0, 1, 2, 3, 4, 5, 6, 7, 14, 15}
+
+// Random generates a deterministic pseudo-random halting program from
+// (seed, cfg). The result is built through Builder and therefore satisfies
+// every Program invariant (Validate runs inside Build).
+func Random(seed uint64, cfg GenConfig) *Program {
+	g := &genRNG{s: seed ^ 0x5eed5eed5eed5eed}
+	b := NewBuilder(fmt.Sprintf("rand-%d", seed))
+	if cfg.MemWords > 0 {
+		b.SetMemWords(cfg.MemWords)
+	}
+
+	nf := 1 + g.intn(cfg.Funcs+1) // main + callees
+	fns := make([]*FuncBuilder, nf)
+	names := make([]string, nf)
+	for i := range fns {
+		if i == 0 {
+			names[i] = "main"
+		} else {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+		fns[i] = b.Func(names[i])
+	}
+	for i, f := range fns {
+		gf := &funcGen{g: g, cfg: cfg, f: f, idx: i, names: names}
+		gf.emit()
+	}
+	p, err := b.Build()
+	if err != nil {
+		// The generator is supposed to produce only valid programs; an
+		// invalid one is a generator bug worth a loud crash in the fuzzer.
+		panic(fmt.Sprintf("program: Random(%d, %+v): %v", seed, cfg, err))
+	}
+	return p
+}
+
+// funcGen holds per-function generation state.
+type funcGen struct {
+	g     *genRNG
+	cfg   GenConfig
+	f     *FuncBuilder
+	idx   int // this function's index; calls go to strictly larger indices
+	names []string
+
+	blocks   int // label counter
+	diamonds int
+	cur      *BlockBuilder
+}
+
+// newBlock starts a new block with a generated label and makes it current.
+// The block opens with a nop so it can never end up empty (Build rejects
+// empty blocks; whether anything else lands in it depends on later rolls).
+func (fg *funcGen) newBlock(kind string) *BlockBuilder {
+	fg.blocks++
+	fg.cur = fg.f.Block(fmt.Sprintf("%s%d", kind, fg.blocks))
+	fg.cur.Nop()
+	return fg.cur
+}
+
+// emit generates the function body: init block, a random sequence of
+// straight runs, diamonds, calls and counted loops, then ret/halt.
+func (fg *funcGen) emit() {
+	g := fg.g
+	init := fg.newBlock("entry")
+	// Seed a few data registers and the LCG state so branches and memory
+	// addresses vary between seeds.
+	for i := 0; i < 4; i++ {
+		init.Movi(dataRegs[g.intn(len(dataRegs))], int64(g.intn(4096))-2048)
+	}
+	init.Movi(12, int64(g.next()%1_000_003)+1)
+	init.Movi(13, int64(g.next()%65_521)+1)
+
+	segments := 1 + g.intn(3)
+	loopsLeft := fg.cfg.Loops
+	for s := 0; s < segments; s++ {
+		switch {
+		case loopsLeft > 0 && g.intn(2) == 0:
+			loopsLeft--
+			// Nested loops stay in main: a nest in every function of a
+			// call chain would multiply trip counts into runaway dynamic
+			// sizes.
+			fg.emitLoop(fg.loopCounter(), fg.idx == 0 && loopsLeft > 0 && g.intn(3) == 0)
+		case fg.diamonds < fg.cfg.Diamonds && g.intn(3) == 0:
+			fg.emitDiamond()
+		case g.intn(3) == 0:
+			// A bare call (outside any loop) runs the callee once per
+			// invocation: cheap, and it makes the builder split the block
+			// mid-sequence — the call/return and block-split paths get
+			// coverage without dynamic blowup.
+			fg.emitCall(fg.cur)
+			fg.emitStraight(fg.cur)
+		default:
+			fg.emitStraight(fg.cur)
+		}
+	}
+
+	exit := fg.newBlock("exit")
+	if fg.idx == 0 {
+		exit.Halt()
+	} else {
+		exit.Ret()
+	}
+}
+
+// emitStraight appends 1..BlockLen random non-control instructions to blk.
+func (fg *funcGen) emitStraight(blk *BlockBuilder) {
+	g := fg.g
+	n := 1 + g.intn(fg.cfg.BlockLen)
+	for i := 0; i < n; i++ {
+		fg.emitRandInstr(blk)
+	}
+}
+
+// emitRandInstr appends one random data instruction.
+func (fg *funcGen) emitRandInstr(blk *BlockBuilder) {
+	g := fg.g
+	dst := dataRegs[g.intn(len(dataRegs))]
+	s1 := isa.Reg(g.intn(isa.NumRegs)) // reads may touch any register
+	s2 := isa.Reg(g.intn(isa.NumRegs))
+	switch g.intn(20) {
+	case 0:
+		blk.Nop()
+	case 1:
+		blk.Mov(dst, s1)
+	case 2:
+		blk.Movi(dst, int64(g.intn(1<<16))-1<<15)
+	case 3:
+		blk.Add(dst, s1, s2)
+	case 4:
+		blk.Addi(dst, s1, int64(g.intn(256))-128)
+	case 5:
+		blk.Sub(dst, s1, s2)
+	case 6:
+		blk.Mul(dst, s1, s2)
+	case 7:
+		blk.Div(dst, s1, s2)
+	case 8:
+		blk.Rem(dst, s1, s2)
+	case 9:
+		blk.And(dst, s1, s2)
+	case 10:
+		blk.Or(dst, s1, s2)
+	case 11:
+		blk.Xor(dst, s1, s2)
+	case 12:
+		blk.Shl(dst, s1, int64(g.intn(64)))
+	case 13:
+		blk.Shr(dst, s1, int64(g.intn(64)))
+	case 14:
+		blk.Load(dst, s1, int64(g.intn(512)))
+	case 15:
+		blk.Store(s1, s2, int64(g.intn(512)))
+	case 16:
+		blk.Fadd(dst, s1, s2)
+	case 17:
+		blk.Fmul(dst, s1, s2)
+	case 18:
+		blk.Fdiv(dst, s1, s2)
+	case 19:
+		blk.Fma(dst, s1, s2)
+	}
+}
+
+// lcgStep advances the r12/r13 LCG that feeds data-dependent branches.
+func (fg *funcGen) lcgStep(blk *BlockBuilder) {
+	blk.Raw(isa.Instr{Op: isa.OpMul, Dst: 12, Src1: 12, Src2: 13})
+	blk.Raw(isa.Instr{Op: isa.OpAddi, Dst: 12, Src1: 12, Imm: 12345})
+	blk.Raw(isa.Instr{Op: isa.OpShr, Dst: 14, Src1: 12, Imm: 5})
+}
+
+// emitCall appends a call to a strictly later function, if one exists.
+func (fg *funcGen) emitCall(blk *BlockBuilder) {
+	if fg.idx+1 >= len(fg.names) {
+		return
+	}
+	callee := fg.idx + 1 + fg.g.intn(len(fg.names)-fg.idx-1)
+	blk.Call(fg.names[callee])
+}
+
+// loopCounter assigns each function its loop counter register so counters
+// never alias across a live call chain: main uses r8 (outer) and r9
+// (nested; the nested body never calls), f1 uses r10, f2 uses r11, and
+// f3 — reachable only through bare calls or f1's loop, never from inside
+// main's nested loop — can safely reuse r9.
+func (fg *funcGen) loopCounter() isa.Reg {
+	switch fg.idx {
+	case 0:
+		return 8
+	case 1:
+		return 10
+	case 2:
+		return 11
+	default:
+		return 9
+	}
+}
+
+// emitLoop generates a counted loop: movi header, body with random
+// contents, addi/cmpi/jnz latch.
+func (fg *funcGen) emitLoop(counter isa.Reg, nest bool) {
+	g := fg.g
+	maxTrips := fg.cfg.Trips
+	if fg.idx > 0 && maxTrips > 4 {
+		// Callee loops stay short: every function down an acyclic call
+		// chain multiplies the dynamic instruction count by its trip
+		// count.
+		maxTrips = 4
+	}
+	trips := 1 + g.int63n(maxTrips)
+	fg.cur.Movi(counter, trips)
+	fg.blocks++
+	bodyLabel := fmt.Sprintf("loop%d", fg.blocks)
+	body := fg.f.Block(bodyLabel)
+	fg.cur = body
+	fg.emitStraight(body)
+	fg.lcgStep(body)
+	// Calls from loop bodies multiply callee bodies by the trip count, so
+	// they stay near the top of the (acyclic) call chain; deeper functions
+	// are still exercised through bare calls in straight segments. Main's
+	// nested loop body never calls — that is what makes r9 reusable by f3.
+	if fg.idx <= 1 && counter != 9 && g.intn(2) == 0 {
+		fg.emitCall(fg.cur)
+	}
+	if nest && fg.idx == 0 && counter == 8 {
+		fg.emitLoop(9, false)
+	}
+	if fg.diamonds < fg.cfg.Diamonds && g.intn(2) == 0 {
+		fg.emitDiamond()
+	}
+	// The latch: decrement, test, backward branch. fg.cur may have moved
+	// past the body block (diamond/nested loop); the backward target stays
+	// the body head, the loop structure stays reducible.
+	latch := fg.cur
+	latch.Addi(counter, counter, -1)
+	latch.Cmpi(counter, 0)
+	latch.Jnz(bodyLabel)
+	fg.newBlock("after")
+}
+
+// emitDiamond generates a forward if/else join on LCG-derived data.
+func (fg *funcGen) emitDiamond() {
+	g := fg.g
+	fg.diamonds++
+	n := fg.diamonds
+	thenL := fmt.Sprintf("then%d", n)
+	elseL := fmt.Sprintf("else%d", n)
+	joinL := fmt.Sprintf("join%d", n)
+
+	cond := fg.cur
+	cond.Raw(isa.Instr{Op: isa.OpCmpi, Src1: 14, Imm: int64(g.intn(1 << 16))})
+	switch g.intn(4) {
+	case 0:
+		cond.Jz(elseL)
+	case 1:
+		cond.Jnz(elseL)
+	case 2:
+		cond.Jlt(elseL)
+	case 3:
+		cond.Jge(elseL)
+	}
+
+	fg.blocks++
+	then := fg.f.Block(thenL)
+	fg.cur = then
+	fg.emitStraight(then)
+	then.Jmp(joinL)
+
+	fg.blocks++
+	els := fg.f.Block(elseL)
+	fg.cur = els
+	fg.emitStraight(els)
+
+	fg.blocks++
+	join := fg.f.Block(joinL)
+	join.Nop()
+	fg.cur = join
+}

@@ -1,0 +1,61 @@
+package program_test
+
+import (
+	"testing"
+
+	"pmutrust/internal/program"
+)
+
+// TestRandomProgramsValid: every generated program passes the full
+// structural validator (Build already runs it; re-check independently) and
+// is deterministic in (seed, cfg).
+func TestRandomProgramsValid(t *testing.T) {
+	cfg := program.DefaultGenConfig()
+	for seed := uint64(0); seed < 200; seed++ {
+		p := program.Random(seed, cfg)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q := program.Random(seed, cfg)
+		if len(q.Code) != len(p.Code) {
+			t.Fatalf("seed %d: non-deterministic generation (%d vs %d instrs)",
+				seed, len(p.Code), len(q.Code))
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				t.Fatalf("seed %d: instruction %d differs between generations", seed, i)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsVary: the generator actually explores the space —
+// different seeds give different programs.
+func TestRandomProgramsVary(t *testing.T) {
+	cfg := program.DefaultGenConfig()
+	sizes := map[int]bool{}
+	for seed := uint64(0); seed < 50; seed++ {
+		sizes[program.Random(seed, cfg).NumInstrs()] = true
+	}
+	if len(sizes) < 10 {
+		t.Errorf("only %d distinct program sizes across 50 seeds", len(sizes))
+	}
+}
+
+// TestShrinkConverges: Shrink reaches a fixed point and returns a config
+// that still satisfies the predicate.
+func TestShrinkConverges(t *testing.T) {
+	cfg := program.BigGenConfig()
+	// Predicate: "diverges" whenever Trips >= 5; minimal config has the
+	// smallest Trips >= 5 reachable by halving, everything else floored.
+	got := cfg.Shrink(func(c program.GenConfig) bool { return c.Trips >= 5 })
+	if got.Trips < 5 {
+		t.Fatalf("Shrink returned non-diverging config %+v", got)
+	}
+	if got.Funcs != 0 || got.Loops != 0 || got.Diamonds != 0 || got.BlockLen != 1 {
+		t.Errorf("Shrink left reducible knobs: %+v", got)
+	}
+	if got.Trips/2 >= 5 {
+		t.Errorf("Shrink stopped early on Trips: %+v", got)
+	}
+}

@@ -9,6 +9,52 @@ import (
 	"pmutrust/internal/program"
 )
 
+// EngineMode selects which execution engine Collect drives — or both, for
+// self-checking runs. The engines are bit-identical (enforced by the
+// differential harness), so the mode never changes results, only speed.
+type EngineMode uint8
+
+const (
+	// EngineFast (the zero value, hence the default) runs the block-stride
+	// fast-path executor.
+	EngineFast EngineMode = iota
+	// EngineInterp runs the per-instruction reference interpreter.
+	EngineInterp
+	// EngineBoth runs both engines and fails the collection with a
+	// divergence error unless every observable — cpu.Result, sample
+	// stream, LBR contents, overflow/drop counters, error text — is
+	// bit-identical. Twice the cost; meant for CI smoke and debugging.
+	EngineBoth
+)
+
+// String returns the flag spelling of the mode.
+func (e EngineMode) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineInterp:
+		return "interp"
+	case EngineBoth:
+		return "both"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineByName parses a -engine flag value.
+func EngineByName(name string) (EngineMode, error) {
+	switch name {
+	case "fast":
+		return EngineFast, nil
+	case "interp":
+		return EngineInterp, nil
+	case "both":
+		return EngineBoth, nil
+	default:
+		return EngineFast, fmt.Errorf("sampling: unknown engine %q (want fast, interp or both)", name)
+	}
+}
+
 // Options controls one collection run.
 type Options struct {
 	// PeriodBase is the base sampling period in instructions; Table 3's
@@ -19,11 +65,15 @@ type Options struct {
 	// the paper's repeated measurements.
 	Seed uint64
 	// MaxInstrs bounds the simulated run as a safety net (0 = default).
+	// The bound is exact under both engines: a fast-path stride is capped
+	// so it can never overshoot the limit.
 	MaxInstrs uint64
 	// LBRContention is the fraction of samples whose LBR snapshot is
 	// stolen by a concurrent call-stack-mode consumer (§6.2's collision
 	// concern). Zero for exclusive LBR ownership.
 	LBRContention float64
+	// Engine selects the execution engine (default EngineFast).
+	Engine EngineMode
 }
 
 // Run is the outcome of sampling one workload on one machine with one
@@ -133,20 +183,103 @@ func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*
 		LBRContention: opt.LBRContention,
 		HWExactIP:     mach.HasHWIPFix,
 	}
-	unit := pmu.New(cfg)
-
-	cpuRes, err := cpu.Run(p, mach.CPU, unit, opt.MaxInstrs)
-	if err != nil {
-		return nil, fmt.Errorf("sampling: run %s on %s: %w", p.Name, mach.Name, err)
+	// runOnce always returns the Run, even when the cpu run errored — the
+	// partial sample stream is what EngineBoth diffs on identically
+	// failing runs. Collect's public contract (nil Run on error) is
+	// restored by the switch below.
+	runOnce := func(eng cpu.Engine) (*Run, error) {
+		unit := pmu.New(cfg)
+		cpuRes, err := cpu.RunEngine(p, mach.CPU, unit, opt.MaxInstrs, eng)
+		run := &Run{
+			Machine:     mach,
+			Requested:   m,
+			Method:      resolved,
+			Period:      period,
+			Samples:     unit.Samples(),
+			CPU:         cpuRes,
+			Overflows:   unit.Overflows,
+			DroppedPMIs: unit.DroppedPMIs,
+		}
+		if err != nil {
+			return run, fmt.Errorf("sampling: run %s on %s: %w", p.Name, mach.Name, err)
+		}
+		return run, nil
 	}
-	return &Run{
-		Machine:     mach,
-		Requested:   m,
-		Method:      resolved,
-		Period:      period,
-		Samples:     unit.Samples(),
-		CPU:         cpuRes,
-		Overflows:   unit.Overflows,
-		DroppedPMIs: unit.DroppedPMIs,
-	}, nil
+
+	switch opt.Engine {
+	case EngineInterp:
+		run, err := runOnce(cpu.EngineInterp)
+		if err != nil {
+			return nil, err
+		}
+		return run, nil
+	case EngineBoth:
+		ir, ierr := runOnce(cpu.EngineInterp)
+		fr, ferr := runOnce(cpu.EngineFast)
+		if err := DiffOutcome(ir, ierr, fr, ferr); err != nil {
+			return nil, fmt.Errorf("engine divergence on %s/%s/%s: %w", p.Name, mach.Name, m.Key, err)
+		}
+		if ferr != nil {
+			return nil, ferr
+		}
+		return fr, nil
+	default:
+		run, err := runOnce(cpu.EngineFast)
+		if err != nil {
+			return nil, err
+		}
+		return run, nil
+	}
+}
+
+// DiffOutcome compares two engines' outcomes of the same cell: error
+// parity and text first, then every Run observable via DiffRuns —
+// including the partial streams of runs that ended in identical errors,
+// so a divergence hiding behind a shared failure (e.g. an instruction
+// limit) is still caught. Both runs must be non-nil; a is conventionally
+// the reference engine's.
+func DiffOutcome(a *Run, aErr error, b *Run, bErr error) error {
+	switch {
+	case (aErr == nil) != (bErr == nil):
+		return fmt.Errorf("interp err=%v, fast err=%v", aErr, bErr)
+	case aErr != nil && aErr.Error() != bErr.Error():
+		return fmt.Errorf("interp error %q vs fast error %q", aErr.Error(), bErr.Error())
+	}
+	return DiffRuns(a, b)
+}
+
+// DiffRuns reports the first observable difference between two runs of the
+// same cell, or nil when they are bit-identical. It is the shared
+// divergence check behind EngineBoth, the differential tests and the CI
+// both-engine smoke sweep.
+func DiffRuns(a, b *Run) error {
+	if a.CPU != b.CPU {
+		return fmt.Errorf("cpu result diverges:\n  a %+v\n  b %+v", a.CPU, b.CPU)
+	}
+	if a.Period != b.Period {
+		return fmt.Errorf("period diverges: %d vs %d", a.Period, b.Period)
+	}
+	if a.Overflows != b.Overflows || a.DroppedPMIs != b.DroppedPMIs {
+		return fmt.Errorf("collection health diverges: overflows %d/%d, dropped %d/%d",
+			a.Overflows, b.Overflows, a.DroppedPMIs, b.DroppedPMIs)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		return fmt.Errorf("sample count diverges: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		sa, sb := a.Samples[i], b.Samples[i]
+		if sa.IP != sb.IP || sa.TriggerIP != sb.TriggerIP || sa.Cycle != sb.Cycle ||
+			sa.Seq != sb.Seq || sa.Period != sb.Period {
+			return fmt.Errorf("sample %d diverges:\n  a %+v\n  b %+v", i, sa, sb)
+		}
+		if (sa.LBR == nil) != (sb.LBR == nil) || len(sa.LBR) != len(sb.LBR) {
+			return fmt.Errorf("sample %d LBR shape diverges: %v vs %v", i, sa.LBR, sb.LBR)
+		}
+		for j := range sa.LBR {
+			if sa.LBR[j] != sb.LBR[j] {
+				return fmt.Errorf("sample %d LBR[%d] diverges: %+v vs %+v", i, j, sa.LBR[j], sb.LBR[j])
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,42 @@
+//go:build slow
+
+package sampling_test
+
+// Paper-scale engine equivalence (go test -tags slow): the full grid at
+// the PaperScale regime (8x workloads, period base 4000 — the same
+// samples-per-run ratio as the paper's 2,000,000-instruction periods),
+// every cell self-checked bit-for-bit by EngineBoth.
+
+import (
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+func TestEngineGridBitIdenticalPaperScale(t *testing.T) {
+	specs := append(workloads.Kernels(), workloads.Apps()...)
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.Build(8)
+			for _, mach := range machine.All() {
+				for _, m := range gridMethods() {
+					if _, ok := sampling.Resolve(m, mach); !ok {
+						continue
+					}
+					_, err := sampling.Collect(p, mach, m, sampling.Options{
+						PeriodBase: 4000,
+						Seed:       42,
+						Engine:     sampling.EngineBoth,
+					})
+					if err != nil {
+						t.Errorf("%s/%s/%s: %v", spec.Name, mach.Name, m.Key, err)
+					}
+				}
+			}
+		})
+	}
+}

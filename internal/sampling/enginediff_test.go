@@ -1,0 +1,179 @@
+package sampling_test
+
+// Grid-level engine equivalence: every (workload × machine × method) cell
+// of the reproduction must produce bit-identical Runs — samples, LBR
+// contents, counters, cpu.Result — under the interpreter and the fast
+// engine. EngineBoth performs the diff internally and fails the collection
+// on any divergence, so the assertion here is simply that collection
+// succeeds.
+
+import (
+	"errors"
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/program"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// gridMethods returns Table 3 plus the frequency-mode variant.
+func gridMethods() []sampling.Method {
+	return append(sampling.Registry(), sampling.FreqMode())
+}
+
+// TestEngineGridBitIdentical sweeps the small-scale grid under EngineBoth.
+func TestEngineGridBitIdentical(t *testing.T) {
+	specs := workloads.Kernels()
+	if !testing.Short() {
+		specs = append(specs, workloads.Apps()...)
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.Build(0.25)
+			for _, mach := range machine.All() {
+				for _, m := range gridMethods() {
+					if _, ok := sampling.Resolve(m, mach); !ok {
+						continue
+					}
+					_, err := sampling.Collect(p, mach, m, sampling.Options{
+						PeriodBase: 1000,
+						Seed:       42,
+						Engine:     sampling.EngineBoth,
+					})
+					if err != nil {
+						t.Errorf("%s/%s/%s: %v", spec.Name, mach.Name, m.Key, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineGridFuzzPrograms runs EngineBoth over randomized programs too:
+// the workload grid only covers shapes humans wrote.
+func TestEngineGridFuzzPrograms(t *testing.T) {
+	n := uint64(60)
+	if testing.Short() {
+		n = 15
+	}
+	cfg := program.DefaultGenConfig()
+	mach := machine.IvyBridge()
+	for seed := uint64(0); seed < n; seed++ {
+		p := program.Random(seed, cfg)
+		for _, m := range gridMethods() {
+			if _, ok := sampling.Resolve(m, mach); !ok {
+				continue
+			}
+			_, err := sampling.Collect(p, mach, m, sampling.Options{
+				PeriodBase: 200,
+				Seed:       seed,
+				Engine:     sampling.EngineBoth,
+			})
+			if err != nil {
+				t.Fatalf("seed %d method %s: %v", seed, m.Key, err)
+			}
+		}
+	}
+}
+
+// TestCollectMaxInstrs is the fast-path stride-overshoot regression: with
+// a MaxInstrs bound, both engines must cut the run at exactly the same
+// instruction with the same wrapped cpu.ErrInstrLimit — a stride must
+// never run past the budget before the limit is noticed.
+func TestCollectMaxInstrs(t *testing.T) {
+	p := workloads.MustBuild("G4Box", 0.25)
+	mach := machine.IvyBridge()
+	m, err := sampling.MethodByKey("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []uint64{1, 500, 12_345} {
+		var errs [2]error
+		for i, eng := range []sampling.EngineMode{sampling.EngineInterp, sampling.EngineFast} {
+			_, err := sampling.Collect(p, mach, m, sampling.Options{
+				PeriodBase: 100,
+				Seed:       1,
+				MaxInstrs:  limit,
+				Engine:     eng,
+			})
+			if !errors.Is(err, cpu.ErrInstrLimit) {
+				t.Fatalf("limit %d engine %s: err = %v, want ErrInstrLimit", limit, eng, err)
+			}
+			errs[i] = err
+		}
+		if errs[0].Error() != errs[1].Error() {
+			t.Fatalf("limit %d: error text diverges:\n  interp %q\n  fast   %q",
+				limit, errs[0], errs[1])
+		}
+		// EngineBoth agrees with itself on limited runs too (identical
+		// errors are not a divergence).
+		_, err := sampling.Collect(p, mach, m, sampling.Options{
+			PeriodBase: 100, Seed: 1, MaxInstrs: limit, Engine: sampling.EngineBoth,
+		})
+		if !errors.Is(err, cpu.ErrInstrLimit) {
+			t.Fatalf("limit %d engine both: err = %v, want ErrInstrLimit", limit, err)
+		}
+	}
+}
+
+// TestDiffOutcome pins the comparison protocol shared by Collect's
+// EngineBoth path and the ablation self-check: error-parity mismatches
+// and error-text mismatches are divergences, and runs that failed with
+// identical errors still have their partial streams diffed.
+func TestDiffOutcome(t *testing.T) {
+	mkRun := func(samples int) *sampling.Run {
+		r := &sampling.Run{CPU: cpu.Result{Instructions: 10, Cycles: 20}}
+		for i := 0; i < samples; i++ {
+			r.Samples = append(r.Samples, pmuSample(uint32(i)))
+		}
+		return r
+	}
+	limitErr := errors.New("limit hit")
+
+	if err := sampling.DiffOutcome(mkRun(2), nil, mkRun(2), nil); err != nil {
+		t.Errorf("identical successful runs: %v", err)
+	}
+	if err := sampling.DiffOutcome(mkRun(2), limitErr, mkRun(2), nil); err == nil {
+		t.Error("error-parity mismatch not reported")
+	}
+	if err := sampling.DiffOutcome(mkRun(2), limitErr, mkRun(2), errors.New("other")); err == nil {
+		t.Error("error-text mismatch not reported")
+	}
+	if err := sampling.DiffOutcome(mkRun(2), limitErr, mkRun(2), errors.New("limit hit")); err != nil {
+		t.Errorf("identically failing identical runs: %v", err)
+	}
+	// The regression the helper exists for: identical errors must not
+	// mask a divergent partial stream.
+	if err := sampling.DiffOutcome(mkRun(2), limitErr, mkRun(3), errors.New("limit hit")); err == nil {
+		t.Error("divergent partial streams behind identical errors not reported")
+	}
+}
+
+// pmuSample builds a minimal distinct sample for DiffOutcome tests.
+func pmuSample(ip uint32) pmu.Sample {
+	return pmu.Sample{IP: ip, TriggerIP: ip, Cycle: uint64(ip) + 1, Seq: uint64(ip) + 1, Period: 100}
+}
+
+// TestEngineByName pins the flag spellings.
+func TestEngineByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want sampling.EngineMode
+		ok   bool
+	}{
+		{"fast", sampling.EngineFast, true},
+		{"interp", sampling.EngineInterp, true},
+		{"both", sampling.EngineBoth, true},
+		{"turbo", 0, false},
+	} {
+		got, err := sampling.EngineByName(tc.name)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("EngineByName(%q) = %v, %v", tc.name, got, err)
+		}
+	}
+}

@@ -62,6 +62,24 @@
 // new.jsonl` diffs two stores cell-by-cell, exiting non-zero when a
 // cell's accuracy error regressed beyond a tolerance.
 //
+// # Execution engines
+//
+// Two engines execute the simulated machines. The reference interpreter
+// (internal/cpu.Run) retires one instruction at a time through
+// Monitor.OnRetire. The default fast-path executor (cpu.RunFast)
+// predecodes the program and advances in block-structured strides,
+// asking the PMU how many instructions can retire before any possible
+// observable event (counter overflow, armed PEBS window, pending PMI,
+// displaced IBS tag) and bulk-advancing counters across that span; LBR
+// rings still see every taken branch. The two are bit-identical in every
+// observable — Result, sample streams, LBR contents, error text — which
+// a differential harness enforces across the full grid and thousands of
+// fuzzed Builder-DSL programs (internal/cpu, internal/sampling,
+// internal/pmu tests; `pmubench -engine both` self-checks entire
+// sweeps). Options.Engine / `pmubench -engine fast|interp|both` select
+// the engine; the fast path is ~2.6x faster (geomean over the Table 4
+// kernels, BENCH_engine.json) and results never depend on the choice.
+//
 // The heavy lifting lives in the internal packages (isa, program, cpu,
 // pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
 // experiments, results, report); this package re-exports the stable
