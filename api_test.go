@@ -115,3 +115,50 @@ func TestPublicAPICustomProgram(t *testing.T) {
 		t.Error("single-function ranking wrong")
 	}
 }
+
+// TestPublicAPIMultiplexing exercises the counter-multiplexing surface
+// through the facade: request more counting events than the machine has
+// counters and read exact-vs-scaled counts off the Run.
+func TestPublicAPIMultiplexing(t *testing.T) {
+	spec, err := pmutrust.WorkloadByName("G4Box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Build(0.05)
+	method, err := pmutrust.MethodByKey("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pmutrust.ParseEventList("inst_retired,br_taken,load,store,cond_br,fp_op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, run, err := pmutrust.Profile(prog, pmutrust.MagnyCours(), method,
+		pmutrust.Options{
+			PeriodBase: 500,
+			Seed:       1,
+			Events:     events,
+			MuxPolicy:  pmutrust.MuxRoundRobin,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Counts) != len(events) {
+		t.Fatalf("counts = %d, want %d", len(run.Counts), len(events))
+	}
+	if run.MuxRotations == 0 {
+		t.Error("six events on Magny-Cours (3 free counters) never rotated")
+	}
+	var sawScaled bool
+	for _, c := range run.Counts {
+		if c.Event == pmutrust.EvInstRetired && c.Exact != run.CPU.Instructions {
+			t.Errorf("inst_retired exact %d != %d retired", c.Exact, run.CPU.Instructions)
+		}
+		if c.RunningCycles > 0 && c.RunningCycles < c.EnabledCycles {
+			sawScaled = true
+		}
+	}
+	if !sawScaled {
+		t.Error("no event was actually multiplexed")
+	}
+}

@@ -1,0 +1,105 @@
+// Command benchgate is the CI bench-regression gate: it compares a fresh
+// BenchmarkEngines artifact against the committed baseline and fails when
+// the fast-engine speedup regressed beyond tolerance.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_engine.json -new BENCH_engine_fresh.json [-tol 0.15]
+//
+// The compared quantity is geomean_speedup — the geometric-mean ratio of
+// interpreter to fast-engine wall-clock over the kernel set. Absolute
+// nanoseconds are machine-dependent and useless across CI runners; the
+// speedup *ratio* is the property PR 3 bought and this gate defends. Exit
+// status: 0 when the fresh geomean is within (or above) tolerance, 1 on
+// regression, 2 on usage or artifact errors. An improvement beyond the
+// tolerance band is reported with a hint to refresh the baseline, but
+// does not fail the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// engineDoc is the subset of BENCH_engine.json the gate reads (written by
+// BenchmarkEngines in bench_test.go).
+type engineDoc struct {
+	Machine   string `json:"machine"`
+	Method    string `json:"method"`
+	Workloads []struct {
+		Workload string  `json:"workload"`
+		Speedup  float64 `json:"speedup"`
+	} `json:"workloads"`
+	Geomean float64 `json:"geomean_speedup"`
+}
+
+func load(path string) (engineDoc, error) {
+	var doc engineDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Geomean <= 0 {
+		return doc, fmt.Errorf("%s: missing or non-positive geomean_speedup", path)
+	}
+	return doc, nil
+}
+
+// gate compares the two geomeans and returns the process exit code plus a
+// human-readable verdict. Split from main for testability.
+func gate(baseline, fresh engineDoc, tol float64) (int, string) {
+	floor := baseline.Geomean * (1 - tol)
+	ceil := baseline.Geomean * (1 + tol)
+	switch {
+	case fresh.Geomean < floor:
+		return 1, fmt.Sprintf(
+			"REGRESSION: engine speedup geomean %.3fx is below baseline %.3fx - %.0f%% tolerance (floor %.3fx)",
+			fresh.Geomean, baseline.Geomean, tol*100, floor)
+	case fresh.Geomean > ceil:
+		return 0, fmt.Sprintf(
+			"improvement: engine speedup geomean %.3fx exceeds baseline %.3fx + %.0f%% tolerance - consider refreshing BENCH_engine.json",
+			fresh.Geomean, baseline.Geomean, tol*100)
+	default:
+		return 0, fmt.Sprintf(
+			"ok: engine speedup geomean %.3fx within %.0f%% of baseline %.3fx",
+			fresh.Geomean, tol*100, baseline.Geomean)
+	}
+}
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "BENCH_engine.json", "committed baseline artifact")
+		newPath  = flag.String("new", "", "freshly measured artifact")
+		tol      = flag.Float64("tol", 0.15, "allowed relative geomean deviation")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	if *tol <= 0 || *tol >= 1 {
+		fmt.Fprintln(os.Stderr, "benchgate: -tol must be in (0, 1)")
+		os.Exit(2)
+	}
+	baseline, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	code, verdict := gate(baseline, fresh, *tol)
+	fmt.Println("benchgate:", verdict)
+	for _, w := range fresh.Workloads {
+		fmt.Printf("  %-16s %.3fx\n", w.Workload, w.Speedup)
+	}
+	os.Exit(code)
+}

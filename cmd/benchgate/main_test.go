@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(geomean float64) engineDoc {
+	var d engineDoc
+	d.Geomean = geomean
+	return d
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := doc(2.4)
+	cases := []struct {
+		name     string
+		fresh    float64
+		wantCode int
+		wantWord string
+	}{
+		{"within", 2.3, 0, "ok:"},
+		{"exact", 2.4, 0, "ok:"},
+		{"at-floor", 2.4 * 0.85, 0, "ok:"},
+		{"regressed", 2.0, 1, "REGRESSION"},
+		{"improved", 3.0, 0, "improvement"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, verdict := gate(base, doc(tc.fresh), 0.15)
+			if code != tc.wantCode {
+				t.Errorf("code = %d, want %d (%s)", code, tc.wantCode, verdict)
+			}
+			if !strings.Contains(verdict, tc.wantWord) {
+				t.Errorf("verdict %q lacks %q", verdict, tc.wantWord)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsBadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := load(write("garbage.json", "not json")); err == nil {
+		t.Error("malformed artifact accepted")
+	}
+	if _, err := load(write("empty.json", "{}")); err == nil {
+		t.Error("artifact without geomean accepted")
+	}
+	good := write("good.json", `{"geomean_speedup": 2.5, "workloads": [{"workload": "G4Box", "speedup": 2.0}]}`)
+	d, err := load(good)
+	if err != nil || d.Geomean != 2.5 || len(d.Workloads) != 1 {
+		t.Errorf("load(good) = %+v, %v", d, err)
+	}
+}
+
+// TestGateAgainstCommittedBaseline: the committed artifact must stay
+// parseable by the gate, or the CI job dies with a usage error instead of
+// a verdict.
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	d, err := load("../../BENCH_engine.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_engine.json unreadable: %v", err)
+	}
+	if code, _ := gate(d, d, 0.15); code != 0 {
+		t.Error("baseline does not pass against itself")
+	}
+}

@@ -6,10 +6,12 @@
 //	pmubench [-experiment table1|table2|table3|factors|ipfix|ranking|
 //	                      ablate-skid|ablate-period|ablate-lbr|ablate-burst|
 //	                      ablate-rand|overhead|freq|lbr-contention|
-//	                      stability|future-hw|all]
+//	                      stability|future-hw|mux-events|mux-timeslice|
+//	                      mux-policy|mux|all]
 //	         [-scale paper|small] [-seed N] [-markdown]
 //	         [-parallel N] [-timeout D] [-json FILE]
 //	         [-store FILE] [-resume] [-engine fast|interp|both]
+//	         [-events LIST] [-timeslice N] [-mux-policy rr|priority]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
@@ -41,6 +43,16 @@
 // (the differential test harness enforces it), so tables, JSON artifacts
 // and store fingerprints never depend on this flag — only wall-clock time
 // does.
+//
+// The mux-* experiments exercise the virtualized multi-event PMU
+// (counter multiplexing, internal/pmu Mux): mux-events sweeps the number
+// of requested counting events, mux-timeslice the rotation timeslice,
+// mux-policy round-robin vs priority scheduling — each rendering the mean
+// exact-vs-scaled counting error per workload × machine. "-experiment
+// mux" measures one explicit request list given by -events (a
+// comma-separated pmu event list, e.g. "inst_retired,load,br_taken"),
+// -timeslice (rotation timeslice in simulated cycles, 0 = default) and
+// -mux-policy, and prints the full per-event exact/scaled accounting.
 package main
 
 import (
@@ -50,6 +62,7 @@ import (
 	"os"
 
 	"pmutrust/internal/experiments"
+	"pmutrust/internal/pmu"
 	"pmutrust/internal/report"
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
@@ -64,6 +77,9 @@ type jsonResult struct {
 	// Measurements holds per-cell results for the matrix experiments
 	// (table1, table2); experiments that only render a table omit it.
 	Measurements []experiments.Measurement `json:"measurements,omitempty"`
+	// MuxMeasurements holds per-cell results for the counter-multiplexing
+	// experiments (mux-events, mux-timeslice, mux-policy, mux).
+	MuxMeasurements []experiments.MuxMeasurement `json:"mux_measurements,omitempty"`
 	// Table is the rendered table, for humans reading the artifact.
 	Table string `json:"table"`
 }
@@ -80,6 +96,9 @@ func main() {
 		storePath  = flag.String("store", "", "persist per-cell matrix measurements to a JSONL results store at FILE")
 		resume     = flag.Bool("resume", false, "with -store: serve cells already in the store instead of re-measuring (without it the store must be new or empty)")
 		engineName = flag.String("engine", "fast", "execution engine: fast, interp, or both (run both and fail on divergence)")
+		eventsFlag = flag.String("events", "", "comma-separated counting-event list for -experiment mux (e.g. inst_retired,load,br_taken)")
+		timeslice  = flag.Uint64("timeslice", 0, "multiplexer rotation timeslice in simulated cycles (0 = default)")
+		muxPolicy  = flag.String("mux-policy", "rr", "multiplexer rotation policy: rr or priority")
 	)
 	flag.Parse()
 	if *resume && *storePath == "" {
@@ -87,6 +106,16 @@ func main() {
 		os.Exit(2)
 	}
 	engine, err := sampling.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
+		os.Exit(2)
+	}
+	muxEvents, err := pmu.ParseEventList(*eventsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
+		os.Exit(2)
+	}
+	policy, err := pmu.MuxPolicyByName(*muxPolicy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
 		os.Exit(2)
@@ -131,7 +160,7 @@ func main() {
 	}
 
 	jsonResults := []jsonResult{}
-	emit := func(name string, t *report.Table, ms []experiments.Measurement) {
+	emitFull := func(name string, t *report.Table, ms []experiments.Measurement, mux []experiments.MuxMeasurement) {
 		if *jsonPath != "-" {
 			if *markdown {
 				fmt.Println(t.Markdown())
@@ -141,14 +170,21 @@ func main() {
 		}
 		if *jsonPath != "" {
 			jsonResults = append(jsonResults, jsonResult{
-				Experiment:   name,
-				Scale:        scale.Name,
-				Seed:         *seed,
-				Parallel:     *parallel,
-				Measurements: ms,
-				Table:        t.String(),
+				Experiment:      name,
+				Scale:           scale.Name,
+				Seed:            *seed,
+				Parallel:        *parallel,
+				Measurements:    ms,
+				MuxMeasurements: mux,
+				Table:           t.String(),
 			})
 		}
+	}
+	emit := func(name string, t *report.Table, ms []experiments.Measurement) {
+		emitFull(name, t, ms, nil)
+	}
+	emitMux := func(name string, t *report.Table, ms []experiments.MuxMeasurement) {
+		emitFull(name, t, nil, ms)
 	}
 
 	// Tables 1 and 2 are cached across experiments so "-experiment all"
@@ -273,6 +309,33 @@ func main() {
 				return err
 			}
 			emit(name, res.Table, nil)
+		case "mux-events":
+			t, ms, err := r.RunMuxEvents()
+			if err != nil {
+				return err
+			}
+			emitMux(name, t, ms)
+		case "mux-timeslice":
+			t, ms, err := r.RunMuxTimeslice()
+			if err != nil {
+				return err
+			}
+			emitMux(name, t, ms)
+		case "mux-policy":
+			t, ms, err := r.RunMuxPolicy()
+			if err != nil {
+				return err
+			}
+			emitMux(name, t, ms)
+		case "mux":
+			if len(muxEvents) == 0 {
+				return fmt.Errorf("-experiment mux needs -events (e.g. -events inst_retired,load,br_taken)")
+			}
+			t, ms, err := r.RunMuxCustom(muxEvents, *timeslice, policy)
+			if err != nil {
+				return err
+			}
+			emitMux(name, t, ms)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -283,7 +346,8 @@ func main() {
 	if *experiment == "all" {
 		names = []string{"table3", "table1", "table2", "factors", "ipfix", "ranking",
 			"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
-			"overhead", "freq", "lbr-contention", "stability", "future-hw"}
+			"overhead", "freq", "lbr-contention", "stability", "future-hw",
+			"mux-events", "mux-timeslice", "mux-policy"}
 	}
 	exitCode := 0
 	for _, name := range names {

@@ -6,14 +6,18 @@
 //
 // Usage:
 //
-//	pmureport -store results.jsonl [-table kernels|apps|ranking|factors|all]
+//	pmureport -store results.jsonl [-table kernels|apps|ranking|factors|mux|all]
 //	          [-markdown] [-csv] [-baseline classic]
 //	pmureport -compare OLD.jsonl NEW.jsonl [-tol 0.05] [-markdown]
 //
 // Report mode renders the regenerated tables (kernel matrix, application
 // matrix, per-machine method ranking, improvement factors — the analogs
 // of the paper's accuracy tables) in canonical paper order, so the same
-// store always produces the same bytes. -markdown and -csv switch the
+// store always produces the same bytes. Counter-multiplexing cells
+// (written by `pmubench -experiment mux-events|mux-timeslice|mux-policy
+// -store`, method keys "mux-*") are kept out of the accuracy tables and
+// rendered by -table mux as their own matrix of exact-vs-scaled counting
+// errors. -markdown and -csv switch the
 // output format (plain aligned text by default); -csv emits a single
 // rectangle, so it requires picking one table with -table.
 //
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"pmutrust/internal/machine"
 	"pmutrust/internal/report"
@@ -104,17 +109,22 @@ func canonicalOrders() (workloadOrder, machineOrder, methodOrder []string) {
 }
 
 // split partitions records into the kernel and application groups of the
-// paper's table pair; workloads not in the registry land with the apps
-// (they are user additions, which the paper treats as applications).
-func split(recs []results.Record) (kernels, apps []results.Record) {
+// paper's table pair, keeping counter-multiplexing cells (method key
+// "mux-*") in their own group; non-mux workloads not in the registry land
+// with the apps (they are user additions, which the paper treats as
+// applications).
+func split(recs []results.Record) (kernels, apps, mux []results.Record) {
 	kind := make(map[string]workloads.Kind)
 	for _, s := range workloads.All() {
 		kind[s.Name] = s.Kind
 	}
 	for _, rec := range recs {
-		if k, ok := kind[rec.Workload]; ok && k == workloads.Kernel {
+		switch k, ok := kind[rec.Workload]; {
+		case strings.HasPrefix(rec.Method, "mux-"):
+			mux = append(mux, rec)
+		case ok && k == workloads.Kernel:
 			kernels = append(kernels, rec)
-		} else {
+		default:
 			apps = append(apps, rec)
 		}
 	}
@@ -157,7 +167,7 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 			fmt.Fprintf(os.Stderr, "  %s\n", c)
 		}
 	}
-	kernels, apps := split(recs)
+	kernels, apps, mux := split(recs)
 	wlo, mco, mto := canonicalOrders()
 
 	var tables []*report.Table
@@ -171,12 +181,25 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 			"Regenerated Table 5: application accuracy errors (lower is better)", apps, wlo, mco, mto))
 	}
 	if want("ranking") {
+		acc := append(append([]results.Record(nil), kernels...), apps...)
 		tables = append(tables, report.MethodRanking(
-			"Regenerated Table 6: method trust ranking per machine", recs, mco, mto))
+			"Regenerated Table 6: method trust ranking per machine", acc, mco, mto))
 	}
 	if want("factors") {
+		acc := append(append([]results.Record(nil), kernels...), apps...)
 		tables = append(tables, report.Factors(
-			"Regenerated Table 7: accuracy improvement over "+baseline, baseline, recs, mto))
+			"Regenerated Table 7: accuracy improvement over "+baseline, baseline, acc, mto))
+	}
+	if want("mux") && len(mux) > 0 {
+		// Mux columns are the zero-padded "mux-<policy>-nNN-tsNNNNN" keys,
+		// which sort into (policy, events, timeslice) order on the sorted-
+		// unknown-methods path of report.Matrix.
+		t := report.Matrix(
+			"Regenerated Table 8: multiplexing-induced counting error (mean |scaled-exact|/exact; lower is better)",
+			mux, wlo, mco, nil)
+		t.Note = "Written by pmubench -experiment mux-events|mux-timeslice|mux-policy -store; " +
+			"cells compare perf-style scaled counts against the simulator's exact ground truth."
+		tables = append(tables, t)
 	}
 	if len(tables) == 0 {
 		return fmt.Errorf("no table %q in store (or unknown -table value)", table)

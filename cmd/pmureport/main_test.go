@@ -136,3 +136,51 @@ func TestRunCompareRegressionGate(t *testing.T) {
 		t.Errorf("csv compare: regressions=%d err=%v, want 1", n, err)
 	}
 }
+
+// TestMuxSplitAndTable: counter-multiplexing records (method "mux-*")
+// must stay out of the accuracy tables and render as their own matrix
+// via -table mux.
+func TestMuxSplitAndTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	writeStore(t, path, func(w, k string) float64 { return 0.3 })
+	st, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"G4Box", "PhaseShift"} {
+		rec := results.Record{
+			Identity: results.Identity{
+				Workload: w, Machine: "IvyBridge", Method: "mux-rr-n08-ts02000",
+				Scale: "small", WorkloadScale: 1, PeriodBase: 2000, Seed: 42, Repeats: 1,
+			},
+			Err: 0.02, Samples: 120, Supported: true,
+		}
+		if err := st.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := results.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels, apps, mux := split(ld.Records())
+	if len(mux) != 2 {
+		t.Fatalf("mux records = %d, want 2", len(mux))
+	}
+	for _, rec := range append(kernels, apps...) {
+		if rec.Method == "mux-rr-n08-ts02000" {
+			t.Fatalf("mux record leaked into accuracy group: %+v", rec.Identity)
+		}
+	}
+	for _, table := range []string{"mux", "all"} {
+		if err := runReport(path, table, "classic", false, false); err != nil {
+			t.Errorf("runReport(table=%s): %v", table, err)
+		}
+	}
+	if err := runReport(path, "mux", "classic", false, true); err != nil {
+		t.Errorf("csv mux table: %v", err)
+	}
+}

@@ -6,7 +6,15 @@
 //
 //	wlgen -list
 //	wlgen -workload G4Box [-scale 1.0] [-disasm] [-dot] [-dynamic]
+//	wlgen -workload G4Box -events inst_retired,load [-timeslice N] [-mux-policy rr|priority]
 //	wlgen -all [-scale 1.0] [-parallel N]
+//
+// -events runs the workload under the virtualized multi-event PMU
+// (internal/pmu Mux) on each evaluation machine, counting-only: the
+// requested events are scheduled onto the machine's physical counters
+// (time-multiplexed when they do not fit) and the table shows each
+// event's exact ground-truth count next to the perf-style scaled
+// estimate — the per-workload view of what counter multiplexing costs.
 package main
 
 import (
@@ -16,7 +24,10 @@ import (
 	"sort"
 
 	"pmutrust/internal/cpu"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
 	"pmutrust/internal/pool"
+	"pmutrust/internal/program"
 	"pmutrust/internal/ref"
 	"pmutrust/internal/report"
 	"pmutrust/internal/workloads"
@@ -32,8 +43,25 @@ func main() {
 		dynamic      = flag.Bool("dynamic", true, "run the workload and print dynamic statistics")
 		all          = flag.Bool("all", false, "characterize every workload (parallel) and print a summary table")
 		parallel     = flag.Int("parallel", 0, "worker count for -all (0 = GOMAXPROCS)")
+		eventsFlag   = flag.String("events", "", "run the workload under the multiplexed PMU counting these events (comma-separated, e.g. inst_retired,load)")
+		timeslice    = flag.Uint64("timeslice", 0, "multiplexer rotation timeslice in simulated cycles (0 = default)")
+		muxPolicy    = flag.String("mux-policy", "rr", "multiplexer rotation policy: rr or priority")
 	)
 	flag.Parse()
+
+	// Flag-value errors are usage errors (exit 2, matching pmubench's
+	// convention for the same -events/-mux-policy flags); failures while
+	// actually running a workload exit 1.
+	muxEvents, err := pmu.ParseEventList(*eventsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+		os.Exit(2)
+	}
+	policy, err := pmu.MuxPolicyByName(*muxPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *all {
 		if err := summarizeAll(*scale, *parallel); err != nil {
@@ -61,6 +89,13 @@ func main() {
 	}
 	p := spec.Build(*scale)
 	fmt.Print(p.Stats().String())
+
+	if len(muxEvents) > 0 {
+		if err := muxCount(p, muxEvents, *timeslice, policy); err != nil {
+			fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *dynamic {
 		res, err := cpu.RunFast(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
@@ -144,6 +179,35 @@ func summarizeAll(scale float64, workers int) error {
 			fmt.Sprintf("%d", r.instrs), fmt.Sprintf("%d", r.cycles),
 			fmt.Sprintf("%.2f", r.ipc), fmt.Sprintf("%.1f", r.instrPerTaken),
 			fmt.Sprintf("%d", r.blocks))
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+// muxCount runs p under the virtualized multi-event PMU on each paper
+// machine, counting-only (no sampling counter pinned, so the full
+// physical budget is available), and prints the exact-vs-scaled table.
+func muxCount(p *program.Program, events []pmu.Event, timeslice uint64, policy pmu.MuxPolicy) error {
+	t := report.New(fmt.Sprintf("multiplexed counts: %s (policy %s)", pmu.EventListString(events), policy),
+		"machine", "event", "exact", "scaled", "rel err", "running/enabled", "rotations")
+	for _, mach := range machine.All() {
+		m := pmu.NewMux(pmu.MuxConfig{
+			Events:            events,
+			TimesliceCycles:   timeslice,
+			Policy:            policy,
+			GenCounters:       mach.NumGenCounters,
+			FixedCounterFree:  mach.HasFixedCounter,
+			MaxCyclesPerInstr: mach.CPU.MaxRetireCyclesPerInstr(),
+		}, nil)
+		res, err := cpu.RunFast(p, mach.CPU, m, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mach.Name, err)
+		}
+		for _, c := range m.Finish(res.Cycles) {
+			exact, scaled, relErr, running := c.TableCells()
+			t.AddRow(mach.Name, c.Event.String(),
+				exact, scaled, relErr, running, fmt.Sprintf("%d", m.Rotations))
+		}
 	}
 	fmt.Println(t.String())
 	return nil

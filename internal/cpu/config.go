@@ -22,6 +22,8 @@
 // methods, which depends only on these qualitative retirement behaviours.
 package cpu
 
+import "pmutrust/internal/isa"
+
 // Config describes one simulated core. Machine presets live in
 // internal/machine; this package only interprets the numbers.
 type Config struct {
@@ -56,6 +58,29 @@ func DefaultConfig() Config {
 		PredictorBits:     12,
 		MaxCallDepth:      1024,
 	}
+}
+
+// MaxRetireCyclesPerInstr returns a proven upper bound on how far the
+// retirement clock can advance per retired instruction under this
+// configuration. Derivation (both engines share the timing model): the
+// next instruction's dispatch cycle is at most the previous retirement
+// cycle plus max(MispredictPenalty, TakenBranchBubble+1) (a redirect is
+// the only way dispatch jumps ahead, and every redirect source — a
+// mispredict resolving at a completion cycle, or a taken-branch bubble —
+// is bounded by an already-retired instruction's cycle); operand-ready
+// times are completion cycles of retired producers, so they cannot push
+// past that; execution adds at most isa.MaxLatency; and the retire-width
+// rule adds at most one more cycle. The mux (internal/pmu Mux) divides a
+// cycle deadline by this bound to obtain an instruction headroom that can
+// never cross the deadline mid-stride; one extra cycle of slack is
+// included so the bound stays safe under small timing-model edits.
+func (c Config) MaxRetireCyclesPerInstr() uint64 {
+	c = c.withDefaults()
+	worst := c.MispredictPenalty
+	if b := c.TakenBranchBubble + 1; b > worst {
+		worst = b
+	}
+	return uint64(isa.MaxLatency) + worst + 2
 }
 
 func (c Config) withDefaults() Config {

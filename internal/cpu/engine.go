@@ -25,6 +25,9 @@ type RetireEvent struct {
 	// transfer (always true for jmp/call/ret, condition-dependent for
 	// conditional branches).
 	Taken bool
+	// Mispred reports whether this instruction was a mispredicted
+	// conditional branch (always false for other ops).
+	Mispred bool
 	// Target is the dynamic branch target when Taken.
 	Target uint32
 }
@@ -167,12 +170,14 @@ func Run(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result,
 		}
 
 		// ---- control-flow timing ----
+		mispred := false
 		if op.IsCondBranch() {
 			res.CondBranches++
 			predTaken := s.pred.predict(idx)
 			s.pred.update(idx, taken)
 			if predTaken != taken {
 				res.Mispredicts++
+				mispred = true
 				// Redirect resolves when the branch executes.
 				s.redirect = complete + cfg.MispredictPenalty
 			} else if taken {
@@ -208,13 +213,14 @@ func Run(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result,
 		res.Cycles = rc
 
 		mon.OnRetire(RetireEvent{
-			Idx:    idx,
-			Cycle:  rc,
-			Seq:    res.Instructions,
-			Op:     op,
-			Uops:   op.Uops(),
-			Taken:  taken,
-			Target: uint32(target),
+			Idx:     idx,
+			Cycle:   rc,
+			Seq:     res.Instructions,
+			Op:      op,
+			Uops:    op.Uops(),
+			Taken:   taken,
+			Mispred: mispred,
+			Target:  uint32(target),
 		})
 
 		if halt {

@@ -43,16 +43,43 @@ func RunEngine(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64, en
 	return RunFast(p, cfg, mon, maxInstrs)
 }
 
+// BulkCounts is the per-event-class retirement total of one fast-path
+// stride — everything a counting PMU can observe about a stride without
+// seeing individual instructions. The fields mirror the countable events
+// of internal/pmu: per-opcode-class counts are accumulated by the stride
+// loop at the cost of one increment in the already-dispatched opcode
+// case, so richer multiplexed counting (loads, stores, FP ops, call/ret
+// pairs, mispredicts) never forces the engine out of stride mode.
+type BulkCounts struct {
+	// Instrs is the number of retired instructions.
+	Instrs uint64
+	// Uops is the number of retired micro-ops.
+	Uops uint64
+	// TakenBranches counts retired taken control transfers.
+	TakenBranches uint64
+	// CondBranches counts retired conditional branches (taken or not).
+	CondBranches uint64
+	// Mispredicts counts mispredicted conditional branches.
+	Mispredicts uint64
+	// Loads and Stores count retired memory operations.
+	Loads, Stores uint64
+	// FPOps counts retired floating-point arithmetic (fadd/fmul/fdiv/fma).
+	FPOps uint64
+	// Calls and Rets count retired calls and returns.
+	Calls, Rets uint64
+}
+
 // FastMonitor is the bulk-advance contract a Monitor may implement to let
 // RunFast skip per-instruction event delivery. The protocol:
 //
 //   - FastHeadroom returns how many instructions the monitor can absorb
 //     with no observable action of any kind — no sample, no overflow, no
-//     interrupt bookkeeping. 0 means "I must see every retirement": the
-//     engine then delivers full RetireEvents through OnRetire, exactly as
-//     the interpreter does, and asks again after each one.
+//     interrupt bookkeeping, no counter rotation. 0 means "I must see
+//     every retirement": the engine then delivers full RetireEvents
+//     through OnRetire, exactly as the interpreter does, and asks again
+//     after each one.
 //   - While striding inside a headroom grant the engine does not call
-//     OnRetire at all. It accumulates (instructions, uops, taken branches)
+//     OnRetire at all. It accumulates per-event-class totals (BulkCounts)
 //     and flushes them with one BulkRetire call before the next
 //     FastHeadroom query, the next OnRetire, or run end — so the monitor's
 //     counters are exact at every point where it could observe them.
@@ -61,8 +88,8 @@ func RunEngine(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64, en
 //     order (the LBR ring must see all taken branches even when no sample
 //     is near).
 //
-// The PMU (internal/pmu) is the production implementation; NopMonitor
-// implements it trivially.
+// The PMU and the multiplexed virtual PMU (internal/pmu PMU and Mux) are
+// the production implementations; NopMonitor implements it trivially.
 type FastMonitor interface {
 	Monitor
 
@@ -80,10 +107,9 @@ type FastMonitor interface {
 	// consumers).
 	OnFastBranch(from, to uint32, op isa.Op)
 
-	// BulkRetire accounts a completed stride: instrs instructions carrying
-	// uops micro-ops and takenBranches taken branches. The engine
+	// BulkRetire accounts a completed stride's totals. The engine
 	// guarantees the stride fits inside the last FastHeadroom grant.
-	BulkRetire(instrs, uops, takenBranches uint64)
+	BulkRetire(c BulkCounts)
 }
 
 // NopMonitor's FastMonitor implementation: unlimited headroom, nothing
@@ -99,7 +125,7 @@ func (NopMonitor) WantBranches() bool { return false }
 func (NopMonitor) OnFastBranch(from, to uint32, op isa.Op) {}
 
 // BulkRetire implements FastMonitor.
-func (NopMonitor) BulkRetire(instrs, uops, takenBranches uint64) {}
+func (NopMonitor) BulkRetire(c BulkCounts) {}
 
 // Decoded-instruction flag bits (fastInstr.fl), used by the generic
 // (event-mode) body.
@@ -240,10 +266,11 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 	pc := int32(p.Funcs[0].Start)
 
 	// Stride accounting: headroom is the remainder of the monitor's last
-	// grant; accI/accU/accB are retired-but-not-yet-flushed totals
-	// (uopsDone is updated only when accU is folded in, so Result.Uops is
-	// read as uopsDone after a flush).
-	var headroom, accI, accU, accB uint64
+	// grant; acc holds retired-but-not-yet-flushed per-class totals
+	// (uopsDone is updated only when acc.Uops is folded in, so Result.Uops
+	// is read as uopsDone after a flush).
+	var headroom uint64
+	var acc BulkCounts
 
 	// Cold-path error state (call overflow / ret underflow), reached by
 	// goto so the hot loop carries no error plumbing.
@@ -252,10 +279,10 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 
 	for {
 		if headroom == 0 {
-			if accI != 0 {
-				uopsDone += accU
-				fm.BulkRetire(accI, accU, accB)
-				accI, accU, accB = 0, 0, 0
+			if acc.Instrs != 0 {
+				uopsDone += acc.Uops
+				fm.BulkRetire(acc)
+				acc = BulkCounts{}
 			}
 			headroom = fm.FastHeadroom()
 		}
@@ -397,12 +424,14 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 				flagsReady = complete
 			}
 
+			evMispred := false
 			if fl&fCond != 0 {
 				condBr++
 				predTaken := pred.predict(idx)
 				pred.update(idx, taken)
 				if predTaken != taken {
 					mispred++
+					evMispred = true
 					redirect = complete + mispen
 				} else if taken {
 					redirect = d + 1 + bubble
@@ -433,13 +462,14 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 			}
 
 			fm.OnRetire(RetireEvent{
-				Idx:    idx,
-				Cycle:  rc,
-				Seq:    instrs,
-				Op:     in.op,
-				Uops:   in.uops,
-				Taken:  taken,
-				Target: uint32(target),
+				Idx:     idx,
+				Cycle:   rc,
+				Seq:     instrs,
+				Op:      in.op,
+				Uops:    in.uops,
+				Taken:   taken,
+				Mispred: evMispred,
+				Target:  uint32(target),
 			})
 
 			if halt {
@@ -547,17 +577,21 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 					complete = max(d, regReady[in.src1]) + uint64(in.lat)
 					regs[in.dst] = mem[(regs[in.src1]+in.imm)&memMask]
 					regReady[in.dst] = complete
+					acc.Loads++
 				case isa.OpStore:
 					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
 					mem[(regs[in.src2]+in.imm)&memMask] = regs[in.src1]
+					acc.Stores++
 				case isa.OpFadd:
 					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
 					regs[in.dst] = regs[in.src1] + regs[in.src2]
 					regReady[in.dst] = complete
+					acc.FPOps++
 				case isa.OpFmul:
 					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
 					regs[in.dst] = regs[in.src1] * regs[in.src2]
 					regReady[in.dst] = complete
+					acc.FPOps++
 				case isa.OpFdiv:
 					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
 					if v := regs[in.src2]; v != 0 {
@@ -566,10 +600,12 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 						regs[in.dst] = 0
 					}
 					regReady[in.dst] = complete
+					acc.FPOps++
 				case isa.OpFma:
 					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
 					regs[in.dst] += regs[in.src1] * regs[in.src2]
 					regReady[in.dst] = complete
+					acc.FPOps++
 				case isa.OpCmp:
 					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
 					flags = regs[in.src1] - regs[in.src2]
@@ -583,7 +619,7 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 					next = in.target
 					redirect = d + 1 + bubble
 					takenBr++
-					accB++
+					acc.TakenBranches++
 					if wantBr {
 						fm.OnFastBranch(uint32(pc), uint32(in.target), in.op)
 					}
@@ -601,11 +637,13 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 						taken = flags >= 0
 					}
 					condBr++
+					acc.CondBranches++
 					idx := uint32(pc)
 					predTaken := pred.predict(idx)
 					pred.update(idx, taken)
 					if predTaken != taken {
 						mispred++
+						acc.Mispredicts++
 						redirect = complete + mispen
 					} else if taken {
 						redirect = d + 1 + bubble
@@ -613,7 +651,7 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 					if taken {
 						next = in.target
 						takenBr++
-						accB++
+						acc.TakenBranches++
 						if wantBr {
 							fm.OnFastBranch(idx, uint32(in.target), in.op)
 						}
@@ -629,7 +667,8 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 					next = in.target
 					redirect = d + 1 + bubble
 					takenBr++
-					accB++
+					acc.TakenBranches++
+					acc.Calls++
 					if wantBr {
 						fm.OnFastBranch(uint32(pc), uint32(in.target), in.op)
 					}
@@ -645,7 +684,8 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 					next = int32(ra)
 					redirect = d + 1 + bubble
 					takenBr++
-					accB++
+					acc.TakenBranches++
+					acc.Rets++
 					if wantBr {
 						fm.OnFastBranch(uint32(pc), ra, in.op)
 					}
@@ -656,7 +696,7 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 					panic(fmt.Sprintf("cpu: invalid opcode %d at index %d", in.op, pc))
 				}
 
-				accU += uint64(in.uops)
+				acc.Uops += uint64(in.uops)
 
 				rc := complete
 				if rc < retCycle {
@@ -682,15 +722,15 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 
 			instrs += executed
 			headroom -= executed
-			accI += executed
+			acc.Instrs += executed
 			if halted {
-				uopsDone += accU
-				fm.BulkRetire(accI, accU, accB)
+				uopsDone += acc.Uops
+				fm.BulkRetire(acc)
 				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), nil
 			}
 			if instrs >= maxInstrs {
-				uopsDone += accU
-				fm.BulkRetire(accI, accU, accB)
+				uopsDone += acc.Uops
+				fm.BulkRetire(acc)
 				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), ErrInstrLimit
 			}
 		}
@@ -701,10 +741,10 @@ func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Res
 		// retires (matching the interpreter): account the stride's
 		// completed prefix, flush, and wrap the error exactly as Run does.
 		instrs += nDone
-		accI += nDone
-		if accI != 0 {
-			uopsDone += accU
-			fm.BulkRetire(accI, accU, accB)
+		acc.Instrs += nDone
+		if acc.Instrs != 0 {
+			uopsDone += acc.Uops
+			fm.BulkRetire(acc)
 		}
 		return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred),
 			runErr(uint32(pc), &p.Code[pc], pendingErr)

@@ -32,11 +32,11 @@ type streamRecorder struct {
 	evs []cpu.RetireEvent
 }
 
-func (r *streamRecorder) OnRetire(ev cpu.RetireEvent)                   { r.evs = append(r.evs, ev) }
-func (r *streamRecorder) FastHeadroom() uint64                          { return 0 }
-func (r *streamRecorder) WantBranches() bool                            { return false }
-func (r *streamRecorder) OnFastBranch(from, to uint32, op isa.Op)       {}
-func (r *streamRecorder) BulkRetire(instrs, uops, takenBranches uint64) {}
+func (r *streamRecorder) OnRetire(ev cpu.RetireEvent)             { r.evs = append(r.evs, ev) }
+func (r *streamRecorder) FastHeadroom() uint64                    { return 0 }
+func (r *streamRecorder) WantBranches() bool                      { return false }
+func (r *streamRecorder) OnFastBranch(from, to uint32, op isa.Op) {}
+func (r *streamRecorder) BulkRetire(c cpu.BulkCounts)             {}
 
 // interpRecorder is a plain Monitor (no FastMonitor), used to record the
 // interpreter's stream.
@@ -82,9 +82,9 @@ func (r *mixRecorder) OnFastBranch(from, to uint32, op isa.Op) {
 	r.brStream = append(r.brStream, from)
 }
 
-func (r *mixRecorder) BulkRetire(instrs, uops, takenBranches uint64) {
-	r.instrs += instrs
-	r.uops += uops
+func (r *mixRecorder) BulkRetire(c cpu.BulkCounts) {
+	r.instrs += c.Instrs
+	r.uops += c.Uops
 }
 
 // diffResults compares the two engines' Result structs.
@@ -187,6 +187,68 @@ func pmuConfigGrid(seed uint64) []pmu.Config {
 	}
 }
 
+// muxConfigGrid returns multiplexer configurations covering the regimes
+// the fast engine can get wrong: static schedules (no rotation), rotating
+// round-robin schedules with timeslices longer and shorter than the
+// worst-case per-instruction cycle bound, the fixed-counter rule, and the
+// starving priority policy.
+func muxConfigGrid(cpuCfg cpu.Config) []pmu.MuxConfig {
+	menu := []pmu.Event{
+		pmu.EvInstRetired, pmu.EvUopsRetired, pmu.EvBrTaken, pmu.EvCondBr,
+		pmu.EvBrMispred, pmu.EvLoad, pmu.EvStore, pmu.EvFPOp, pmu.EvCall, pmu.EvRet,
+	}
+	c := cpuCfg.MaxRetireCyclesPerInstr()
+	return []pmu.MuxConfig{
+		{Events: menu[:3], GenCounters: 4, TimesliceCycles: 200, MaxCyclesPerInstr: c},
+		{Events: menu, GenCounters: 3, TimesliceCycles: 120, MaxCyclesPerInstr: c},
+		{Events: menu, GenCounters: 2, FixedCounterFree: true, TimesliceCycles: 900, MaxCyclesPerInstr: c},
+		{Events: menu, GenCounters: 2, Policy: pmu.MuxPriority, TimesliceCycles: 150, MaxCyclesPerInstr: c},
+		{Events: menu[:6], GenCounters: 1, TimesliceCycles: 30, MaxCyclesPerInstr: c},
+	}
+}
+
+// diffMux runs p under both engines with a multiplexed monitor — bare and
+// wrapping a sampling PMU — and compares the counting outcome, rotation
+// sequence and (when wrapped) the inner sample stream.
+func diffMux(p *program.Program, cpuCfg cpu.Config, muxCfg pmu.MuxConfig, maxInstrs uint64) error {
+	pmuCfg := pmu.Config{Event: pmu.EvInstRetired, Precision: pmu.PreciseDist, Period: 173, Seed: 11}
+	for _, withInner := range []bool{false, true} {
+		var innerI, innerF *pmu.PMU
+		var monI, monF cpu.FastMonitor
+		if withInner {
+			innerI, innerF = pmu.New(pmuCfg), pmu.New(pmuCfg)
+			monI, monF = innerI, innerF
+		}
+		muxI := pmu.NewMux(muxCfg, monI)
+		ri, erri := cpu.Run(p, cpuCfg, muxI, maxInstrs)
+		muxF := pmu.NewMux(muxCfg, monF)
+		rf, errf := cpu.RunFast(p, cpuCfg, muxF, maxInstrs)
+		if err := diffErrs(erri, errf); err != nil {
+			return fmt.Errorf("inner=%v: %w", withInner, err)
+		}
+		if err := diffResults(ri, rf); err != nil {
+			return fmt.Errorf("inner=%v: %w", withInner, err)
+		}
+		if muxI.Rotations != muxF.Rotations {
+			return fmt.Errorf("inner=%v: rotations diverge: interp %d, fast %d",
+				withInner, muxI.Rotations, muxF.Rotations)
+		}
+		ci, cf := muxI.Finish(ri.Cycles), muxF.Finish(rf.Cycles)
+		for i := range ci {
+			if ci[i] != cf[i] {
+				return fmt.Errorf("inner=%v: count %d (%s) diverges:\n  interp %+v\n  fast   %+v",
+					withInner, i, ci[i].Event, ci[i], cf[i])
+			}
+		}
+		if withInner {
+			if err := diffSamples(innerI.Samples(), innerF.Samples()); err != nil {
+				return fmt.Errorf("inner sampling: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
 // diffProgram runs the whole differential battery on one program; returns
 // a description of the first divergence, or "".
 //
@@ -262,6 +324,22 @@ func diffProgram(p *program.Program, maxInstrs uint64) string {
 		}
 		if err := diffPMU(p, cpuCfg, pmuCfg, cap); err != nil {
 			return fmt.Sprintf("pmu config %d (%s/%s): %v", ci, pmuCfg.Event, pmuCfg.Precision, err)
+		}
+	}
+
+	// Multiplexed counting: rotation deadlines are fast-path fallback
+	// points, and the per-event counts, window accounting and rotation
+	// sequence must be engine-independent, bare and wrapped around a
+	// sampling unit. Contended configurations interpret a slice of every
+	// rotation window, so cap the run length like the tiny-period PMU
+	// section does.
+	for mi, muxCfg := range muxConfigGrid(cpuCfg) {
+		cap := maxInstrs
+		if cap == 0 || cap > 200_000 {
+			cap = 200_000
+		}
+		if err := diffMux(p, cpuCfg, muxCfg, cap); err != nil {
+			return fmt.Sprintf("mux config %d: %v", mi, err)
 		}
 	}
 	return ""

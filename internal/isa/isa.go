@@ -199,6 +199,14 @@ var opInfo = [numOps]struct {
 // asserts it stays in sync with the opcode table.
 const MaxUops = 4
 
+// MaxLatency is the largest Latency() value of any defined opcode (OpFdiv).
+// cpu.Config.MaxRetireCyclesPerInstr folds it into the worst-case
+// retirement-cycle advance per instruction, which the multiplexed PMU
+// (internal/pmu Mux) uses to convert a cycle deadline into a
+// guaranteed-safe instruction headroom; a test asserts it stays in sync
+// with the opcode table.
+const MaxLatency = 24
+
 // Valid reports whether o is a defined opcode.
 func (o Op) Valid() bool { return o < numOps }
 

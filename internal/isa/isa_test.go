@@ -176,3 +176,15 @@ func TestMaxUopsMatchesTable(t *testing.T) {
 		t.Errorf("MaxUops = %d, but the opcode table peaks at %d", MaxUops, max)
 	}
 }
+
+func TestMaxLatencyMatchesTable(t *testing.T) {
+	max := uint8(0)
+	for op := Op(0); op < Op(NumOps); op++ {
+		if l := op.Latency(); l > max {
+			max = l
+		}
+	}
+	if uint64(max) != MaxLatency {
+		t.Errorf("MaxLatency = %d, but the opcode table peaks at %d", MaxLatency, max)
+	}
+}

@@ -51,8 +51,17 @@ type Machine struct {
 	CPU cpu.Config
 	// HasFixedCounter reports whether an architectural fixed
 	// instructions-retired counter exists (the classic method prefers it;
-	// Magny-Cours lacks one, §4.2).
+	// Magny-Cours lacks one, §4.2). The fixed counter can host only
+	// EvInstRetired, and only in imprecise/counting mode — the
+	// fixed-counter rule the counter multiplexer (internal/pmu Mux)
+	// schedules around.
 	HasFixedCounter bool
+	// NumGenCounters is the number of general-purpose programmable
+	// counters: 4 on all three evaluation platforms (AMD fam10h has four
+	// per-core counters; Nehalem/Westmere and Ivy Bridge expose four
+	// programmable counters per thread). Requested events beyond the
+	// budget are time-multiplexed by internal/pmu's Mux.
+	NumGenCounters int
 	// HasPEBS reports whether the PEBS precise mechanism exists.
 	HasPEBS bool
 	// HasPDIR reports whether the precisely-distributed
@@ -116,6 +125,7 @@ func MagnyCours() Machine {
 			TakenBranchBubble: 1,
 		},
 		HasFixedCounter:   false,
+		NumGenCounters:    4,
 		HasPEBS:           false,
 		HasPDIR:           false,
 		HasIBS:            true,
@@ -143,6 +153,7 @@ func Westmere() Machine {
 			TakenBranchBubble: 1,
 		},
 		HasFixedCounter:   true,
+		NumGenCounters:    4,
 		HasPEBS:           true,
 		HasPDIR:           false,
 		HasIBS:            false,
@@ -170,6 +181,7 @@ func IvyBridge() Machine {
 			TakenBranchBubble: 1,
 		},
 		HasFixedCounter:   true,
+		NumGenCounters:    4,
 		HasPEBS:           true,
 		HasPDIR:           true,
 		HasIBS:            false,

@@ -24,35 +24,108 @@ func TestAllMachines(t *testing.T) {
 	}
 }
 
+// TestPaperFeatureMatrix is the table-driven feature-invariant gate: each
+// machine's counter budget, fixed-counter rule, precise mechanisms, LBR
+// facility and period-randomization capabilities must match the paper's
+// §4.1-4.2 platform descriptions, so edits to this package (the counter
+// multiplexer reads the budgets) cannot drift the evaluation platforms
+// silently.
 func TestPaperFeatureMatrix(t *testing.T) {
-	amd := MagnyCours()
-	if amd.Vendor != AMD {
-		t.Error("MagnyCours vendor")
-	}
-	if amd.HasLBR || amd.HasPEBS || amd.HasPDIR || amd.HasFixedCounter {
-		t.Error("MagnyCours must have no LBR/PEBS/PDIR/fixed counter (§4.2)")
-	}
-	if !amd.HasIBS || !amd.HasHW4LSBRandom || amd.HasSWPeriodRandom {
-		t.Error("MagnyCours IBS/randomization flags wrong")
-	}
+	cases := []struct {
+		make   func() Machine
+		vendor Vendor
 
-	wsm := Westmere()
-	if wsm.Vendor != Intel || !wsm.HasPEBS || !wsm.HasLBR || !wsm.HasFixedCounter {
-		t.Error("Westmere base features wrong")
-	}
-	if wsm.HasPDIR {
-		t.Error("Westmere must not have PDIR (PREC_DIST arrives with Ivy Bridge)")
-	}
-	if wsm.LBRDepth != 16 {
-		t.Errorf("Westmere LBR depth = %d", wsm.LBRDepth)
-	}
+		genCounters  int
+		fixedCounter bool
 
-	ivb := IvyBridge()
-	if !ivb.HasPDIR || !ivb.HasPEBS || !ivb.HasLBR || !ivb.HasFixedCounter {
-		t.Error("IvyBridge features wrong")
+		pebs, pdir, ibs bool
+
+		lbr      bool
+		lbrDepth int
+
+		swRandom, hw4lsb bool
+	}{
+		{
+			// §4.2: no LBR, no fixed counter, IBS as the only precise
+			// mechanism, no software period randomization in the driver,
+			// 4 per-core general counters (fam10h).
+			make: MagnyCours, vendor: AMD,
+			genCounters: 4, fixedCounter: false,
+			pebs: false, pdir: false, ibs: true,
+			lbr: false, lbrDepth: 0,
+			swRandom: false, hw4lsb: true,
+		},
+		{
+			// §4.1-4.2: fixed counter, PEBS but no PDIR (PREC_DIST arrives
+			// with Ivy Bridge), 16-deep LBR, 4 programmable counters.
+			make: Westmere, vendor: Intel,
+			genCounters: 4, fixedCounter: true,
+			pebs: true, pdir: false, ibs: false,
+			lbr: true, lbrDepth: 16,
+			swRandom: true, hw4lsb: false,
+		},
+		{
+			// §4.1-4.2: fixed counter, PEBS and PDIR, 16-deep LBR,
+			// 4 programmable counters.
+			make: IvyBridge, vendor: Intel,
+			genCounters: 4, fixedCounter: true,
+			pebs: true, pdir: true, ibs: false,
+			lbr: true, lbrDepth: 16,
+			swRandom: true, hw4lsb: false,
+		},
 	}
-	if ivb.HasIBS {
-		t.Error("IvyBridge has IBS")
+	for _, tc := range cases {
+		m := tc.make()
+		t.Run(m.Name, func(t *testing.T) {
+			if m.Vendor != tc.vendor {
+				t.Errorf("vendor = %s, want %s", m.Vendor, tc.vendor)
+			}
+			if m.NumGenCounters != tc.genCounters {
+				t.Errorf("general counters = %d, want %d", m.NumGenCounters, tc.genCounters)
+			}
+			if m.HasFixedCounter != tc.fixedCounter {
+				t.Errorf("fixed counter = %v, want %v", m.HasFixedCounter, tc.fixedCounter)
+			}
+			if m.HasPEBS != tc.pebs {
+				t.Errorf("PEBS = %v, want %v", m.HasPEBS, tc.pebs)
+			}
+			if m.HasPDIR != tc.pdir {
+				t.Errorf("PDIR = %v, want %v", m.HasPDIR, tc.pdir)
+			}
+			if m.HasIBS != tc.ibs {
+				t.Errorf("IBS = %v, want %v", m.HasIBS, tc.ibs)
+			}
+			if m.HasLBR != tc.lbr || m.LBRDepth != tc.lbrDepth {
+				t.Errorf("LBR = %v depth %d, want %v depth %d",
+					m.HasLBR, m.LBRDepth, tc.lbr, tc.lbrDepth)
+			}
+			if m.HasSWPeriodRandom != tc.swRandom {
+				t.Errorf("software randomization = %v, want %v", m.HasSWPeriodRandom, tc.swRandom)
+			}
+			if m.HasHW4LSBRandom != tc.hw4lsb {
+				t.Errorf("HW 4-LSB randomization = %v, want %v", m.HasHW4LSBRandom, tc.hw4lsb)
+			}
+			if m.HasHWIPFix {
+				t.Error("a 2015 evaluation platform claims the §6.2 hardware IP fix")
+			}
+			// The multiplexer requires a nonzero physical budget, and the
+			// PMI/LBR cost constants feed the overhead experiment.
+			if m.NumGenCounters <= 0 {
+				t.Error("no general counters to multiplex")
+			}
+			if m.PMICostCycles == 0 || m.LBRReadCostCycles == 0 {
+				t.Error("zero collection-cost constants")
+			}
+		})
+	}
+	// FutureGen is IvyBridge plus the §6.2 recommendations; its counter
+	// budget must not drift from its base machine.
+	fg, ivb := FutureGen(), IvyBridge()
+	if fg.NumGenCounters != ivb.NumGenCounters || fg.HasFixedCounter != ivb.HasFixedCounter {
+		t.Error("FutureGen counter budget drifted from IvyBridge")
+	}
+	if !fg.HasHWIPFix || fg.LBRDepth != 32 {
+		t.Error("FutureGen §6.2 features wrong")
 	}
 }
 

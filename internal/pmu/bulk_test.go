@@ -73,6 +73,35 @@ func synthStream(n int) []cpu.RetireEvent {
 	return evs
 }
 
+// accumulate folds one retirement into a stride's BulkCounts the way the
+// fast engine's stride loop does — the replay-side half of the bulk
+// contract. The mux tests reuse it to chop synthetic streams.
+func accumulate(c *cpu.BulkCounts, ev cpu.RetireEvent) {
+	c.Instrs++
+	c.Uops += uint64(ev.Uops)
+	if ev.Taken {
+		c.TakenBranches++
+	}
+	if ev.Op.IsCondBranch() {
+		c.CondBranches++
+	}
+	if ev.Mispred {
+		c.Mispredicts++
+	}
+	switch {
+	case ev.Op == isa.OpLoad:
+		c.Loads++
+	case ev.Op == isa.OpStore:
+		c.Stores++
+	case ev.Op.ClassOf() == isa.ClassFP || ev.Op.ClassOf() == isa.ClassFPDiv:
+		c.FPOps++
+	case ev.Op.IsCall():
+		c.Calls++
+	case ev.Op.IsRet():
+		c.Rets++
+	}
+}
+
 // replayDirect feeds every event through OnRetire (the interpreter's
 // view).
 func replayDirect(u *pmu.PMU, evs []cpu.RetireEvent) {
@@ -103,19 +132,15 @@ func replayBulk(t *testing.T, u *pmu.PMU, evs []cpu.RetireEvent, chunk int) {
 		if n > len(evs)-i {
 			n = len(evs) - i
 		}
-		var instrs, uops, brs uint64
+		var c cpu.BulkCounts
 		for j := 0; j < n; j++ {
 			ev := evs[i+j]
-			instrs++
-			uops += uint64(ev.Uops)
-			if ev.Taken {
-				brs++
-				if wantBr {
-					u.OnFastBranch(ev.Idx, ev.Target, ev.Op)
-				}
+			accumulate(&c, ev)
+			if ev.Taken && wantBr {
+				u.OnFastBranch(ev.Idx, ev.Target, ev.Op)
 			}
 		}
-		u.BulkRetire(instrs, uops, brs)
+		u.BulkRetire(c)
 		i += n
 	}
 }
@@ -298,6 +323,6 @@ func TestFastHeadroomValues(t *testing.T) {
 				t.Fatal("BulkRetire beyond the headroom grant did not panic")
 			}
 		}()
-		u.BulkRetire(10, 10, 0) // grant was 9
+		u.BulkRetire(cpu.BulkCounts{Instrs: 10, Uops: 10}) // grant was 9
 	})
 }

@@ -1,0 +1,429 @@
+package pmu_test
+
+// Tests for the virtualized multi-event PMU (counter multiplexing).
+// The load-bearing property mirrors bulk_test.go: chopping the same
+// retirement stream into any mixture of strides (BulkRetire) and
+// per-instruction deliveries (OnRetire) under the FastHeadroom contract
+// must produce bit-identical counts, window accounting and rotation
+// sequences — that is what makes multiplexed runs engine-independent.
+
+import (
+	"fmt"
+	"testing"
+
+	"pmutrust/internal/cpu"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
+	"pmutrust/internal/workloads"
+)
+
+// muxMenu is the full countable-event menu, in a fixed order.
+func muxMenu() []pmu.Event {
+	return []pmu.Event{
+		pmu.EvInstRetired, pmu.EvUopsRetired, pmu.EvBrTaken, pmu.EvCondBr,
+		pmu.EvBrMispred, pmu.EvLoad, pmu.EvStore, pmu.EvFPOp, pmu.EvCall, pmu.EvRet,
+	}
+}
+
+// synthStream in bulk_test.go jumps the retirement clock by at most ~42
+// cycles per event; 64 is a safe per-instruction bound for replays.
+const synthMaxCycles = 64
+
+// muxReplayDirect feeds every event through OnRetire.
+func muxReplayDirect(m *pmu.Mux, evs []cpu.RetireEvent) {
+	for _, ev := range evs {
+		m.OnRetire(ev)
+	}
+}
+
+// muxReplayBulk drives the engine protocol: FastHeadroom-bounded strides
+// of at most chunk events through BulkRetire, per-instruction OnRetire
+// whenever the grant is zero — exactly how RunFast treats a FastMonitor.
+func muxReplayBulk(m *pmu.Mux, evs []cpu.RetireEvent, chunk int) {
+	i := 0
+	for i < len(evs) {
+		h := m.FastHeadroom()
+		if h == 0 {
+			m.OnRetire(evs[i])
+			i++
+			continue
+		}
+		n := chunk
+		if uint64(n) > h {
+			n = int(h)
+		}
+		if n > len(evs)-i {
+			n = len(evs) - i
+		}
+		var c cpu.BulkCounts
+		for j := 0; j < n; j++ {
+			accumulate(&c, evs[i+j])
+		}
+		m.BulkRetire(c)
+		i += n
+	}
+}
+
+// diffCounts compares two complete mux outcomes.
+func diffCounts(a, b []pmu.MuxCount) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("count-list length diverges: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("event %d (%s) diverges:\n  direct %+v\n  bulk   %+v",
+				i, a[i].Event, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// TestMuxBulkEquivalence is the stride-chopping property across policies,
+// budgets and timeslices.
+func TestMuxBulkEquivalence(t *testing.T) {
+	evs := synthStream(4000)
+	final := evs[len(evs)-1].Cycle
+
+	cases := []struct {
+		name string
+		cfg  pmu.MuxConfig
+	}{
+		{
+			name: "uncontended-all-fit",
+			cfg: pmu.MuxConfig{Events: muxMenu()[:3], GenCounters: 4,
+				TimesliceCycles: 50, MaxCyclesPerInstr: synthMaxCycles},
+		},
+		{
+			name: "contended-rr-short-slice",
+			cfg: pmu.MuxConfig{Events: muxMenu(), GenCounters: 3,
+				TimesliceCycles: 100, MaxCyclesPerInstr: synthMaxCycles},
+		},
+		{
+			name: "contended-rr-long-slice",
+			cfg: pmu.MuxConfig{Events: muxMenu(), GenCounters: 3,
+				TimesliceCycles: 1500, MaxCyclesPerInstr: synthMaxCycles},
+		},
+		{
+			name: "contended-rr-fixed-counter",
+			cfg: pmu.MuxConfig{Events: muxMenu(), GenCounters: 2, FixedCounterFree: true,
+				TimesliceCycles: 300, MaxCyclesPerInstr: synthMaxCycles},
+		},
+		{
+			name: "contended-priority-starves",
+			cfg: pmu.MuxConfig{Events: muxMenu(), GenCounters: 2, Policy: pmu.MuxPriority,
+				TimesliceCycles: 100, MaxCyclesPerInstr: synthMaxCycles},
+		},
+		{
+			name: "duplicate-events",
+			cfg: pmu.MuxConfig{
+				Events: []pmu.Event{pmu.EvInstRetired, pmu.EvInstRetired, pmu.EvLoad,
+					pmu.EvLoad, pmu.EvBrTaken},
+				GenCounters: 2, FixedCounterFree: true,
+				TimesliceCycles: 200, MaxCyclesPerInstr: synthMaxCycles},
+		},
+		{
+			name: "single-counter-many-events",
+			cfg: pmu.MuxConfig{Events: muxMenu()[:6], GenCounters: 1,
+				TimesliceCycles: 75, MaxCyclesPerInstr: synthMaxCycles},
+		},
+	}
+
+	for _, tc := range cases {
+		for _, chunk := range []int{1, 3, 9, 64, 4000} {
+			t.Run(fmt.Sprintf("%s/chunk=%d", tc.name, chunk), func(t *testing.T) {
+				direct := pmu.NewMux(tc.cfg, nil)
+				muxReplayDirect(direct, evs)
+				bulk := pmu.NewMux(tc.cfg, nil)
+				muxReplayBulk(bulk, evs, chunk)
+				if direct.Rotations != bulk.Rotations {
+					t.Fatalf("rotations diverge: direct %d, bulk %d", direct.Rotations, bulk.Rotations)
+				}
+				if err := diffCounts(direct.Finish(final), bulk.Finish(final)); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestMuxWrapsSamplingPMU: the stride-chopping property must hold with an
+// inner sampling unit too — headroom is the min of both constraints, and
+// the inner unit's samples must be unaffected by the wrapping.
+func TestMuxWrapsSamplingPMU(t *testing.T) {
+	evs := synthStream(4000)
+	final := evs[len(evs)-1].Cycle
+	pmuCfg := pmu.Config{Event: pmu.EvInstRetired, Precision: pmu.PreciseDist, Period: 50, Seed: 3}
+	muxCfg := pmu.MuxConfig{Events: muxMenu(), GenCounters: 3,
+		TimesliceCycles: 120, MaxCyclesPerInstr: synthMaxCycles}
+
+	bare := pmu.New(pmuCfg)
+	replayDirect(bare, evs)
+
+	inner1 := pmu.New(pmuCfg)
+	direct := pmu.NewMux(muxCfg, inner1)
+	muxReplayDirect(direct, evs)
+	directCounts := direct.Finish(final)
+
+	for _, chunk := range []int{1, 7, 64, 4000} {
+		inner2 := pmu.New(pmuCfg)
+		bulk := pmu.NewMux(muxCfg, inner2)
+		muxReplayBulk(bulk, evs, chunk)
+		if err := diffUnits(inner1, inner2); err != nil {
+			t.Fatalf("chunk %d: inner PMU diverges: %v", chunk, err)
+		}
+		if err := diffCounts(directCounts, bulk.Finish(final)); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+	}
+	// Wrapping must not change what the sampling unit observes at all.
+	if err := diffUnits(bare, inner1); err != nil {
+		t.Fatalf("mux wrapping changed the sampling stream: %v", err)
+	}
+}
+
+// TestMuxExactMatchesEngines: on a real workload under both execution
+// engines, the exact counters must equal the hardware-truth Result and
+// the full outcome must be engine-independent.
+func TestMuxExactMatchesEngines(t *testing.T) {
+	p := workloads.MustBuild("G4Box", 0.05)
+	cfg := machine.IvyBridge().CPU
+	muxCfg := pmu.MuxConfig{
+		Events:            muxMenu(),
+		GenCounters:       3,
+		TimesliceCycles:   500,
+		MaxCyclesPerInstr: cfg.MaxRetireCyclesPerInstr(),
+	}
+
+	mi := pmu.NewMux(muxCfg, nil)
+	ri, err := cpu.Run(p, cfg, mi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := pmu.NewMux(muxCfg, nil)
+	rf, err := cpu.RunFast(p, cfg, mf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != rf {
+		t.Fatalf("Result diverges: interp %+v fast %+v", ri, rf)
+	}
+	if mi.Rotations != mf.Rotations {
+		t.Fatalf("rotations diverge: interp %d fast %d", mi.Rotations, mf.Rotations)
+	}
+	ci, cf := mi.Finish(ri.Cycles), mf.Finish(rf.Cycles)
+	if err := diffCounts(ci, cf); err != nil {
+		t.Fatal(err)
+	}
+	if mi.Rotations == 0 {
+		t.Fatal("contended round-robin mux never rotated")
+	}
+	// Ground truth against the simulator's own totals.
+	want := map[pmu.Event]uint64{
+		pmu.EvInstRetired: ri.Instructions,
+		pmu.EvUopsRetired: ri.Uops,
+		pmu.EvBrTaken:     ri.TakenBranches,
+		pmu.EvCondBr:      ri.CondBranches,
+		pmu.EvBrMispred:   ri.Mispredicts,
+	}
+	for _, c := range ci {
+		if w, ok := want[c.Event]; ok && c.Exact != w {
+			t.Errorf("%s exact = %d, want %d", c.Event, c.Exact, w)
+		}
+		if c.Raw > c.Exact {
+			t.Errorf("%s raw %d exceeds exact %d", c.Event, c.Raw, c.Exact)
+		}
+		if c.RunningCycles > c.EnabledCycles {
+			t.Errorf("%s running %d exceeds enabled %d", c.Event, c.RunningCycles, c.EnabledCycles)
+		}
+	}
+}
+
+// TestMuxUncontended: a request list within the budget never rotates,
+// runs every event for the whole run, and scales to the exact count.
+func TestMuxUncontended(t *testing.T) {
+	evs := synthStream(2000)
+	final := evs[len(evs)-1].Cycle
+	m := pmu.NewMux(pmu.MuxConfig{
+		Events:            []pmu.Event{pmu.EvInstRetired, pmu.EvLoad, pmu.EvBrTaken},
+		GenCounters:       2,
+		FixedCounterFree:  true,
+		MaxCyclesPerInstr: synthMaxCycles,
+	}, nil)
+	if m.Contended() {
+		t.Fatal("fitting request list reported contended")
+	}
+	if h := m.FastHeadroom(); h != 1<<40 {
+		t.Fatalf("uncontended headroom = %d, want unlimited", h)
+	}
+	muxReplayDirect(m, evs)
+	for _, c := range m.Finish(final) {
+		if m.Rotations != 0 {
+			t.Fatalf("uncontended mux rotated %d times", m.Rotations)
+		}
+		if c.RunningCycles != c.EnabledCycles {
+			t.Errorf("%s running %d != enabled %d", c.Event, c.RunningCycles, c.EnabledCycles)
+		}
+		if c.Raw != c.Exact {
+			t.Errorf("%s raw %d != exact %d", c.Event, c.Raw, c.Exact)
+		}
+		if e := c.RelError(); e != 0 {
+			t.Errorf("%s relative error = %g, want 0", c.Event, e)
+		}
+	}
+}
+
+// TestMuxPriorityStarvation: under the priority policy the events that
+// fit keep exact counts and the overflow events never run.
+func TestMuxPriorityStarvation(t *testing.T) {
+	evs := synthStream(2000)
+	final := evs[len(evs)-1].Cycle
+	m := pmu.NewMux(pmu.MuxConfig{
+		Events:            []pmu.Event{pmu.EvLoad, pmu.EvStore, pmu.EvBrTaken, pmu.EvCondBr},
+		GenCounters:       2,
+		Policy:            pmu.MuxPriority,
+		TimesliceCycles:   100,
+		MaxCyclesPerInstr: synthMaxCycles,
+	}, nil)
+	if h := m.FastHeadroom(); h != 1<<40 {
+		t.Fatalf("priority policy costs fast-path headroom: %d", h)
+	}
+	muxReplayDirect(m, evs)
+	counts := m.Finish(final)
+	for i, c := range counts {
+		if i < 2 {
+			if c.Raw != c.Exact || c.RelError() != 0 {
+				t.Errorf("scheduled %s: raw %d exact %d err %g", c.Event, c.Raw, c.Exact, c.RelError())
+			}
+			continue
+		}
+		if c.Raw != 0 || c.RunningCycles != 0 || c.Scaled != 0 {
+			t.Errorf("starved %s counted: %+v", c.Event, c)
+		}
+		if c.Exact == 0 {
+			t.Errorf("starved %s has no ground truth to compare against", c.Event)
+		}
+		if e := c.RelError(); e != 1 {
+			t.Errorf("starved %s relative error = %g, want 1", c.Event, e)
+		}
+	}
+}
+
+// TestMuxFixedCounterRule: only EvInstRetired can ride the fixed counter.
+func TestMuxFixedCounterRule(t *testing.T) {
+	evs := synthStream(500)
+	final := evs[len(evs)-1].Cycle
+
+	// inst_retired + one general counter's worth of loads: both fit only
+	// because inst_retired takes the fixed counter.
+	m := pmu.NewMux(pmu.MuxConfig{
+		Events:            []pmu.Event{pmu.EvLoad, pmu.EvInstRetired},
+		GenCounters:       1,
+		FixedCounterFree:  true,
+		MaxCyclesPerInstr: synthMaxCycles,
+	}, nil)
+	if m.Contended() {
+		t.Fatal("fixed counter not used for inst_retired")
+	}
+	muxReplayDirect(m, evs)
+	for _, c := range m.Finish(final) {
+		if c.Raw != c.Exact {
+			t.Errorf("%s raw %d != exact %d", c.Event, c.Raw, c.Exact)
+		}
+	}
+
+	// Two non-inst events with one general counter + a free fixed
+	// counter: the fixed counter cannot host them, so the mux rotates.
+	m2 := pmu.NewMux(pmu.MuxConfig{
+		Events:            []pmu.Event{pmu.EvLoad, pmu.EvStore},
+		GenCounters:       1,
+		FixedCounterFree:  true,
+		TimesliceCycles:   100,
+		MaxCyclesPerInstr: synthMaxCycles,
+	}, nil)
+	if !m2.Contended() {
+		t.Fatal("fixed counter wrongly hosted a non-inst_retired event")
+	}
+}
+
+// TestMuxHeadroomNearDeadline pins the deadline arithmetic: the grant
+// never reaches the rotation deadline.
+func TestMuxHeadroomNearDeadline(t *testing.T) {
+	m := pmu.NewMux(pmu.MuxConfig{
+		Events:            muxMenu()[:4],
+		GenCounters:       1,
+		TimesliceCycles:   1000,
+		MaxCyclesPerInstr: 10,
+	}, nil)
+	// estCycle 0, deadline 1000: grant is (1000-0-1)/10 = 99.
+	if h := m.FastHeadroom(); h != 99 {
+		t.Fatalf("fresh grant = %d, want 99", h)
+	}
+	// A retirement at cycle 995 puts the clock within one worst-case
+	// instruction of the deadline: grant 0.
+	m.OnRetire(cpu.RetireEvent{Idx: 1, Cycle: 995, Seq: 1, Uops: 1})
+	if h := m.FastHeadroom(); h != 0 {
+		t.Fatalf("near-deadline grant = %d, want 0", h)
+	}
+	// Crossing the deadline rotates and opens a fresh timeslice.
+	m.OnRetire(cpu.RetireEvent{Idx: 2, Cycle: 1005, Seq: 2, Uops: 1})
+	if m.Rotations != 1 {
+		t.Fatalf("rotations = %d, want 1", m.Rotations)
+	}
+	if h := m.FastHeadroom(); h != 99 {
+		t.Fatalf("post-rotation grant = %d, want 99", h)
+	}
+}
+
+// TestMuxValidation pins the constructor and Finish guard rails.
+func TestMuxValidation(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+	expectPanic("no-events", func() {
+		pmu.NewMux(pmu.MuxConfig{GenCounters: 4, MaxCyclesPerInstr: 10}, nil)
+	})
+	expectPanic("no-counters", func() {
+		pmu.NewMux(pmu.MuxConfig{Events: muxMenu()[:2], MaxCyclesPerInstr: 10}, nil)
+	})
+	expectPanic("no-cycle-bound", func() {
+		pmu.NewMux(pmu.MuxConfig{Events: muxMenu()[:2], GenCounters: 4}, nil)
+	})
+	expectPanic("double-finish", func() {
+		m := pmu.NewMux(pmu.MuxConfig{Events: muxMenu()[:2], GenCounters: 4, MaxCyclesPerInstr: 10}, nil)
+		m.Finish(100)
+		m.Finish(100)
+	})
+}
+
+// TestEventParsing pins the -events flag round trip.
+func TestEventParsing(t *testing.T) {
+	for e := pmu.Event(0); e < pmu.Event(pmu.NumEvents); e++ {
+		got, err := pmu.EventByName(e.String())
+		if err != nil || got != e {
+			t.Errorf("EventByName(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := pmu.EventByName("cycles"); err == nil {
+		t.Error("unknown event accepted")
+	}
+	list, err := pmu.ParseEventList("inst_retired, load ,br_taken")
+	if err != nil || len(list) != 3 || list[1] != pmu.EvLoad {
+		t.Errorf("ParseEventList = %v, %v", list, err)
+	}
+	if s := pmu.EventListString(list); s != "inst_retired,load,br_taken" {
+		t.Errorf("EventListString = %q", s)
+	}
+	if _, err := pmu.ParseEventList("load,nope"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if l, err := pmu.ParseEventList(""); err != nil || l != nil {
+		t.Errorf("empty list = %v, %v", l, err)
+	}
+}

@@ -28,6 +28,9 @@
 package pmu
 
 import (
+	"fmt"
+	"strings"
+
 	"pmutrust/internal/cpu"
 	"pmutrust/internal/isa"
 	"pmutrust/internal/stats"
@@ -46,7 +49,30 @@ const (
 	// EvBrTaken counts retired taken branches
 	// (BR_INST_RETIRED.NEAR_TAKEN / BR_INST_EXEC:TAKEN).
 	EvBrTaken
+	// EvCondBr counts retired conditional branches, taken or not
+	// (BR_INST_RETIRED.COND).
+	EvCondBr
+	// EvBrMispred counts mispredicted conditional branches
+	// (BR_MISP_RETIRED.ALL_BRANCHES).
+	EvBrMispred
+	// EvLoad counts retired load instructions (MEM_UOPS_RETIRED.ALL_LOADS).
+	EvLoad
+	// EvStore counts retired store instructions
+	// (MEM_UOPS_RETIRED.ALL_STORES).
+	EvStore
+	// EvFPOp counts retired floating-point arithmetic instructions
+	// (FP_COMP_OPS_EXE / RETIRED_SSE_OPS).
+	EvFPOp
+	// EvCall counts retired near calls (BR_INST_RETIRED.NEAR_CALL).
+	EvCall
+	// EvRet counts retired near returns (BR_INST_RETIRED.NEAR_RETURN).
+	EvRet
+
+	numEvents
 )
+
+// NumEvents is the number of defined countable events.
+const NumEvents = int(numEvents)
 
 // String returns the generic event name.
 func (e Event) String() string {
@@ -57,9 +83,60 @@ func (e Event) String() string {
 		return "uops_retired"
 	case EvBrTaken:
 		return "br_taken"
+	case EvCondBr:
+		return "cond_br"
+	case EvBrMispred:
+		return "br_mispred"
+	case EvLoad:
+		return "load"
+	case EvStore:
+		return "store"
+	case EvFPOp:
+		return "fp_op"
+	case EvCall:
+		return "call"
+	case EvRet:
+		return "ret"
 	default:
 		return "unknown"
 	}
+}
+
+// EventByName parses an event name as spelled by String — the format of
+// pmubench's and wlgen's -events flags.
+func EventByName(name string) (Event, error) {
+	for e := Event(0); e < Event(numEvents); e++ {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("pmu: unknown event %q", name)
+}
+
+// ParseEventList parses a comma-separated event list ("inst_retired,load,
+// br_taken"). An empty string yields an empty list.
+func ParseEventList(s string) ([]Event, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Event
+	for _, name := range strings.Split(s, ",") {
+		e, err := EventByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// EventListString renders an event list in ParseEventList's format.
+func EventListString(events []Event) string {
+	names := make([]string, len(events))
+	for i, e := range events {
+		names[i] = e.String()
+	}
+	return strings.Join(names, ",")
 }
 
 // Precision selects the sample-capture mechanism.
@@ -280,7 +357,14 @@ func (p *PMU) nextPeriod() uint64 {
 
 // units returns how many event units ev contributes to the counter.
 func (p *PMU) units(ev cpu.RetireEvent) uint64 {
-	switch p.cfg.Event {
+	return EventUnits(p.cfg.Event, ev)
+}
+
+// EventUnits returns how many units of event e one retirement contributes
+// — the single definition of what each countable event counts, shared by
+// the sampling PMU and the multiplexed counters (Mux).
+func EventUnits(e Event, ev cpu.RetireEvent) uint64 {
+	switch e {
 	case EvInstRetired:
 		return 1
 	case EvUopsRetired:
@@ -289,7 +373,64 @@ func (p *PMU) units(ev cpu.RetireEvent) uint64 {
 		if ev.Taken {
 			return 1
 		}
-		return 0
+	case EvCondBr:
+		if ev.Op.IsCondBranch() {
+			return 1
+		}
+	case EvBrMispred:
+		if ev.Mispred {
+			return 1
+		}
+	case EvLoad:
+		if ev.Op == isa.OpLoad {
+			return 1
+		}
+	case EvStore:
+		if ev.Op == isa.OpStore {
+			return 1
+		}
+	case EvFPOp:
+		if c := ev.Op.ClassOf(); c == isa.ClassFP || c == isa.ClassFPDiv {
+			return 1
+		}
+	case EvCall:
+		if ev.Op.IsCall() {
+			return 1
+		}
+	case EvRet:
+		if ev.Op.IsRet() {
+			return 1
+		}
+	}
+	return 0
+}
+
+// EventUnitsBulk returns how many units of event e a whole stride
+// contributes, from the engine's per-class totals. It must agree with
+// EventUnits summed over the stride; the differential harness enforces
+// that through the Mux's exact counters.
+func EventUnitsBulk(e Event, c cpu.BulkCounts) uint64 {
+	switch e {
+	case EvInstRetired:
+		return c.Instrs
+	case EvUopsRetired:
+		return c.Uops
+	case EvBrTaken:
+		return c.TakenBranches
+	case EvCondBr:
+		return c.CondBranches
+	case EvBrMispred:
+		return c.Mispredicts
+	case EvLoad:
+		return c.Loads
+	case EvStore:
+		return c.Stores
+	case EvFPOp:
+		return c.FPOps
+	case EvCall:
+		return c.Calls
+	case EvRet:
+		return c.Rets
 	default:
 		return 0
 	}
@@ -424,8 +565,8 @@ var _ cpu.FastMonitor = (*PMU)(nil)
 // boundary).
 //
 // For uop-counted events the unit budget is converted to instructions by
-// dividing by isa.MaxUops; for taken-branch events an instruction can
-// contribute at most one unit, so the unit budget is already a safe
+// dividing by isa.MaxUops; every other countable event contributes at
+// most one unit per instruction, so the unit budget is already a safe
 // instruction count.
 func (p *PMU) FastHeadroom() uint64 {
 	if p.pendingPMI || p.pendingIBS || p.armed {
@@ -465,16 +606,8 @@ func (p *PMU) OnFastBranch(from, to uint32, op isa.Op) {
 // the counter cannot reach the reload value, so no overflow logic runs
 // here; the invariant is asserted because a violation means silently
 // diverging sample streams.
-func (p *PMU) BulkRetire(instrs, uops, takenBranches uint64) {
-	var u uint64
-	switch p.cfg.Event {
-	case EvInstRetired:
-		u = instrs
-	case EvUopsRetired:
-		u = uops
-	case EvBrTaken:
-		u = takenBranches
-	}
+func (p *PMU) BulkRetire(c cpu.BulkCounts) {
+	u := EventUnitsBulk(p.cfg.Event, c)
 	p.TotalEvents += u
 	p.counter += u
 	if p.counter >= p.effPeriod {

@@ -74,6 +74,19 @@ type Options struct {
 	LBRContention float64
 	// Engine selects the execution engine (default EngineFast).
 	Engine EngineMode
+	// Events requests additional counting events alongside the sampling
+	// method, perf-stat style. When the list exceeds the machine's
+	// physical counter budget the virtualized PMU layer (pmu.Mux)
+	// time-multiplexes the counters and Run.Counts carries both the exact
+	// ground truth and the perf-style scaled estimate per event.
+	Events []pmu.Event
+	// MuxTimesliceCycles is the multiplexer's rotation timeslice in
+	// simulated cycles (0 = pmu.DefaultMuxTimeslice). Ignored without
+	// Events.
+	MuxTimesliceCycles uint64
+	// MuxPolicy selects the multiplexer's rotation policy (default
+	// round-robin). Ignored without Events.
+	MuxPolicy pmu.MuxPolicy
 }
 
 // Run is the outcome of sampling one workload on one machine with one
@@ -93,6 +106,12 @@ type Run struct {
 	CPU cpu.Result
 	// Overflows and DroppedPMIs report collection health.
 	Overflows, DroppedPMIs uint64
+	// Counts holds the multiplexed counting results, in Options.Events
+	// order; nil when no counting events were requested.
+	Counts []pmu.MuxCount
+	// MuxRotations is the number of counter rotations the multiplexer
+	// serviced (0 when the request list fits the physical budget).
+	MuxRotations uint64
 }
 
 // SampleCostCycles returns the modelled cost of collecting one sample:
@@ -183,13 +202,43 @@ func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*
 		LBRContention: opt.LBRContention,
 		HWExactIP:     mach.HasHWIPFix,
 	}
+	// Counter placement for requested counting events: the sampling
+	// counter is pinned first. Classic imprecise inst_retired sampling
+	// rides the fixed counter where one exists (Table 3: "Uses a
+	// fixed-function counter to free up general counters"); precise
+	// mechanisms and other events pin a general counter.
+	var muxCfg pmu.MuxConfig
+	if len(opt.Events) > 0 {
+		genFree := mach.NumGenCounters
+		fixedFree := mach.HasFixedCounter
+		if fixedFree && resolved.Event == pmu.EvInstRetired && resolved.Precision == pmu.Imprecise {
+			fixedFree = false
+		} else {
+			genFree--
+		}
+		muxCfg = pmu.MuxConfig{
+			Events:            opt.Events,
+			TimesliceCycles:   opt.MuxTimesliceCycles,
+			Policy:            opt.MuxPolicy,
+			GenCounters:       genFree,
+			FixedCounterFree:  fixedFree,
+			MaxCyclesPerInstr: mach.CPU.MaxRetireCyclesPerInstr(),
+		}
+	}
+
 	// runOnce always returns the Run, even when the cpu run errored — the
-	// partial sample stream is what EngineBoth diffs on identically
-	// failing runs. Collect's public contract (nil Run on error) is
-	// restored by the switch below.
+	// partial sample stream (and partial multiplexed counts) is what
+	// EngineBoth diffs on identically failing runs. Collect's public
+	// contract (nil Run on error) is restored by the switch below.
 	runOnce := func(eng cpu.Engine) (*Run, error) {
 		unit := pmu.New(cfg)
-		cpuRes, err := cpu.RunEngine(p, mach.CPU, unit, opt.MaxInstrs, eng)
+		var mon cpu.Monitor = unit
+		var mux *pmu.Mux
+		if len(opt.Events) > 0 {
+			mux = pmu.NewMux(muxCfg, unit)
+			mon = mux
+		}
+		cpuRes, err := cpu.RunEngine(p, mach.CPU, mon, opt.MaxInstrs, eng)
 		run := &Run{
 			Machine:     mach,
 			Requested:   m,
@@ -199,6 +248,10 @@ func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*
 			CPU:         cpuRes,
 			Overflows:   unit.Overflows,
 			DroppedPMIs: unit.DroppedPMIs,
+		}
+		if mux != nil {
+			run.Counts = mux.Finish(cpuRes.Cycles)
+			run.MuxRotations = mux.Rotations
 		}
 		if err != nil {
 			return run, fmt.Errorf("sampling: run %s on %s: %w", p.Name, mach.Name, err)
@@ -262,6 +315,18 @@ func DiffRuns(a, b *Run) error {
 	if a.Overflows != b.Overflows || a.DroppedPMIs != b.DroppedPMIs {
 		return fmt.Errorf("collection health diverges: overflows %d/%d, dropped %d/%d",
 			a.Overflows, b.Overflows, a.DroppedPMIs, b.DroppedPMIs)
+	}
+	if a.MuxRotations != b.MuxRotations {
+		return fmt.Errorf("mux rotations diverge: %d vs %d", a.MuxRotations, b.MuxRotations)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		return fmt.Errorf("mux count-list length diverges: %d vs %d", len(a.Counts), len(b.Counts))
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return fmt.Errorf("mux count %d (%s) diverges:\n  a %+v\n  b %+v",
+				i, a.Counts[i].Event, a.Counts[i], b.Counts[i])
+		}
 	}
 	if len(a.Samples) != len(b.Samples) {
 		return fmt.Errorf("sample count diverges: %d vs %d", len(a.Samples), len(b.Samples))

@@ -15,6 +15,38 @@ import (
 	"pmutrust/internal/workloads"
 )
 
+// TestEngineMuxGridBitIdenticalPaperScale: the multiplexed event-list
+// grid at the paper regime — thousands of rotation windows per run — must
+// stay bit-identical across engines on all machines.
+func TestEngineMuxGridBitIdenticalPaperScale(t *testing.T) {
+	classic, err := sampling.MethodByKey("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range workloads.Kernels() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.Build(8)
+			for _, mach := range machine.All() {
+				for _, mc := range muxGrid() {
+					_, err := sampling.Collect(p, mach, classic, sampling.Options{
+						PeriodBase:         4000,
+						Seed:               42,
+						Engine:             sampling.EngineBoth,
+						Events:             mc.Events,
+						MuxTimesliceCycles: mc.Timeslice,
+						MuxPolicy:          mc.Policy,
+					})
+					if err != nil {
+						t.Errorf("%s/%s/%s: %v", spec.Name, mach.Name, mc.Name, err)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestEngineGridBitIdenticalPaperScale(t *testing.T) {
 	specs := append(workloads.Kernels(), workloads.Apps()...)
 	for _, spec := range specs {

@@ -81,6 +81,74 @@ func TestEngineGridFuzzPrograms(t *testing.T) {
 	}
 }
 
+// muxGrid returns the event-list configurations the multiplexed engine
+// equivalence sweeps run: within-budget, overcommitted round-robin at two
+// timeslices, and the starving priority policy.
+func muxGrid() []struct {
+	Name      string
+	Events    []pmu.Event
+	Timeslice uint64
+	Policy    pmu.MuxPolicy
+} {
+	menu := []pmu.Event{
+		pmu.EvInstRetired, pmu.EvBrTaken, pmu.EvLoad, pmu.EvStore, pmu.EvCondBr,
+		pmu.EvUopsRetired, pmu.EvFPOp, pmu.EvBrMispred, pmu.EvCall, pmu.EvRet,
+	}
+	return []struct {
+		Name      string
+		Events    []pmu.Event
+		Timeslice uint64
+		Policy    pmu.MuxPolicy
+	}{
+		{"fits", menu[:3], 0, pmu.MuxRoundRobin},
+		{"rr-n6", menu[:6], 0, pmu.MuxRoundRobin},
+		{"rr-n10-short-slice", menu, 500, pmu.MuxRoundRobin},
+		{"priority-n8", menu[:8], 0, pmu.MuxPriority},
+	}
+}
+
+// TestEngineMuxGridBitIdentical: multiplexed collections — samples AND
+// scaled counts — must be bit-identical between the engines over the
+// event-list grid on every machine (the EngineBoth path diffs Counts and
+// MuxRotations through DiffRuns).
+func TestEngineMuxGridBitIdentical(t *testing.T) {
+	specs := workloads.Kernels()
+	if testing.Short() {
+		specs = specs[:2]
+	}
+	classic, err := sampling.MethodByKey("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.Build(0.25)
+			for _, mach := range machine.All() {
+				for _, mc := range muxGrid() {
+					run, err := sampling.Collect(p, mach, classic, sampling.Options{
+						PeriodBase:         1000,
+						Seed:               42,
+						Engine:             sampling.EngineBoth,
+						Events:             mc.Events,
+						MuxTimesliceCycles: mc.Timeslice,
+						MuxPolicy:          mc.Policy,
+					})
+					if err != nil {
+						t.Errorf("%s/%s/%s: %v", spec.Name, mach.Name, mc.Name, err)
+						continue
+					}
+					if len(run.Counts) != len(mc.Events) {
+						t.Errorf("%s/%s/%s: %d counts for %d events",
+							spec.Name, mach.Name, mc.Name, len(run.Counts), len(mc.Events))
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestCollectMaxInstrs is the fast-path stride-overshoot regression: with
 // a MaxInstrs bound, both engines must cut the run at exactly the same
 // instruction with the same wrapped cpu.ErrInstrLimit — a stride must

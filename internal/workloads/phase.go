@@ -1,0 +1,92 @@
+package workloads
+
+import "pmutrust/internal/program"
+
+// PhaseShiftSpec returns the phased stress workload used by the counter-
+// multiplexing experiment family (internal/experiments mux*). It is
+// deliberately NOT registered: the registry is the paper's evaluation set
+// (Tables 1 and 2), and adding a workload there would change every
+// reproduction table. The mux experiments reference it directly.
+//
+// The workload alternates two phases with disjoint event mixes — a
+// memory phase that is almost all loads and stores, then an FP/branch
+// phase that is almost all floating-point arithmetic and data-driven
+// conditional branches. Each phase lasts on the order of a rotation
+// timeslice, so a time-multiplexed counter that owns, say, the load event
+// only during FP phases extrapolates from windows where loads barely
+// occur: the enabled/running scaling is exact only for stationary event
+// rates, and this workload is the anti-stationary probe.
+func PhaseShiftSpec() Spec {
+	return Spec{
+		Name: "PhaseShift",
+		Kind: Kernel,
+		Description: "Alternating memory-only and FP/branch-only phases, each about one " +
+			"multiplexing timeslice long; breaks the stationarity assumption behind " +
+			"enabled/running count scaling.",
+		Build: PhaseShift,
+	}
+}
+
+// PhaseShift builds the phased workload. Per macro iteration: a memory
+// phase of 120 load/store inner iterations (~840 instructions, load
+// latency bound), then an FP/branch phase of 80 inner iterations
+// (~880 instructions, FP latency plus mispredict bound). Scale multiplies
+// the macro iteration count only, as everywhere else.
+func PhaseShift(scale float64) *program.Program {
+	macro := iters(400, scale)
+	b := program.NewBuilder("PhaseShift")
+	f := b.Func("main")
+
+	entry := f.Block("entry")
+	entry.Movi(rN, macro)
+	entry.Movi(rX, 1<<30)
+	entry.Movi(rY, 5)
+	entry.Movi(rPtr, 0)
+	lcgInit(entry, 0x9e3779b9)
+
+	// ---- memory phase: loads and stores walking a word array ----
+	memTop := f.Block("mem_top")
+	memTop.Movi(rI, 120)
+
+	mem := f.Block("mem")
+	mem.Load(rVal, rPtr, 0)
+	mem.Addi(rVal, rVal, 3)
+	mem.Store(rVal, rPtr, 1)
+	mem.Addi(rPtr, rPtr, 7)
+	mem.Addi(rI, rI, -1)
+	mem.Cmpi(rI, 0)
+	mem.Jnz("mem")
+
+	// ---- FP/branch phase: FP arithmetic with data-driven branching ----
+	fpTop := f.Block("fp_top")
+	fpTop.Movi(rI, 80)
+
+	fp := f.Block("fp")
+	fp.Fma(rX, rX, rY)
+	fp.Fmul(rAcc, rX, rY)
+	lcgStep(fp)
+	fp.Shr(rT0, rLCG, 61)
+	fp.Cmpi(rT0, 3)
+	fp.Jlt("fp_low")
+
+	fpHigh := f.Block("fp_high")
+	fpHigh.Fadd(rX, rX, rY)
+	fpHigh.Jmp("fp_latch")
+
+	fpLow := f.Block("fp_low")
+	fpLow.Fmul(rX, rX, rY)
+
+	fpLatch := f.Block("fp_latch")
+	fpLatch.Addi(rI, rI, -1)
+	fpLatch.Cmpi(rI, 0)
+	fpLatch.Jnz("fp")
+
+	macroLatch := f.Block("macro_latch")
+	macroLatch.Addi(rN, rN, -1)
+	macroLatch.Cmpi(rN, 0)
+	macroLatch.Jnz("mem_top")
+
+	exit := f.Block("exit")
+	exit.Halt()
+	return b.MustBuild()
+}

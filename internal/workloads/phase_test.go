@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"testing"
+
+	"pmutrust/internal/cpu"
+)
+
+func TestPhaseShiftNotRegistered(t *testing.T) {
+	// The registry is the paper's evaluation set; PhaseShift must stay
+	// out of Tables 1 and 2 (see PhaseShiftSpec).
+	if _, err := ByName("PhaseShift"); err == nil {
+		t.Fatal("PhaseShift leaked into the workload registry")
+	}
+	spec := PhaseShiftSpec()
+	if spec.Name != "PhaseShift" || spec.Build == nil || spec.Description == "" {
+		t.Fatalf("incomplete spec: %+v", spec)
+	}
+}
+
+func TestPhaseShiftRunsAndHalts(t *testing.T) {
+	p := PhaseShift(0.1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.RunFast(p, cpu.DefaultConfig(), cpu.NopMonitor{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.CondBranches == 0 || res.Mispredicts == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	// Scale only changes iteration counts, like every other workload.
+	if a, b := PhaseShift(0.02), PhaseShift(0.2); len(a.Code) != len(b.Code) {
+		t.Errorf("scale changed static code size (%d vs %d)", len(a.Code), len(b.Code))
+	}
+}

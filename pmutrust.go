@@ -77,8 +77,29 @@
 // fuzzed Builder-DSL programs (internal/cpu, internal/sampling,
 // internal/pmu tests; `pmubench -engine both` self-checks entire
 // sweeps). Options.Engine / `pmubench -engine fast|interp|both` select
-// the engine; the fast path is ~2.6x faster (geomean over the Table 4
-// kernels, BENCH_engine.json) and results never depend on the choice.
+// the engine; the fast path is ~2.7x faster (geomean over the Table 4
+// kernels, BENCH_engine.json; CI gates regressions at ±15% via
+// cmd/benchgate) and results never depend on the choice.
+//
+// # Counter multiplexing (virtualized multi-event PMU)
+//
+// Real deployments time-share counters: perf accepts more requested
+// events than the machine's physical counters (four general counters on
+// all three platforms, plus Intel's fixed instructions-retired counter),
+// rotates them on a timer tick, and scales each raw count by
+// enabled/running time. Options.Events requests counting events
+// alongside any sampling method; when the list overcommits the budget
+// the virtualized PMU layer (internal/pmu Mux) rotates the counters on
+// Options.MuxTimesliceCycles under Options.MuxPolicy (round-robin like
+// perf's flexible events, or priority like pinned events — overflow
+// events are then never counted). Run.Counts reports, per event, the
+// exact ground-truth count only a simulator has next to the perf-style
+// scaled estimate, so the multiplexing-induced counting error is
+// directly measurable: `pmubench -experiment
+// mux-events|mux-timeslice|mux-policy` sweeps it against the number of
+// events, the timeslice and the rotation policy across all machines
+// (rendered from a store by `pmureport -table mux`), and `wlgen -events`
+// prints the per-event accounting for one workload.
 //
 // The heavy lifting lives in the internal packages (isa, program, cpu,
 // pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
@@ -91,6 +112,7 @@ import (
 	"pmutrust/internal/core"
 	"pmutrust/internal/lbr"
 	"pmutrust/internal/machine"
+	"pmutrust/internal/pmu"
 	"pmutrust/internal/profile"
 	"pmutrust/internal/program"
 	"pmutrust/internal/ref"
@@ -132,7 +154,37 @@ type (
 	EdgeProfile = profile.EdgeProfile
 	// LoopStat is a loop discovered from backedges, with its trip count.
 	LoopStat = profile.LoopStat
+	// CountEvent selects a countable PMU event (Options.Events).
+	CountEvent = pmu.Event
+	// MuxPolicy selects the counter-multiplexing rotation policy.
+	MuxPolicy = pmu.MuxPolicy
+	// MuxCount is one multiplexed event's exact-vs-scaled outcome
+	// (Run.Counts).
+	MuxCount = pmu.MuxCount
 )
+
+// Re-exported countable events and multiplexer policies, so
+// Options.Events and Options.MuxPolicy are usable without reaching into
+// internal packages.
+const (
+	EvInstRetired = pmu.EvInstRetired
+	EvUopsRetired = pmu.EvUopsRetired
+	EvBrTaken     = pmu.EvBrTaken
+	EvCondBr      = pmu.EvCondBr
+	EvBrMispred   = pmu.EvBrMispred
+	EvLoad        = pmu.EvLoad
+	EvStore       = pmu.EvStore
+	EvFPOp        = pmu.EvFPOp
+	EvCall        = pmu.EvCall
+	EvRet         = pmu.EvRet
+
+	MuxRoundRobin = pmu.MuxRoundRobin
+	MuxPriority   = pmu.MuxPriority
+)
+
+// ParseEventList parses a comma-separated countable-event list (the
+// spelling of the -events flags), e.g. "inst_retired,load,br_taken".
+func ParseEventList(s string) ([]CountEvent, error) { return pmu.ParseEventList(s) }
 
 // NewBuilder starts a new program. See internal/program for the DSL.
 func NewBuilder(name string) *Builder { return program.NewBuilder(name) }
