@@ -1,6 +1,8 @@
 package pmutrust_test
 
 import (
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"pmutrust"
@@ -54,11 +56,14 @@ func TestPublicAPIWorkflow(t *testing.T) {
 }
 
 func TestPublicAPIEnumerations(t *testing.T) {
-	if len(pmutrust.Workloads()) != 9 {
-		t.Errorf("workloads = %d, want 9", len(pmutrust.Workloads()))
+	if len(pmutrust.Workloads()) != 13 {
+		t.Errorf("workloads = %d, want 13 (4 kernels + 5 apps + 4 phased)", len(pmutrust.Workloads()))
 	}
 	if len(pmutrust.Kernels()) != 4 || len(pmutrust.Apps()) != 5 {
 		t.Error("kernel/app split wrong")
+	}
+	if len(pmutrust.PhasedWorkloads()) != 4 {
+		t.Errorf("phased family = %d, want 4", len(pmutrust.PhasedWorkloads()))
 	}
 	if len(pmutrust.Machines()) != 3 {
 		t.Error("machines != 3")
@@ -68,6 +73,49 @@ func TestPublicAPIEnumerations(t *testing.T) {
 	}
 	if _, err := pmutrust.MachineByName("Westmere"); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPublicAPISpecTrace drives the authoring surface through the
+// facade: parse a spec, build it, record a trace, replay it
+// bit-identically (the docs/WORKLOADS.md contract).
+func TestPublicAPISpecTrace(t *testing.T) {
+	spec, err := pmutrust.ParsePhasedSpec([]byte(`{
+		"v": 1, "name": "PhasedAPI", "seed": 3,
+		"schedule": {"kind": "ramp"},
+		"phases": [{"name": "mem", "mix": {"load": 0.6, "alu": 0.4}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pmutrust.BuildPhased(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "api.trace")
+	entry := pmutrust.RecordTrace(prog, pmutrust.TraceMeta{
+		SpecFP: spec.Fingerprint(), Source: "spec:PhasedAPI", Scale: 0.05,
+	})
+	if err := pmutrust.WriteTraceFile(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := pmutrust.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	replayed, err := pmutrust.ReplayTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed.Program, prog) {
+		t.Fatal("replayed program differs from the recorded one")
+	}
+	if replayed.Meta != entry.Meta {
+		t.Fatalf("replayed meta %+v, want %+v", replayed.Meta, entry.Meta)
 	}
 }
 

@@ -7,11 +7,12 @@
 //	                      ablate-skid|ablate-period|ablate-lbr|ablate-burst|
 //	                      ablate-rand|overhead|freq|lbr-contention|
 //	                      stability|future-hw|mux-events|mux-timeslice|
-//	                      mux-policy|mux|all]
+//	                      mux-policy|mux|phased|all]
 //	         [-scale paper|small] [-seed N] [-markdown]
 //	         [-parallel N] [-timeout D] [-json FILE]
 //	         [-store FILE] [-resume] [-engine fast|interp|both]
 //	         [-events LIST] [-timeslice N] [-mux-policy rr|priority]
+//	         [-spec FILE]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
@@ -53,6 +54,14 @@
 // comma-separated pmu event list, e.g. "inst_retired,load,br_taken"),
 // -timeslice (rotation timeslice in simulated cycles, 0 = default) and
 // -mux-policy, and prints the full per-event exact/scaled accounting.
+//
+// "-experiment phased" measures the registered phased/bursty workload
+// family (the hand-built PhaseShift plus the spec-generated alternate,
+// burst and ramp schedules — see docs/WORKLOADS.md) through the same
+// workload × machine × method accuracy matrix as Tables 1 and 2; it is
+// store-aware like them, and cmd/pmureport renders the stored rows as
+// the phased table. -spec FILE measures a user-authored phased spec
+// through that matrix instead — any spec file wlgen accepts.
 package main
 
 import (
@@ -66,6 +75,7 @@ import (
 	"pmutrust/internal/report"
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
 )
 
 // jsonResult is one experiment's machine-readable record.
@@ -99,6 +109,7 @@ func main() {
 		eventsFlag = flag.String("events", "", "comma-separated counting-event list for -experiment mux (e.g. inst_retired,load,br_taken)")
 		timeslice  = flag.Uint64("timeslice", 0, "multiplexer rotation timeslice in simulated cycles (0 = default)")
 		muxPolicy  = flag.String("mux-policy", "rr", "multiplexer rotation policy: rr or priority")
+		specFile   = flag.String("spec", "", "measure this phased spec file through the accuracy matrix instead of a built-in experiment")
 	)
 	flag.Parse()
 	if *resume && *storePath == "" {
@@ -336,6 +347,31 @@ func main() {
 				return err
 			}
 			emitMux(name, t, ms)
+		case "phased":
+			tr, err := r.RunPhased()
+			if err != nil {
+				return err
+			}
+			emit(name, tr.Table, tr.Measurements)
+		case "spec":
+			if *specFile == "" {
+				return fmt.Errorf("-experiment spec needs -spec FILE")
+			}
+			s, err := workloads.LoadPhasedSpec(*specFile)
+			if err != nil {
+				return err
+			}
+			ws, err := s.WorkloadSpec()
+			if err != nil {
+				return err
+			}
+			tr, err := r.RunWorkloads(
+				fmt.Sprintf("Spec %s (%s): sampling-method accuracy errors (lower is better)", s.Name, s.Fingerprint()),
+				[]workloads.Spec{ws})
+			if err != nil {
+				return err
+			}
+			emit(name, tr.Table, tr.Measurements)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -343,11 +379,15 @@ func main() {
 	}
 
 	names := []string{*experiment}
-	if *experiment == "all" {
+	if *specFile != "" {
+		// A user-authored spec is its own experiment: measure its matrix
+		// and nothing else.
+		names = []string{"spec"}
+	} else if *experiment == "all" {
 		names = []string{"table3", "table1", "table2", "factors", "ipfix", "ranking",
 			"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
 			"overhead", "freq", "lbr-contention", "stability", "future-hw",
-			"mux-events", "mux-timeslice", "mux-policy"}
+			"mux-events", "mux-timeslice", "mux-policy", "phased"}
 	}
 	exitCode := 0
 	for _, name := range names {

@@ -6,18 +6,23 @@
 //
 // Usage:
 //
-//	pmureport -store results.jsonl [-table kernels|apps|ranking|factors|mux|all]
+//	pmureport -store results.jsonl [-table kernels|apps|phased|ranking|factors|mux|all]
 //	          [-markdown] [-csv] [-baseline classic]
 //	pmureport -compare OLD.jsonl NEW.jsonl [-tol 0.05] [-markdown]
 //
 // Report mode renders the regenerated tables (kernel matrix, application
 // matrix, per-machine method ranking, improvement factors — the analogs
 // of the paper's accuracy tables) in canonical paper order, so the same
-// store always produces the same bytes. Counter-multiplexing cells
-// (written by `pmubench -experiment mux-events|mux-timeslice|mux-policy
-// -store`, method keys "mux-*") are kept out of the accuracy tables and
-// rendered by -table mux as their own matrix of exact-vs-scaled counting
-// errors. -markdown and -csv switch the
+// store always produces the same bytes. Phased/bursty workload cells
+// (written by `pmubench -experiment phased -store` or `-spec FILE
+// -store`, workload Kind "phased") form their own row family rendered by
+// -table phased: the accuracy matrix on non-stationary mixes, kept out
+// of the paper-shaped kernel and application tables.
+// Counter-multiplexing cells (written by `pmubench -experiment
+// mux-events|mux-timeslice|mux-policy -store`, method keys "mux-*") are
+// kept out of the accuracy tables and rendered by -table mux as their
+// own matrix of exact-vs-scaled counting errors. -markdown and -csv
+// switch the
 // output format (plain aligned text by default); -csv emits a single
 // rectangle, so it requires picking one table with -table.
 //
@@ -44,7 +49,7 @@ import (
 func main() {
 	var (
 		storePath = flag.String("store", "", "results store (JSONL from pmubench -store) to render")
-		table     = flag.String("table", "all", "which table to render: kernels, apps, ranking, factors or all")
+		table     = flag.String("table", "all", "which table to render: kernels, apps, phased, ranking, factors, mux or all")
 		markdown  = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of plain text (matrix shapes only keep their rectangle)")
 		baseline  = flag.String("baseline", "classic", "baseline method for the factors table")
@@ -108,22 +113,28 @@ func canonicalOrders() (workloadOrder, machineOrder, methodOrder []string) {
 	return
 }
 
-// split partitions records into the kernel and application groups of the
-// paper's table pair, keeping counter-multiplexing cells (method key
-// "mux-*") in their own group; non-mux workloads not in the registry land
-// with the apps (they are user additions, which the paper treats as
-// applications).
-func split(recs []results.Record) (kernels, apps, mux []results.Record) {
+// split partitions records into the kernel, application, phased and
+// multiplexing groups. Counter-multiplexing cells (method key "mux-*")
+// route first regardless of workload; then registry Kind decides: kernels
+// and apps form the paper's table pair, registered phased workloads (and
+// any "Phased*"-named user spec measured via `pmubench -spec`) form the
+// phased family; remaining unknown workloads land with the apps (user
+// additions, which the paper treats as applications).
+func split(recs []results.Record) (kernels, apps, phased, mux []results.Record) {
 	kind := make(map[string]workloads.Kind)
 	for _, s := range workloads.All() {
 		kind[s.Name] = s.Kind
 	}
 	for _, rec := range recs {
-		switch k, ok := kind[rec.Workload]; {
+		k, ok := kind[rec.Workload]
+		switch {
 		case strings.HasPrefix(rec.Method, "mux-"):
 			mux = append(mux, rec)
 		case ok && k == workloads.Kernel:
 			kernels = append(kernels, rec)
+		case ok && k == workloads.Phased,
+			!ok && strings.HasPrefix(rec.Workload, "Phased"):
+			phased = append(phased, rec)
 		default:
 			apps = append(apps, rec)
 		}
@@ -167,7 +178,7 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 			fmt.Fprintf(os.Stderr, "  %s\n", c)
 		}
 	}
-	kernels, apps, mux := split(recs)
+	kernels, apps, phased, mux := split(recs)
 	wlo, mco, mto := canonicalOrders()
 
 	var tables []*report.Table
@@ -179,6 +190,14 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 	if want("apps") && len(apps) > 0 {
 		tables = append(tables, report.Matrix(
 			"Regenerated Table 5: application accuracy errors (lower is better)", apps, wlo, mco, mto))
+	}
+	if want("phased") && len(phased) > 0 {
+		t := report.Matrix(
+			"Regenerated Table 9: phased/bursty workload accuracy errors (lower is better)",
+			phased, wlo, mco, mto)
+		t.Note = "Written by pmubench -experiment phased -store (or -spec FILE -store); " +
+			"sampling accuracy on non-stationary event mixes — see docs/WORKLOADS.md."
+		tables = append(tables, t)
 	}
 	if want("ranking") {
 		acc := append(append([]results.Record(nil), kernels...), apps...)
@@ -207,7 +226,7 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 	if csvOut && len(tables) > 1 {
 		// Concatenated rectangles with different headers are not CSV;
 		// make the caller pick one.
-		return fmt.Errorf("-csv emits one rectangle: pick a single table with -table kernels|apps|ranking|factors")
+		return fmt.Errorf("-csv emits one rectangle: pick a single table with -table kernels|apps|phased|ranking|factors|mux")
 	}
 	for _, t := range tables {
 		switch {

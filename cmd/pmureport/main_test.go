@@ -166,11 +166,11 @@ func TestMuxSplitAndTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kernels, apps, mux := split(ld.Records())
+	kernels, apps, phased, mux := split(ld.Records())
 	if len(mux) != 2 {
 		t.Fatalf("mux records = %d, want 2", len(mux))
 	}
-	for _, rec := range append(kernels, apps...) {
+	for _, rec := range append(append(kernels, apps...), phased...) {
 		if rec.Method == "mux-rr-n08-ts02000" {
 			t.Fatalf("mux record leaked into accuracy group: %+v", rec.Identity)
 		}
@@ -182,5 +182,55 @@ func TestMuxSplitAndTable(t *testing.T) {
 	}
 	if err := runReport(path, "mux", "classic", false, true); err != nil {
 		t.Errorf("csv mux table: %v", err)
+	}
+}
+
+// TestPhasedSplitAndTable: accuracy records on phased workloads —
+// registered (PhaseShift, PhasedBurst) or a user spec named Phased* —
+// form their own row family, out of the paper-shaped kernel and
+// application tables, rendered via -table phased.
+func TestPhasedSplitAndTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	writeStore(t, path, func(w, k string) float64 { return 0.3 })
+	st, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"PhaseShift", "PhasedBurst", "PhasedUserSpec"} {
+		rec := results.Record{
+			Identity: results.Identity{
+				Workload: w, Machine: "IvyBridge", Method: "classic",
+				Scale: "small", WorkloadScale: 1, PeriodBase: 2000, Seed: 42, Repeats: 1,
+			},
+			Err: 0.2, Samples: 80, Supported: true,
+		}
+		if err := st.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := results.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels, apps, phased, _ := split(ld.Records())
+	if len(phased) != 3 {
+		t.Fatalf("phased records = %d, want 3: %+v", len(phased), phased)
+	}
+	for _, rec := range append(kernels, apps...) {
+		switch rec.Workload {
+		case "PhaseShift", "PhasedBurst", "PhasedUserSpec":
+			t.Fatalf("phased record leaked into paper tables: %+v", rec.Identity)
+		}
+	}
+	for _, table := range []string{"phased", "all"} {
+		if err := runReport(path, table, "classic", false, false); err != nil {
+			t.Errorf("runReport(table=%s): %v", table, err)
+		}
+	}
+	if err := runReport(path, "phased", "classic", false, true); err != nil {
+		t.Errorf("csv phased table: %v", err)
 	}
 }

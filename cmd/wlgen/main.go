@@ -1,6 +1,8 @@
-// Command wlgen inspects the evaluation workloads: static CFG statistics,
-// dynamic execution characteristics (the enterprise-workload signatures of
-// §2.3), disassembly and DOT export.
+// Command wlgen inspects and authors the evaluation workloads: static
+// CFG statistics, dynamic execution characteristics (the
+// enterprise-workload signatures of §2.3), disassembly, DOT export —
+// and the v2 authoring surface: spec-driven generation with versioned
+// trace record/replay (docs/WORKLOADS.md is the guide).
 //
 // Usage:
 //
@@ -8,6 +10,16 @@
 //	wlgen -workload G4Box [-scale 1.0] [-disasm] [-dot] [-dynamic]
 //	wlgen -workload G4Box -events inst_retired,load [-timeslice N] [-mux-policy rr|priority]
 //	wlgen -all [-scale 1.0] [-parallel N]
+//	wlgen -spec spec.json [-scale 1.0] [-record out.trace]
+//	wlgen -replay in.trace [-record out.trace]
+//
+// -spec builds a phased workload from a JSON spec document instead of
+// the registry. -record writes the built program (whatever its source)
+// as one versioned trace entry; -replay reconstructs the bit-identical
+// program from a trace and inspects it like any other — re-recording a
+// replay preserves the original provenance verbatim, so
+// record→replay→record is byte-identical (the CI docs job proves this
+// on the worked example).
 //
 // -events runs the workload under the virtualized multi-event PMU
 // (internal/pmu Mux) on each evaluation machine, counting-only: the
@@ -30,6 +42,7 @@ import (
 	"pmutrust/internal/program"
 	"pmutrust/internal/ref"
 	"pmutrust/internal/report"
+	"pmutrust/internal/trace"
 	"pmutrust/internal/workloads"
 )
 
@@ -46,6 +59,9 @@ func main() {
 		eventsFlag   = flag.String("events", "", "run the workload under the multiplexed PMU counting these events (comma-separated, e.g. inst_retired,load)")
 		timeslice    = flag.Uint64("timeslice", 0, "multiplexer rotation timeslice in simulated cycles (0 = default)")
 		muxPolicy    = flag.String("mux-policy", "rr", "multiplexer rotation policy: rr or priority")
+		specFile     = flag.String("spec", "", "build a phased workload from this JSON spec file (docs/WORKLOADS.md)")
+		recordPath   = flag.String("record", "", "record the built program to this trace file")
+		replayPath   = flag.String("replay", "", "replay the program from this trace file instead of building one")
 	)
 	flag.Parse()
 
@@ -62,6 +78,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
 		os.Exit(2)
 	}
+	if *replayPath != "" && *specFile != "" {
+		fmt.Fprintln(os.Stderr, "wlgen: -replay and -spec are exclusive (a replay is already built)")
+		os.Exit(2)
+	}
 
 	if *all {
 		if err := summarizeAll(*scale, *parallel); err != nil {
@@ -71,23 +91,37 @@ func main() {
 		return
 	}
 
-	if *list || *workloadName == "" {
+	haveSource := *workloadName != "" || *specFile != "" || *replayPath != ""
+	if *list || !haveSource {
 		t := report.New("available workloads", "name", "kind", "description")
 		for _, s := range workloads.All() {
 			t.AddRow(s.Name, s.Kind.String(), s.Description)
 		}
 		fmt.Println(t.String())
-		if *workloadName == "" {
+		if !haveSource {
 			return
 		}
 	}
 
-	spec, err := workloads.ByName(*workloadName)
+	entry, err := resolveProgram(*replayPath, *specFile, *workloadName, *scale)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
 		os.Exit(1)
 	}
-	p := spec.Build(*scale)
+	p := entry.Program
+	if *replayPath != "" {
+		fmt.Printf("replayed %s from %s (source %s, recorded at scale %g)\n",
+			entry.Meta.Name, *replayPath, entry.Meta.Source, entry.Meta.Scale)
+	}
+
+	if *recordPath != "" {
+		if err := trace.WriteFile(*recordPath, entry); err != nil {
+			fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %s to %s\n", entry.Meta.Name, *recordPath)
+	}
+
 	fmt.Print(p.Stats().String())
 
 	if len(muxEvents) > 0 {
@@ -134,6 +168,40 @@ func main() {
 	}
 	if *dot {
 		fmt.Println(p.Dot())
+	}
+}
+
+// resolveProgram builds the program to inspect from the strongest
+// source given: a trace replay (already-built bytes, Meta preserved
+// verbatim so re-recording is byte-identical), else a spec file, else a
+// registered workload.
+func resolveProgram(replayPath, specFile, workloadName string, scale float64) (trace.Entry, error) {
+	switch {
+	case replayPath != "":
+		return trace.ReplayFile(replayPath)
+	case specFile != "":
+		s, err := workloads.LoadPhasedSpec(specFile)
+		if err != nil {
+			return trace.Entry{}, err
+		}
+		p, err := workloads.BuildPhased(s, scale)
+		if err != nil {
+			return trace.Entry{}, err
+		}
+		return trace.Record(p, trace.Meta{
+			SpecFP: s.Fingerprint(),
+			Source: "spec:" + s.Name,
+			Scale:  scale,
+		}), nil
+	default:
+		spec, err := workloads.ByName(workloadName)
+		if err != nil {
+			return trace.Entry{}, err
+		}
+		return trace.Record(spec.Build(scale), trace.Meta{
+			Source: "workload:" + spec.Name,
+			Scale:  scale,
+		}), nil
 	}
 }
 

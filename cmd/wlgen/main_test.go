@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pmutrust/internal/trace"
+	"pmutrust/internal/workloads"
+)
+
+// specJSON is the worked example's spec shape (docs/WORKLOADS.md).
+const specJSON = `{
+  "v": 1,
+  "name": "TestBurst",
+  "seed": 7,
+  "schedule": {"kind": "burst", "burst_phase": "fp"},
+  "phases": [
+    {"name": "mem", "mix": {"load": 0.5, "store": 0.25, "alu": 0.25}},
+    {"name": "fp", "from": "povray"}
+  ]
+}`
+
+// TestResolveProgramPrecedence: replay beats spec beats workload, and
+// each source stamps its provenance.
+func TestResolveProgramPrecedence(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fromWl, err := resolveProgram("", "", "G4Box", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromWl.Meta.Name != "G4Box" || fromWl.Meta.Source != "workload:G4Box" || fromWl.Meta.SpecFP != "" {
+		t.Fatalf("workload source meta: %+v", fromWl.Meta)
+	}
+
+	fromSpec, err := resolveProgram("", specPath, "G4Box", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSpec.Meta.Name != "TestBurst" || fromSpec.Meta.Source != "spec:TestBurst" || fromSpec.Meta.SpecFP == "" {
+		t.Fatalf("spec source meta: %+v", fromSpec.Meta)
+	}
+
+	tracePath := filepath.Join(dir, "t.trace")
+	if err := trace.WriteFile(tracePath, fromSpec); err != nil {
+		t.Fatal(err)
+	}
+	fromTrace, err := resolveProgram(tracePath, specPath, "G4Box", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A replay preserves provenance verbatim and the program bit-exactly:
+	// this is why record→replay→record is byte-identical.
+	if fromTrace.Meta != fromSpec.Meta {
+		t.Fatalf("replay changed meta: %+v vs %+v", fromTrace.Meta, fromSpec.Meta)
+	}
+	if !reflect.DeepEqual(fromTrace.Program, fromSpec.Program) {
+		t.Fatal("replay changed the program")
+	}
+
+	if _, err := resolveProgram("", "", "nope", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := resolveProgram(filepath.Join(dir, "missing.trace"), "", "", 1); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+// TestSpecMatchesBuiltinShape: the test spec above is a real spec — it
+// builds, and the defaults documented in docs/WORKLOADS.md apply.
+func TestSpecMatchesBuiltinShape(t *testing.T) {
+	s, err := workloads.ParsePhasedSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workloads.BuildPhased(s, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "TestBurst" || len(p.Funcs) != 3 {
+		t.Fatalf("unexpected program shape: %s, %d funcs", p.Name, len(p.Funcs))
+	}
+}

@@ -69,18 +69,22 @@ type MuxMeasurement struct {
 }
 
 // muxWorkloads returns the workload rows of the mux tables: two paper
-// kernels with steady event mixes and the phased stress workload that
-// breaks the scaling assumption.
+// kernels with steady event mixes and two phased stress workloads that
+// break the scaling assumption — the hand-built PhaseShift and the
+// spec-generated PhasedBurst, whose burst schedule concentrates the FP
+// phase into every 8th macro iteration at 6x intensity (the worst case
+// for enabled/running extrapolation: the owned windows mostly miss the
+// bursts).
 func muxWorkloads() []workloads.Spec {
-	lb, err := workloads.ByName("LatencyBiased")
-	if err != nil {
-		panic(err)
+	var specs []workloads.Spec
+	for _, name := range []string{"LatencyBiased", "G4Box", "PhaseShift", "PhasedBurst"} {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		specs = append(specs, s)
 	}
-	g4, err := workloads.ByName("G4Box")
-	if err != nil {
-		panic(err)
-	}
-	return []workloads.Spec{lb, g4, workloads.PhaseShiftSpec()}
+	return specs
 }
 
 // muxIdentity returns the results-store identity of a multiplexing cell:

@@ -1,0 +1,42 @@
+package experiments
+
+// The phased/bursty workload family: the spec-generated (and hand-built)
+// phased workloads measured through the same (workload, machine, method)
+// matrix as the paper tables. Where Tables 1 and 2 ask "how accurate is
+// each sampling method on steady workloads", this family asks the same
+// question on workloads whose event mixes shift or burst over time —
+// the regime where period-fraction attribution and enabled/running
+// scaling are least trustworthy.
+
+import (
+	"fmt"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// RunPhased measures the registered phased family (workloads.PhasedFamily:
+// the hand-built PhaseShift plus the built-in generated specs) across all
+// machines and sampling methods. Store-aware like every matrix: with a
+// results store attached, measured cells persist and reruns resume.
+func (r *Runner) RunPhased() (*TableResult, error) {
+	tr, err := r.runMatrix(
+		"Table 9: sampling-method accuracy errors on phased/bursty workloads (lower is better)",
+		workloads.PhasedFamily(), machine.All(), sampling.Registry())
+	if err == nil {
+		tr.Table.Note = "Phased family: PhaseShift (hand-built) + spec-generated alternate/burst/ramp schedules (docs/WORKLOADS.md); no paper counterpart — extends the accuracy matrix to non-stationary mixes."
+	}
+	return tr, err
+}
+
+// RunWorkloads measures an ad-hoc workload list through the standard
+// matrix — the backend of `pmubench -spec`, which turns a user's spec
+// file into a Spec and gets the full per-machine, per-method accuracy
+// row for it, store-aware like the built-in tables.
+func (r *Runner) RunWorkloads(title string, specs []workloads.Spec) (*TableResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("experiments: no workloads to measure")
+	}
+	return r.runMatrix(title, specs, machine.All(), sampling.Registry())
+}

@@ -1,0 +1,300 @@
+package trace
+
+// The versioned on-disk program trace: record any built program (plus
+// the fingerprint of the spec that generated it) as one self-contained
+// JSONL line; replay reconstructs a bit-identical program.Program.
+// Record/replay is what makes generated workloads durable artifacts —
+// a spec review, a bug report or a CI job can ship the exact program
+// bytes instead of "run the generator and hope nothing drifted".
+//
+// Format contract (docs/WORKLOADS.md specifies it for authors):
+//
+//   - One entry per line; a file is an append-only log of entries.
+//   - Every entry carries the format name and version; a reader
+//     rejects versions newer than it understands with an explicit
+//     error instead of guessing.
+//   - Every entry carries prog_fp, the fingerprint of its canonical
+//     program encoding; Decode recomputes and compares it, so silent
+//     corruption of program bytes cannot replay.
+//   - Encoding is canonical: Encode(Decode(line)) == line, and
+//     recording the same program with the same metadata yields the
+//     same bytes at any parallelism (no timestamps, no map iteration).
+//   - ReadFile tolerates a torn tail exactly like the results store:
+//     only a malformed or unterminated FINAL line is dropped (a killed
+//     writer's residue); anything malformed earlier is corruption and
+//     errors loudly.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+	"pmutrust/internal/stats"
+)
+
+// FormatV is the trace format version this build reads and writes.
+const FormatV = 1
+
+// formatName guards against feeding some other JSONL (say, a results
+// store) to the trace reader.
+const formatName = "pmutrust-trace"
+
+// Meta is an entry's provenance: where the program came from and how to
+// regenerate it.
+type Meta struct {
+	// Name is the program/workload name.
+	Name string `json:"name"`
+	// SpecFP is the generating PhasedSpec's fingerprint ("" when the
+	// program did not come from a spec).
+	SpecFP string `json:"spec_fp,omitempty"`
+	// Source describes provenance for humans: "spec:<name>",
+	// "workload:<name>", ...
+	Source string `json:"source,omitempty"`
+	// Scale is the build scale the program was generated at.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Entry is one recorded program with its metadata.
+type Entry struct {
+	Meta    Meta
+	Program *program.Program
+}
+
+// Record captures a built program as an Entry, stamping the program
+// name into the metadata.
+func Record(p *program.Program, meta Meta) Entry {
+	meta.Name = p.Name
+	return Entry{Meta: meta, Program: p}
+}
+
+// Wire types. Field order is the canonical byte order; do not reorder
+// without bumping FormatV.
+type wireEntry struct {
+	V      int     `json:"v"`
+	Format string  `json:"format"`
+	Name   string  `json:"name"`
+	SpecFP string  `json:"spec_fp,omitempty"`
+	Source string  `json:"source,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	// ProgFP is the stats.Fingerprint of the canonical Program JSON.
+	ProgFP  string      `json:"prog_fp"`
+	Program wireProgram `json:"program"`
+}
+
+type wireProgram struct {
+	Name     string     `json:"name"`
+	MemWords int        `json:"mem_words,omitempty"`
+	Funcs    []wireFunc `json:"funcs"`
+}
+
+type wireFunc struct {
+	Name   string      `json:"name"`
+	Blocks []wireBlock `json:"blocks"`
+}
+
+type wireBlock struct {
+	Label string `json:"label"`
+	// Instrs is the instruction list, each as the 6-tuple
+	// [op, dst, src1, src2, imm, target].
+	Instrs [][6]int64 `json:"instrs"`
+}
+
+// encodeProgram lowers a Program to its wire form. Only the authoritative
+// structure is serialized (function names, block labels, instructions,
+// memory size); IDs, offsets and the lookup tables are derived data that
+// Decode rebuilds — they cannot go out of sync with the code.
+func encodeProgram(p *program.Program) wireProgram {
+	wp := wireProgram{Name: p.Name, MemWords: p.MemWords}
+	for _, f := range p.Funcs {
+		wf := wireFunc{Name: f.Name}
+		for _, b := range f.Blocks {
+			wb := wireBlock{Label: b.Label}
+			for _, in := range b.Instrs {
+				wb.Instrs = append(wb.Instrs, [6]int64{
+					int64(in.Op), int64(in.Dst), int64(in.Src1), int64(in.Src2),
+					in.Imm, int64(in.Target),
+				})
+			}
+			wf.Blocks = append(wf.Blocks, wb)
+		}
+		wp.Funcs = append(wp.Funcs, wf)
+	}
+	return wp
+}
+
+// progFingerprint content-addresses a wire program.
+func progFingerprint(wp wireProgram) string {
+	canon, err := json.Marshal(wp)
+	if err != nil {
+		panic(fmt.Sprintf("trace: marshal program: %v", err))
+	}
+	return stats.Fingerprint(0, string(canon))
+}
+
+// decodeProgram rebuilds a full Program from its wire form, re-deriving
+// IDs, offsets and the code-index lookup tables, then re-validates the
+// structural invariants. The result is bit-identical to the recorded
+// Program (reflect.DeepEqual; the golden tests pin this).
+func decodeProgram(wp wireProgram) (*program.Program, error) {
+	p := &program.Program{Name: wp.Name, MemWords: wp.MemWords}
+	for fi, wf := range wp.Funcs {
+		f := &program.Function{Name: wf.Name, ID: fi, Start: len(p.Code)}
+		for _, wb := range wf.Blocks {
+			b := &program.Block{
+				Label: wb.Label,
+				ID:    len(p.Blocks),
+				Func:  fi,
+				Start: len(p.Code),
+			}
+			for _, w := range wb.Instrs {
+				if w[0] < 0 || int(w[0]) >= isa.NumOps {
+					return nil, fmt.Errorf("trace: block %s.%s: invalid opcode %d", wf.Name, wb.Label, w[0])
+				}
+				for _, r := range w[1:4] {
+					if r < 0 || r >= isa.NumRegs {
+						return nil, fmt.Errorf("trace: block %s.%s: register %d out of range", wf.Name, wb.Label, r)
+					}
+				}
+				in := isa.Instr{
+					Op: isa.Op(w[0]), Dst: isa.Reg(w[1]), Src1: isa.Reg(w[2]), Src2: isa.Reg(w[3]),
+					Imm: w[4], Target: int32(w[5]),
+				}
+				b.Instrs = append(b.Instrs, in)
+				p.Code = append(p.Code, in)
+				p.BlockOf = append(p.BlockOf, int32(b.ID))
+				p.FuncOf = append(p.FuncOf, int32(fi))
+			}
+			f.Blocks = append(f.Blocks, b)
+			p.Blocks = append(p.Blocks, b)
+		}
+		f.End = len(p.Code)
+		p.Funcs = append(p.Funcs, f)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: replayed program invalid: %w", err)
+	}
+	return p, nil
+}
+
+// Encode serializes an entry as one canonical JSONL line (newline
+// included). Equal entries encode to equal bytes.
+func Encode(e Entry) ([]byte, error) {
+	if e.Program == nil {
+		return nil, fmt.Errorf("trace: encode: nil program")
+	}
+	wp := encodeProgram(e.Program)
+	we := wireEntry{
+		V: FormatV, Format: formatName,
+		Name: e.Meta.Name, SpecFP: e.Meta.SpecFP, Source: e.Meta.Source, Scale: e.Meta.Scale,
+		ProgFP:  progFingerprint(wp),
+		Program: wp,
+	}
+	line, err := json.Marshal(we)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// Decode parses one entry line: version-gates, verifies the program
+// fingerprint, and rebuilds the program. The returned Program is
+// validated and bit-identical to the one recorded.
+func Decode(line []byte) (Entry, error) {
+	// Version-gate on a minimal probe first: a future version may have
+	// reshaped the program payload, and the error for that must name
+	// the version mismatch, not a JSON shape mismatch.
+	var probe struct {
+		V      int    `json:"v"`
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return Entry{}, fmt.Errorf("trace: malformed entry: %w", err)
+	}
+	if probe.Format != formatName {
+		return Entry{}, fmt.Errorf("trace: not a %s entry (format %q)", formatName, probe.Format)
+	}
+	if probe.V != FormatV {
+		return Entry{}, fmt.Errorf("trace: format version %d is not supported by this build (it reads and writes v%d); re-record the trace with matching tools", probe.V, FormatV)
+	}
+	var we wireEntry
+	if err := json.Unmarshal(line, &we); err != nil {
+		return Entry{}, fmt.Errorf("trace: malformed entry: %w", err)
+	}
+	if got := progFingerprint(we.Program); got != we.ProgFP {
+		return Entry{}, fmt.Errorf("trace: entry %q: program fingerprint %s does not match recorded %s (corrupt entry)", we.Name, got, we.ProgFP)
+	}
+	p, err := decodeProgram(we.Program)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Meta:    Meta{Name: we.Name, SpecFP: we.SpecFP, Source: we.Source, Scale: we.Scale},
+		Program: p,
+	}, nil
+}
+
+// WriteFile writes entries to path (truncating), one line each.
+func WriteFile(path string, entries ...Entry) error {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		line, err := Encode(e)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads every entry in a trace file, in file order. Torn-tail
+// semantics match the results store: only a malformed or unterminated
+// final line (the residue of a killed writer) is silently dropped;
+// a malformed line anywhere else is corruption and an error.
+func ReadFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var out []Entry
+	br := bufio.NewReader(f)
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, fmt.Errorf("trace: read %s: %w", path, rerr)
+		}
+		complete := rerr == nil // false on an EOF-terminated (torn) tail
+		if len(line) > 0 && complete {
+			e, derr := Decode(line)
+			if derr != nil {
+				return nil, fmt.Errorf("trace: %s:%d: %w", path, lineNo, derr)
+			}
+			out = append(out, e)
+		}
+		if rerr == io.EOF {
+			return out, nil
+		}
+	}
+}
+
+// ReplayFile replays the last entry of a trace file — the common CLI
+// case (wlgen -replay). Multi-entry files are logs; later entries are
+// newer recordings.
+func ReplayFile(path string) (Entry, error) {
+	entries, err := ReadFile(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	if len(entries) == 0 {
+		return Entry{}, fmt.Errorf("trace: %s: no complete entries", path)
+	}
+	return entries[len(entries)-1], nil
+}

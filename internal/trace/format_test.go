@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pmutrust/internal/program"
+	"pmutrust/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tinyProgram builds a small two-function program covering every wire
+// feature: multiple blocks, calls, conditional branches, memory.
+func tinyProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("tiny")
+	b.SetMemWords(64)
+	f := b.Func("main")
+	entry := f.Block("entry")
+	entry.Movi(8, 3)
+	loop := f.Block("loop")
+	loop.Call("work")
+	loop.Addi(8, 8, -1)
+	loop.Cmpi(8, 0)
+	loop.Jnz("loop")
+	exit := f.Block("exit")
+	exit.Halt()
+
+	w := b.Func("work")
+	body := w.Block("body")
+	body.Load(1, 0, 0)
+	body.Fadd(1, 1, 1)
+	body.Store(1, 0, 1)
+	body.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRoundTripBitIdentical: every workload in the registry (kernels,
+// apps, phased) plus the tiny program survives record → encode →
+// decode with a bit-identical Program and byte-identical re-encoding.
+func TestRoundTripBitIdentical(t *testing.T) {
+	progs := []*program.Program{tinyProgram(t)}
+	for _, s := range workloads.All() {
+		progs = append(progs, s.Build(0.05))
+	}
+	for _, p := range progs {
+		e := Record(p, Meta{Source: "workload:" + p.Name, Scale: 0.05})
+		line, err := Encode(e)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := Decode(line)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(got.Program, p) {
+			t.Errorf("%s: replayed program differs from the original", p.Name)
+		}
+		if got.Meta != e.Meta {
+			t.Errorf("%s: meta round trip: %+v != %+v", p.Name, got.Meta, e.Meta)
+		}
+		line2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !bytes.Equal(line, line2) {
+			t.Errorf("%s: re-encoding a decoded entry changed the bytes", p.Name)
+		}
+	}
+}
+
+// TestGoldenTrace pins the on-disk bytes of a recorded program: any
+// unintentional format drift (field order, defaults, fingerprints)
+// fails here before it breaks someone's stored traces. Regenerate with
+// `go test ./internal/trace -update` — and bump FormatV if the change
+// is real.
+func TestGoldenTrace(t *testing.T) {
+	spec, err := workloads.BuiltinPhasedSpec("PhasedBurst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workloads.BuildPhased(spec, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := Encode(Record(p, Meta{
+		SpecFP: spec.Fingerprint(), Source: "spec:PhasedBurst", Scale: 0.02,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "phasedburst.trace")
+	if *update {
+		if err := os.WriteFile(golden, line, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create)", err)
+	}
+	if !bytes.Equal(line, want) {
+		t.Fatalf("recorded trace differs from golden %s; if the format change is intended, bump FormatV and run -update", golden)
+	}
+	// The golden file itself must replay.
+	entries, err := ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !reflect.DeepEqual(entries[0].Program, p) {
+		t.Fatal("golden trace does not replay to the recorded program")
+	}
+}
+
+// TestTornTail: like the results store, only a torn FINAL line is
+// tolerated; interior corruption errors.
+func TestTornTail(t *testing.T) {
+	p := tinyProgram(t)
+	line, err := Encode(Record(p, Meta{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	torn := filepath.Join(dir, "torn.trace")
+	data := append(append([]byte{}, line...), line...)
+	data = append(data, line[:len(line)/3]...) // killed writer residue
+	if err := os.WriteFile(torn, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadFile(torn)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (torn tail dropped)", len(entries))
+	}
+
+	// A complete final line without a trailing newline is also treated
+	// as torn (matching results.Open, which re-writes it on resume).
+	unterminated := filepath.Join(dir, "unterminated.trace")
+	if err := os.WriteFile(unterminated, append(append([]byte{}, line...), line[:len(line)-1]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = ReadFile(unterminated)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("unterminated tail: entries=%d err=%v, want 1, nil", len(entries), err)
+	}
+
+	// Interior corruption is an error, not a skip: silently dropping a
+	// middle entry would renumber everything after it.
+	interior := filepath.Join(dir, "interior.trace")
+	bad := append(append([]byte{}, line[:len(line)/3]...), '\n')
+	if err := os.WriteFile(interior, append(bad, line...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(interior); err == nil {
+		t.Fatal("interior corruption went undetected")
+	}
+}
+
+// TestVersionGate: entries from a future format version are rejected
+// with an error that names both versions, and non-trace JSONL is
+// rejected by format name.
+func TestVersionGate(t *testing.T) {
+	p := tinyProgram(t)
+	line, err := Encode(Record(p, Meta{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := bytes.Replace(line,
+		[]byte(fmt.Sprintf(`"v":%d`, FormatV)),
+		[]byte(fmt.Sprintf(`"v":%d`, FormatV+1)), 1)
+	if bytes.Equal(future, line) {
+		t.Fatal("test setup: version field not found")
+	}
+	_, err = Decode(future)
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("version %d", FormatV+1)) ||
+		!strings.Contains(err.Error(), fmt.Sprintf("v%d", FormatV)) {
+		t.Errorf("version error does not name both versions: %v", err)
+	}
+
+	if _, err := Decode([]byte(`{"v":1,"format":"results-store"}` + "\n")); err == nil {
+		t.Error("foreign format accepted")
+	}
+}
+
+// TestFingerprintGuard: flipping program bytes inside an otherwise
+// well-formed entry is caught by the prog_fp check.
+func TestFingerprintGuard(t *testing.T) {
+	p := tinyProgram(t)
+	line, err := Encode(Record(p, Meta{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change an immediate inside the program payload (3 → 4 in the
+	// first Movi) without touching the recorded fingerprint.
+	tampered := bytes.Replace(line, []byte(`[2,8,0,0,3,-1]`), []byte(`[2,8,0,0,4,-1]`), 1)
+	if bytes.Equal(tampered, line) {
+		t.Fatal("test setup: expected instruction tuple not found")
+	}
+	_, err = Decode(tampered)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("tampered program accepted (err=%v)", err)
+	}
+}
+
+// TestWriteReadFile: the file API round-trips multiple entries in order.
+func TestWriteReadFile(t *testing.T) {
+	p1, p2 := tinyProgram(t), workloads.MustBuild("G4Box", 0.02)
+	path := filepath.Join(t.TempDir(), "multi.trace")
+	if err := WriteFile(path, Record(p1, Meta{Source: "a"}), Record(p2, Meta{Source: "b"})); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Meta.Name != "tiny" || entries[1].Meta.Name != "G4Box" {
+		t.Fatalf("unexpected entries: %+v", entries)
+	}
+	last, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Meta.Name != "G4Box" || !reflect.DeepEqual(last.Program, p2) {
+		t.Fatal("ReplayFile did not return the last entry bit-identically")
+	}
+	if _, err := ReplayFile(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// TestReplaySamplingDeterminism is the acceptance check for record/
+// replay: a replayed program must produce a bit-identical sampling Run
+// — every sample, every counter, under both engines — not just an
+// equal-looking program. Run-level equality is what makes a trace a
+// substitute for the generator in experiments.
+func TestReplaySamplingDeterminism(t *testing.T) {
+	spec, err := workloads.BuiltinPhasedSpec("PhasedAlt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := workloads.BuildPhased(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "alt.trace")
+	if err := WriteFile(path, Record(orig, Meta{SpecFP: spec.Fingerprint(), Source: "spec:PhasedAlt", Scale: 0.05})); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	method, err := sampling.MethodByKey("precise+rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sampling.Options{
+		PeriodBase: 2000,
+		Seed:       7,
+		Engine:     sampling.EngineBoth, // differential: fast vs reference must already agree
+	}
+	mach := machine.IvyBridge()
+	runOrig, err := sampling.Collect(orig, mach, method, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runReplay, err := sampling.Collect(replayed.Program, mach, method, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sampling.DiffRuns(runOrig, runReplay); err != nil {
+		t.Fatalf("replayed program diverged from the original under sampling: %v", err)
+	}
+}

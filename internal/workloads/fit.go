@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+)
+
+// FitMix measures a program's static opcode-class distribution as a
+// normalized MixSpec — the bridge from the existing kernels and
+// application analogs to the phased generator: a phase with
+// "from": "povray" draws from povray's fitted mix instead of a
+// hand-tuned one. Each class is a latency band of the ISA, so this is
+// the per-phase latency distribution as well.
+//
+// The fit is static (over p.Code), not dynamic: the registered
+// workloads keep their CFGs constant across scales, so the static
+// histogram is scale-free and deterministic with no execution needed.
+// Control-flow scaffolding (jmp/call/ret/halt) is excluded — the
+// generator re-adds its own structure — while conditional branches
+// count toward the branch class, together with their cmp.
+func FitMix(p *program.Program) MixSpec {
+	var m MixSpec
+	for _, in := range p.Code {
+		switch in.Op {
+		case isa.OpMul:
+			m.Mul++
+		case isa.OpDiv, isa.OpRem:
+			m.Div++
+		case isa.OpFadd, isa.OpFmul, isa.OpFma:
+			m.FP++
+		case isa.OpFdiv:
+			m.FPDiv++
+		case isa.OpLoad:
+			m.Load++
+		case isa.OpStore:
+			m.Store++
+		case isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
+			m.Branch++
+		case isa.OpJmp, isa.OpCall, isa.OpRet, isa.OpHalt, isa.OpCmp, isa.OpCmpi:
+			// Structural (or folded into the branch class below).
+		default:
+			m.ALU++
+		}
+	}
+	total := m.total()
+	if total == 0 {
+		// A program of pure scaffolding; give the generator something
+		// harmless rather than a zero mix it would reject.
+		return MixSpec{ALU: 1}
+	}
+	m.ALU /= total
+	m.Mul /= total
+	m.Div /= total
+	m.FP /= total
+	m.FPDiv /= total
+	m.Load /= total
+	m.Store /= total
+	m.Branch /= total
+	return m
+}
+
+// FitMixFromWorkload fits the mix of a registered workload by name.
+// Building is codegen only (nothing executes), and the CFG is
+// scale-invariant, so any scale gives the same answer.
+func FitMixFromWorkload(name string) (MixSpec, error) {
+	spec, err := ByName(name)
+	if err != nil {
+		return MixSpec{}, err
+	}
+	if spec.Kind == Phased {
+		// Refuse self-reference: a phased workload fit from a phased
+		// workload invites definition cycles for no modeling value.
+		return MixSpec{}, fmt.Errorf("workloads: fit from %q: fitting from a phased workload is not supported (fit from kernels or apps)", name)
+	}
+	return FitMix(spec.Build(1)), nil
+}

@@ -28,14 +28,24 @@ const (
 	Kernel Kind = iota
 	// App is a full application analog (Table 2).
 	App
+	// Phased marks the phased/bursty stress family: workloads with
+	// deliberately non-stationary event mixes (the hand-built PhaseShift
+	// and the spec-generated phased programs). They are kept out of the
+	// paper's Tables 1 and 2 — Kernels() and Apps() never return them —
+	// and render as their own row family in reports.
+	Phased
 )
 
 // String returns the kind name.
 func (k Kind) String() string {
-	if k == Kernel {
+	switch k {
+	case Kernel:
 		return "kernel"
+	case App:
+		return "app"
+	default:
+		return "phased"
 	}
-	return "app"
 }
 
 // Spec describes one buildable workload.
@@ -79,6 +89,10 @@ func Kernels() []Spec { return filter(Kernel) }
 
 // Apps returns the Table 2 workloads in paper order.
 func Apps() []Spec { return filter(App) }
+
+// PhasedFamily returns the phased/bursty stress workloads in
+// registration order: PhaseShift, then the spec-generated programs.
+func PhasedFamily() []Spec { return filter(Phased) }
 
 func filter(k Kind) []Spec {
 	var out []Spec

@@ -35,7 +35,7 @@ func TestRegistryContents(t *testing.T) {
 			t.Errorf("app %d = %s, want %s", i, apps[i].Name, w)
 		}
 	}
-	if len(All()) != len(kernels)+len(apps) {
+	if len(All()) != len(kernels)+len(apps)+len(PhasedFamily()) {
 		t.Error("All() size mismatch")
 	}
 	if _, err := ByName("mcf"); err != nil {

@@ -101,10 +101,38 @@
 // (rendered from a store by `pmureport -table mux`), and `wlgen -events`
 // prints the per-event accounting for one workload.
 //
+// # Spec-driven workloads and trace record/replay
+//
+// Beyond the frozen paper evaluation set, internal/workloads is a
+// spec-driven generator: a PhasedSpec is a small JSON document naming
+// phases (each an instruction-class mix, written out or fitted from a
+// registered kernel/application with FitMix) and a schedule (fixed,
+// alternate, burst, ramp) that sequences them across a macro loop.
+// Generation is a pure function of (spec, scale) — byte-identical at
+// any parallelism, with per-phase RNG streams derived via
+// stats.DeriveSeed so editing one phase never perturbs another. Three
+// spec-generated workloads (PhasedAlt, PhasedBurst, PhasedRamp) are
+// registered alongside the hand-built PhaseShift as the phased family
+// (PhasedWorkloads here), which extends the accuracy matrix to
+// non-stationary event mixes (`pmubench -experiment phased`, rendered
+// as Table 9 by `pmureport -table phased`); Kernels and Apps never
+// include them, so the paper tables are untouched.
+//
+// internal/trace makes generated programs durable artifacts: a
+// versioned, canonical JSONL trace format records the full program
+// structure plus provenance (generating-spec fingerprint, source,
+// scale) and a program fingerprint that is re-verified on decode.
+// Replay reconstructs a bit-identical program.Program — record →
+// replay → re-record is byte-identical, and a sampling run on the
+// replayed program matches the original under both engines. Readers
+// reject other format versions explicitly (re-record from the spec;
+// there are no migrations). `wlgen -spec/-record/-replay` is the
+// command-line surface; docs/WORKLOADS.md is the authoring guide.
+//
 // The heavy lifting lives in the internal packages (isa, program, cpu,
 // pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
-// experiments, results, report); this package re-exports the stable
-// surface.
+// trace, experiments, results, report); this package re-exports the
+// stable surface.
 package pmutrust
 
 import (
@@ -117,6 +145,7 @@ import (
 	"pmutrust/internal/program"
 	"pmutrust/internal/ref"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/trace"
 	"pmutrust/internal/workloads"
 )
 
@@ -161,6 +190,13 @@ type (
 	// MuxCount is one multiplexed event's exact-vs-scaled outcome
 	// (Run.Counts).
 	MuxCount = pmu.MuxCount
+	// PhasedSpec is a declarative phased-workload specification (the
+	// wlgen v2 authoring surface; see docs/WORKLOADS.md).
+	PhasedSpec = workloads.PhasedSpec
+	// TraceEntry is one recorded program plus its provenance metadata.
+	TraceEntry = trace.Entry
+	// TraceMeta is the provenance carried by a trace entry.
+	TraceMeta = trace.Meta
 )
 
 // Re-exported countable events and multiplexer policies, so
@@ -198,8 +234,44 @@ func Kernels() []WorkloadSpec { return workloads.Kernels() }
 // Apps returns the paper's application analogs.
 func Apps() []WorkloadSpec { return workloads.Apps() }
 
+// PhasedWorkloads returns the phased/bursty family (PhaseShift plus the
+// spec-generated alternate/burst/ramp schedules). Never part of
+// Kernels or Apps — the paper evaluation set stays frozen.
+func PhasedWorkloads() []WorkloadSpec { return workloads.PhasedFamily() }
+
 // WorkloadByName looks up one workload.
 func WorkloadByName(name string) (WorkloadSpec, error) { return workloads.ByName(name) }
+
+// ParsePhasedSpec parses, normalizes and validates a phased-workload
+// spec document (strict JSON: unknown fields are errors).
+func ParsePhasedSpec(data []byte) (PhasedSpec, error) { return workloads.ParsePhasedSpec(data) }
+
+// LoadPhasedSpec reads and parses a spec file (`wlgen -spec`).
+func LoadPhasedSpec(path string) (PhasedSpec, error) { return workloads.LoadPhasedSpec(path) }
+
+// BuildPhased generates the program for a spec at the given scale —
+// a pure function of (spec, scale), byte-identical at any parallelism.
+func BuildPhased(s PhasedSpec, scale float64) (*Program, error) {
+	return workloads.BuildPhased(s, scale)
+}
+
+// RecordTrace wraps a built program and its provenance as a trace
+// entry ready for WriteTraceFile.
+func RecordTrace(prog *Program, meta TraceMeta) TraceEntry { return trace.Record(prog, meta) }
+
+// WriteTraceFile writes entries as a versioned JSONL trace file.
+func WriteTraceFile(path string, entries ...TraceEntry) error {
+	return trace.WriteFile(path, entries...)
+}
+
+// ReadTraceFile reads every complete entry of a trace file, verifying
+// format version and program fingerprints (a torn final line — the
+// residue of a killed writer — is tolerated, like the results store).
+func ReadTraceFile(path string) ([]TraceEntry, error) { return trace.ReadFile(path) }
+
+// ReplayTrace reconstructs the last recorded program of a trace file,
+// bit-identical to the program that was recorded (`wlgen -replay`).
+func ReplayTrace(path string) (TraceEntry, error) { return trace.ReplayFile(path) }
 
 // MagnyCours returns the AMD Opteron 6164 HE machine model.
 func MagnyCours() Machine { return machine.MagnyCours() }
