@@ -13,6 +13,10 @@
 //	         [-store FILE] [-resume] [-engine fast|interp|both]
 //	         [-events LIST] [-timeslice N] [-mux-policy rr|priority]
 //	         [-spec FILE]
+//	pmubench -serve -sweep-dir DIR [-experiment table1|table2|phased]
+//	         [-shards N] [-workers N] [-lease-ttl D] [...common flags]
+//	pmubench -worker -sweep-dir DIR [-lease-ttl D] [-parallel N]
+//	         [-engine fast|interp|both]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
@@ -55,6 +59,22 @@
 // -timeslice (rotation timeslice in simulated cycles, 0 = default) and
 // -mux-policy, and prints the full per-event exact/scaled accounting.
 //
+// -serve runs a matrix experiment as a sharded, resumable sweep service
+// (internal/sweepd): the coordinator partitions the experiment's cell
+// grid into -shards leased shards under -sweep-dir, spawns -workers
+// local worker processes (0 = external workers attach on their own),
+// streams progress/ETA to stderr, and — once every shard is done — renders
+// the experiment from the merged shard files, measuring nothing itself.
+// -worker joins an existing sweep directory from any process or host
+// sharing the filesystem: it claims shards through expiring lease files
+// (-lease-ttl bounds how long a dead worker blocks its shard) and exits
+// when the whole sweep is complete. Because every cell is content-
+// addressed, a distributed sweep — even one that loses workers mid-shard
+// — renders byte-identically to a single-process run, and re-running
+// -serve on an interrupted directory resumes instead of re-measuring.
+// cmd/pmureport accepts the sweep directory anywhere it takes a store
+// file.
+//
 // "-experiment phased" measures the registered phased/bursty workload
 // family (the hand-built PhaseShift plus the spec-generated alternate,
 // burst and ramp schedules — see docs/WORKLOADS.md) through the same
@@ -69,12 +89,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strconv"
 
 	"pmutrust/internal/experiments"
 	"pmutrust/internal/pmu"
 	"pmutrust/internal/report"
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/sweepd"
 	"pmutrust/internal/workloads"
 )
 
@@ -110,8 +133,22 @@ func main() {
 		timeslice  = flag.Uint64("timeslice", 0, "multiplexer rotation timeslice in simulated cycles (0 = default)")
 		muxPolicy  = flag.String("mux-policy", "rr", "multiplexer rotation policy: rr or priority")
 		specFile   = flag.String("spec", "", "measure this phased spec file through the accuracy matrix instead of a built-in experiment")
+		serve      = flag.Bool("serve", false, "coordinator mode: run the matrix experiment as a sharded sweep under -sweep-dir")
+		workerMode = flag.Bool("worker", false, "worker mode: claim and measure shards of the sweep under -sweep-dir, then exit")
+		sweepDir   = flag.String("sweep-dir", "", "shared sweep directory for -serve / -worker")
+		shards     = flag.Int("shards", 0, "with -serve: shard count for the cell grid (0 = 4 per worker, min 8)")
+		workersN   = flag.Int("workers", 4, "with -serve: local worker processes to spawn (0 = external workers only)")
+		leaseTTL   = flag.Duration("lease-ttl", sweepd.DefaultLeaseTTL, "shard lease time-to-live; a dead worker's shard is reclaimable after this long")
 	)
 	flag.Parse()
+	if *serve && *workerMode {
+		fmt.Fprintln(os.Stderr, "pmubench: -serve and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*serve || *workerMode) && *sweepDir == "" {
+		fmt.Fprintln(os.Stderr, "pmubench: -serve/-worker require -sweep-dir")
+		os.Exit(2)
+	}
 	if *resume && *storePath == "" {
 		fmt.Fprintln(os.Stderr, "pmubench: -resume requires -store")
 		os.Exit(2)
@@ -132,6 +169,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Worker mode ignores the experiment flags entirely: scale, seed and
+	// cells all come from the sweep directory's plan, so every fleet
+	// member measures identical content-addressed cells no matter how it
+	// was invoked.
+	if *workerMode {
+		w := &sweepd.Worker{
+			Dir:      *sweepDir,
+			TTL:      *leaseTTL,
+			Parallel: *parallel,
+			Engine:   engine,
+			Log:      os.Stderr,
+		}
+		stats, err := w.Run()
+		fmt.Fprintf(os.Stderr, "pmubench: worker: %d shards completed (%d leases taken), %d cells measured, %d served from predecessors\n",
+			stats.ShardsCompleted, stats.ShardsTaken, stats.Measured, stats.Served)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
 	var scale experiments.Scale
 	switch *scaleName {
 	case "paper":
@@ -147,8 +206,12 @@ func main() {
 	r.Timeout = *timeout
 	r.Engine = engine
 
-	var store *results.Store
+	var store results.Store
 	if *storePath != "" {
+		if *serve {
+			fmt.Fprintln(os.Stderr, "pmubench: -serve keeps its results under -sweep-dir; it cannot be combined with -store")
+			os.Exit(2)
+		}
 		var err error
 		if *resume {
 			store, err = results.Open(*storePath)
@@ -167,6 +230,65 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
 			os.Exit(2)
 		}
+		r.Store = store
+	}
+
+	// Coordinator mode: run the distributed sweep to completion, then
+	// attach the merged shard files as the runner's store and fall through
+	// to the normal experiment path — the final render is served entirely
+	// from worker-written records (the store summary proves it: 0 newly
+	// measured), and any cell the fleet failed on is measured here.
+	storeLabel := *storePath
+	if *serve {
+		if *specFile != "" {
+			fmt.Fprintln(os.Stderr, "pmubench: -serve runs the built-in matrix experiments; -spec is not supported")
+			os.Exit(2)
+		}
+		grid, err := experiments.GridByName(*experiment)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: -serve: %v\n", err)
+			os.Exit(2)
+		}
+		nshards := *shards
+		if nshards <= 0 {
+			nshards = 4 * *workersN
+			if nshards < 8 {
+				nshards = 8
+			}
+		}
+		coord := &sweepd.Coordinator{
+			Dir:      *sweepDir,
+			Plan:     sweepd.NewPlan(*experiment, scale, *seed, grid, nshards),
+			Workers:  *workersN,
+			Progress: os.Stderr,
+		}
+		if *workersN > 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmubench: -serve: %v\n", err)
+				os.Exit(2)
+			}
+			coord.WorkerCmd = func(i int) *exec.Cmd {
+				cmd := exec.Command(exe, "-worker",
+					"-sweep-dir", *sweepDir,
+					"-lease-ttl", leaseTTL.String(),
+					"-parallel", strconv.Itoa(*parallel),
+					"-engine", *engineName)
+				cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+				return cmd
+			}
+		}
+		if err := coord.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		st, err := results.OpenDir(sweepd.CellsDir(*sweepDir), "render")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
+		storeLabel = *sweepDir
 		r.Store = store
 	}
 
@@ -411,7 +533,7 @@ func main() {
 		// warm resume reports "0 newly measured".
 		stats := r.StoreStats()
 		fmt.Fprintf(os.Stderr, "pmubench: store %s: %d records (%d served from store, %d newly measured)\n",
-			*storePath, store.Len(), stats.Cached, stats.Measured)
+			storeLabel, store.Len(), stats.Cached, stats.Measured)
 		if err := store.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "pmubench: store: %v\n", err)
 			exitCode = 1

@@ -10,6 +10,11 @@
 //	          [-markdown] [-csv] [-baseline classic]
 //	pmureport -compare OLD.jsonl NEW.jsonl [-tol 0.05] [-markdown]
 //
+// Wherever a store path is accepted, it may be a single JSONL file
+// (`pmubench -store`) or a sweep directory written by `pmubench -serve`
+// (its sharded cell files are merged and deduplicated on read) — so
+// distributed and single-process runs render and diff interchangeably.
+//
 // Report mode renders the regenerated tables (kernel matrix, application
 // matrix, per-machine method ranking, improvement factors — the analogs
 // of the paper's accuracy tables) in canonical paper order, so the same
@@ -43,12 +48,37 @@ import (
 	"pmutrust/internal/report"
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/sweepd"
 	"pmutrust/internal/workloads"
 )
 
+// loadStore opens a results store by path, accepting all three shapes the
+// write side produces: a JSONL file (`pmubench -store`), a sharded cell
+// directory (results.DirStore), or a whole sweep directory from
+// `pmubench -serve` (rendered from its cells/ subdirectory, shard files
+// merged and deduplicated on read).
+func loadStore(path string) (results.Store, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return results.Load(path)
+	}
+	if cells := sweepd.CellsDir(path); dirExists(cells) {
+		return results.LoadDir(cells)
+	}
+	return results.LoadDir(path)
+}
+
+func dirExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
 func main() {
 	var (
-		storePath = flag.String("store", "", "results store (JSONL from pmubench -store) to render")
+		storePath = flag.String("store", "", "results store to render: a JSONL file from pmubench -store, or a sweep dir from pmubench -serve")
 		table     = flag.String("table", "all", "which table to render: kernels, apps, phased, ranking, factors, mux or all")
 		markdown  = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of plain text (matrix shapes only keep their rectangle)")
@@ -163,7 +193,7 @@ func distinctConfigs(recs []results.Record) []string {
 }
 
 func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
-	st, err := results.Load(storePath)
+	st, err := loadStore(storePath)
 	if err != nil {
 		return err
 	}
@@ -242,11 +272,11 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 }
 
 func runCompare(oldPath, newPath string, tol float64, markdown, csvOut bool) (int, error) {
-	oldSt, err := results.Load(oldPath)
+	oldSt, err := loadStore(oldPath)
 	if err != nil {
 		return 0, err
 	}
-	newSt, err := results.Load(newPath)
+	newSt, err := loadStore(newPath)
 	if err != nil {
 		return 0, err
 	}

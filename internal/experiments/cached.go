@@ -24,8 +24,12 @@ func (r *Runner) CellIdentity(c Cell) results.Identity {
 	}
 }
 
-// record converts a completed measurement into its store form.
-func (r *Runner) record(c Cell, m Measurement) results.Record {
+// CellRecord converts a completed measurement of cell c into its store
+// form — the record SweepCached appends, and the one a distributed
+// worker (internal/sweepd) appends to its shard file. Keeping the single
+// conversion exported is what guarantees worker-written records are
+// byte-compatible with single-process ones.
+func (r *Runner) CellRecord(c Cell, m Measurement) results.Record {
 	id := r.CellIdentity(c)
 	return results.Record{
 		Key:       id.Key(),
@@ -75,7 +79,7 @@ type SweepStats struct {
 // store is indistinguishable from re-measuring it: an interrupted sweep
 // resumed against its store produces byte-identical aggregates to an
 // uninterrupted run.
-func (r *Runner) SweepCached(g Grid, st *results.Store, opt SweepOptions) ([]Measurement, SweepStats, error) {
+func (r *Runner) SweepCached(g Grid, st results.Store, opt SweepOptions) ([]Measurement, SweepStats, error) {
 	cells := g.Cells()
 	out := make([]Measurement, len(cells))
 	var stats SweepStats
@@ -105,7 +109,7 @@ func (r *Runner) SweepCached(g Grid, st *results.Store, opt SweepOptions) ([]Mea
 		if err != nil {
 			return fmt.Errorf("%s/%s/%s: %w", c.Workload.Name, c.Machine.Name, c.Method.Key, err)
 		}
-		if perr := st.Put(r.record(c, meas)); perr != nil {
+		if perr := st.Put(r.CellRecord(c, meas)); perr != nil {
 			return fmt.Errorf("%s/%s/%s: %w", c.Workload.Name, c.Machine.Name, c.Method.Key, perr)
 		}
 		return nil

@@ -56,6 +56,20 @@ func SmallScale() Scale {
 	return Scale{Name: "small", Workload: 1, PeriodBase: 2000, Repeats: 1}
 }
 
+// ScaleByName resolves a scale name ("paper", "small") to its parameter
+// set. Distributed sweep plans persist only the name, so every process
+// of a fleet resolves identical parameters through this single table —
+// the CLIs use it too.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "paper":
+		return PaperScale(), nil
+	case "small":
+		return SmallScale(), nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q", name)
+}
+
 // Measurement is one (workload, machine, method) accuracy result.
 type Measurement struct {
 	Workload string `json:"workload"`
@@ -108,7 +122,9 @@ type Runner struct {
 	// Store, when non-nil, makes the matrix experiments (Tables 1 and 2)
 	// incremental: grid cells already present in the store are served
 	// from it and newly measured cells are appended (see SweepCached).
-	Store *results.Store
+	// Any results.Store backend works — a FileStore for single-file
+	// resume, a DirStore merged view for distributed sweeps.
+	Store results.Store
 
 	mu    sync.Mutex
 	progs map[string]*progEntry

@@ -45,6 +45,23 @@ func (g Grid) Cells() []Cell {
 // Size returns the number of cells in the grid.
 func (g Grid) Size() int { return len(g.Workloads) * len(g.Machines) * len(g.Methods) }
 
+// GridByName returns the cell grid of a named matrix experiment — the
+// exact cells RunTable1, RunTable2 and RunPhased sweep. The distributed
+// sweep planner (internal/sweepd) partitions these grids, so the mapping
+// from experiment name to cell set must stay identical between the
+// single-process and sharded paths.
+func GridByName(name string) (Grid, error) {
+	switch name {
+	case "table1":
+		return Grid{Workloads: workloads.Kernels(), Machines: machine.All(), Methods: sampling.Registry()}, nil
+	case "table2":
+		return Grid{Workloads: workloads.Apps(), Machines: machine.All(), Methods: sampling.Registry()}, nil
+	case "phased":
+		return Grid{Workloads: workloads.PhasedFamily(), Machines: machine.All(), Methods: sampling.Registry()}, nil
+	}
+	return Grid{}, fmt.Errorf("experiments: no cell grid for experiment %q (matrix experiments: table1, table2, phased)", name)
+}
+
 // SweepOptions bounds a sweep's parallelism and wall-clock time. The
 // zero value inherits the Runner's Parallel and Timeout fields.
 type SweepOptions struct {

@@ -1,0 +1,262 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DirStore is a Store backed by a directory of JSONL shard files, the
+// backend of distributed sweeps: every writer appends to its own file
+// (named after the writer, so two processes never interleave lines), and
+// reads merge every "*.jsonl" file in the directory. A killed writer
+// costs nothing but its in-flight record: its completed lines stay in
+// its file and are visible to every later reader.
+//
+// # Duplicate resolution
+//
+// A retried shard can legitimately put the same cell into two files —
+// the first owner was killed (or superseded) after measuring it, the
+// second owner measured it again. Because measurements are pure
+// functions of the content-addressed identity, such duplicates are
+// byte-identical in practice; but the merge must still pin a rule that
+// cannot depend on file enumeration order, or two readers of the same
+// directory could disagree. The rule, applied uniformly on read and on
+// Put:
+//
+//	among all records sharing a key, the one whose canonical JSON
+//	encoding (json.Marshal of the parsed record) is lexicographically
+//	smallest wins.
+//
+// The rule is a pure function of the record *set* — independent of file
+// names, file order, and line order — so every reader of a shard
+// directory resolves duplicates identically, which is what makes
+// distributed renders byte-identical to single-process ones. (A single
+// FileStore instead keeps its documented last-write-wins rule, which is
+// deterministic there because one file has one total line order.)
+//
+// # Torn tails
+//
+// Loading tolerates a torn final line in every file — foreign files
+// belong to writers that may still be alive mid-append, so they are
+// never modified; the store's *own* append file (a crashed predecessor
+// with the same writer name) is truncated back to the last clean line
+// boundary before appending, exactly like FileStore Open.
+type DirStore struct {
+	mu   sync.Mutex
+	dir  string
+	path string   // own append file; "" for read-only merges
+	f    *os.File // append handle; nil for read-only merges
+	recs map[string]Record
+	// enc holds the canonical encoding of the winning record per key —
+	// the comparison column of the duplicate rule.
+	enc map[string][]byte
+}
+
+var _ Store = (*DirStore)(nil)
+
+// OpenDir merges the records of every *.jsonl file under dir (creating
+// dir if missing) and returns a store appending to dir/<writer>.jsonl.
+// writer must be unique among live writers of the directory — lines of a
+// shared append file would interleave; distributed workers derive it
+// from their (shard, lease generation) pair, which the lease protocol
+// makes single-owner.
+func OpenDir(dir, writer string) (*DirStore, error) {
+	if writer == "" {
+		return nil, fmt.Errorf("results: OpenDir needs a writer name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: create store dir: %w", err)
+	}
+	s := &DirStore{
+		dir:  dir,
+		path: filepath.Join(dir, writer+".jsonl"),
+		recs: make(map[string]Record),
+		enc:  make(map[string][]byte),
+	}
+	if err := s.loadAll(); err != nil {
+		return nil, err
+	}
+	// Open the own file read-write: a crashed predecessor with this
+	// writer name may have left a torn tail that appends must not glue
+	// onto.
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results: open shard file: %w", err)
+	}
+	good, err := scanRecords(s.path, f, func([]byte, Record) {})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: seek: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// LoadDir returns a read-only merged view of every *.jsonl file under
+// dir — the merge-on-read entry point for renderers and coordinators.
+// Put on a loaded store keeps records in memory only.
+func LoadDir(dir string) (*DirStore, error) {
+	s := &DirStore{
+		dir:  dir,
+		recs: make(map[string]Record),
+		enc:  make(map[string][]byte),
+	}
+	if err := s.loadAll(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// shardFiles lists the *.jsonl files under dir, sorted for a stable scan
+// order (the merge rule does not depend on it, but stable iteration
+// keeps error messages and debugging deterministic).
+func shardFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("results: read store dir: %w", err)
+	}
+	var files []string
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".jsonl" {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// loadAll merges every shard file into the in-memory view. Foreign files
+// are read-only (their torn tails tolerated, never truncated: the writer
+// may be alive mid-append).
+func (s *DirStore) loadAll() error {
+	files, err := shardFiles(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("results: open shard file: %w", err)
+		}
+		_, err = scanRecords(path, f, func(_ []byte, rec Record) {
+			s.merge(rec)
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge applies the pinned duplicate rule: the record with the
+// lexicographically smallest canonical JSON encoding wins its key. It
+// must be called with a V-stamped, keyed record.
+func (s *DirStore) merge(rec Record) error {
+	canon, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("results: marshal record: %w", err)
+	}
+	if old, ok := s.enc[rec.Key]; ok && bytes.Compare(old, canon) <= 0 {
+		return nil
+	}
+	s.enc[rec.Key] = canon
+	s.recs[rec.Key] = rec
+	return nil
+}
+
+// Put stores rec (stamping V and, if empty, Key from the identity) and,
+// for writable stores, appends its JSONL line to the store's own shard
+// file. The in-memory view applies the same duplicate rule as a reload,
+// so a DirStore's live state always equals what LoadDir would see —
+// putting a record that loses to an already-merged duplicate appends the
+// line but leaves the view unchanged.
+func (s *DirStore) Put(rec Record) error {
+	rec.V = SchemaV
+	if rec.Key == "" {
+		rec.Key = rec.Identity.Key()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("results: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if _, err := s.f.Write(line); err != nil {
+			return fmt.Errorf("results: append record: %w", err)
+		}
+	}
+	return s.merge(rec)
+}
+
+// Get returns the record stored under key.
+func (s *DirStore) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Len returns the number of distinct keys stored.
+func (s *DirStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns all records in the canonical store order (see Store).
+func (s *DirStore) Records() []Record {
+	s.mu.Lock()
+	out := make([]Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		out = append(out, rec)
+	}
+	s.mu.Unlock()
+	sortRecords(out)
+	return out
+}
+
+// Path returns the store directory.
+func (s *DirStore) Path() string { return s.dir }
+
+// WriterPath returns the store's own append file ("" for read-only
+// merges). The fault-injection harness tears this file's tail to
+// simulate a writer killed mid-append.
+func (s *DirStore) WriterPath() string { return s.path }
+
+// Close fsyncs and releases the append handle, if any. The store stays
+// readable.
+func (s *DirStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	syncErr := s.f.Sync()
+	err := s.f.Close()
+	s.f = nil
+	if err == nil {
+		err = syncErr
+	}
+	return err
+}

@@ -1,12 +1,20 @@
 // Package results persists per-cell sweep measurements as durable,
-// diffable artifacts. A store is a JSONL file of Record lines, each keyed
-// by a content address over the cell's full configuration tuple —
-// (workload, machine, method, scale, period, base seed, repeats), the
-// same identity stats.DeriveSeed hashes for the cell's random streams.
-// Because measurements are deterministic functions of that tuple, a store
+// diffable artifacts. A store holds JSONL Record lines, each keyed by a
+// content address over the cell's full configuration tuple — (workload,
+// machine, method, scale, period, base seed, repeats), the same identity
+// stats.DeriveSeed hashes for the cell's random streams. Because
+// measurements are deterministic functions of that tuple, a store
 // doubles as a cache: a resumed sweep skips every cell whose key is
 // already present and is guaranteed to reproduce the uninterrupted run
 // bit for bit.
+//
+// Store is the pluggable backend interface. FileStore (one append-only
+// JSONL file) serves single-process sweeps; DirStore (a directory of
+// per-writer JSONL shard files, merged on read with a deterministic
+// duplicate rule) serves distributed coordinator/worker sweeps, where a
+// retried shard can legitimately record the same cell twice. The
+// storetest subpackage is the executable contract every backend must
+// pass.
 package results
 
 import (

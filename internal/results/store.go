@@ -10,38 +10,72 @@ import (
 	"sync"
 )
 
-// Store is a keyed set of measurement Records backed by an append-only
-// JSONL file. Puts append one line each straight to the file (the file
-// is the log), so a sweep whose *process* is killed mid-run keeps every
-// completed cell, and Open tolerates the torn final line such a kill can
-// leave behind. Appends are not fsynced per Put (that would serialize
-// the sweep on the disk); Close syncs, so only an OS crash or power loss
-// between a Put and Close can lose records — and a resumed sweep simply
-// re-measures those cells. A Store is safe for concurrent use — sweep
-// workers Put from many goroutines.
+// Store is the pluggable results backend the sweep layer measures into
+// and the report layer renders from: a keyed set of Records addressed by
+// their identity fingerprint. Two backends ship with the package — the
+// append-only single-file JSONL FileStore and the sharded-directory
+// DirStore distributed sweeps merge on read — and the contract both must
+// honor (append durability, torn-tail tolerance, deterministic duplicate
+// resolution, concurrent appenders) is executable as the
+// internal/results/storetest suite.
+type Store interface {
+	// Put stores rec (stamping V and, if empty, Key from the identity),
+	// appending it durably for file-backed stores. Safe for concurrent
+	// use.
+	Put(rec Record) error
+	// Get returns the record stored under key.
+	Get(key string) (Record, bool)
+	// Len returns the number of distinct keys stored.
+	Len() int
+	// Records returns all records sorted by (workload, machine, method,
+	// key) — a canonical order independent of backing-file order, so
+	// renders from a store are deterministic however the sweep was
+	// scheduled or resumed.
+	Records() []Record
+	// Path names the backing file or directory ("" for memory-only).
+	Path() string
+	// Close flushes and releases the append handle, if any. The store
+	// stays readable.
+	Close() error
+}
+
+// FileStore is a Store backed by a single append-only JSONL file. Puts
+// append one line each straight to the file (the file is the log), so a
+// sweep whose *process* is killed mid-run keeps every completed cell,
+// and Open tolerates the torn final line such a kill can leave behind.
+// Appends are not fsynced per Put (that would serialize the sweep on the
+// disk); Close syncs, so only an OS crash or power loss between a Put
+// and Close can lose records — and a resumed sweep simply re-measures
+// those cells. A FileStore is safe for concurrent use — sweep workers
+// Put from many goroutines.
 //
 // Within one file the last record for a key wins, matching the cache
 // semantics: re-putting an identical identity re-states the same value.
-type Store struct {
+// (That rule is deterministic here because a single file has a single
+// total line order; merging *multiple* files needs the order-free rule
+// DirStore pins instead.)
+type FileStore struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File // append handle; nil for a memory-only store
 	recs map[string]Record
 }
 
+var _ Store = (*FileStore)(nil)
+
 // NewMemory returns an unbacked store, for tests and one-shot renders.
-func NewMemory() *Store {
-	return &Store{recs: make(map[string]Record)}
+func NewMemory() *FileStore {
+	return &FileStore{recs: make(map[string]Record)}
 }
 
 // Create truncates (or creates) path and returns an empty store writing
 // to it.
-func Create(path string) (*Store, error) {
+func Create(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("results: create store: %w", err)
 	}
-	return &Store{path: path, f: f, recs: make(map[string]Record)}, nil
+	return &FileStore{path: path, f: f, recs: make(map[string]Record)}, nil
 }
 
 // Open loads the records already present at path (creating the file if
@@ -51,13 +85,15 @@ func Create(path string) (*Store, error) {
 // boundary; a malformed line elsewhere is an error, since silently
 // dropping an interior record would make a resumed sweep re-measure — and
 // re-append — cells the file already holds.
-func Open(path string) (*Store, error) {
+func Open(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("results: open store: %w", err)
 	}
-	s := &Store{path: path, f: f, recs: make(map[string]Record)}
-	good, err := s.load(f)
+	s := &FileStore{path: path, f: f, recs: make(map[string]Record)}
+	good, err := scanRecords(path, f, func(_ []byte, rec Record) {
+		s.recs[rec.Key] = rec
+	})
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -77,24 +113,29 @@ func Open(path string) (*Store, error) {
 // Load reads a store file read-only (no append handle). Renderers and
 // the compare path use it; Put on a loaded store keeps records in memory
 // only.
-func Load(path string) (*Store, error) {
+func Load(path string) (*FileStore, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("results: load store: %w", err)
 	}
 	defer f.Close()
-	s := &Store{path: path, recs: make(map[string]Record)}
-	if _, err := s.load(f); err != nil {
+	s := &FileStore{path: path, recs: make(map[string]Record)}
+	if _, err := scanRecords(path, f, func(_ []byte, rec Record) {
+		s.recs[rec.Key] = rec
+	}); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// load parses JSONL records from r into the map and returns the byte
-// offset just past the last well-formed line. Only a malformed or
-// truncated *final* line is tolerated (it is not counted in the
-// returned offset); anything malformed earlier is corruption.
-func (s *Store) load(r io.Reader) (good int64, err error) {
+// scanRecords parses JSONL records from r, calling emit with each
+// well-formed line and its parsed record, and returns the byte offset
+// just past the last well-formed line. Only a malformed or truncated
+// *final* line is tolerated (it is not emitted and not counted in the
+// returned offset); anything malformed earlier is corruption. Both store
+// backends read through this, so torn-tail semantics cannot drift
+// between them.
+func scanRecords(path string, r io.Reader, emit func(line []byte, rec Record)) (good int64, err error) {
 	br := bufio.NewReader(r)
 	var off int64
 	for lineNo := 1; ; lineNo++ {
@@ -110,20 +151,20 @@ func (s *Store) load(r io.Reader) (good int64, err error) {
 			var rec Record
 			if jerr := json.Unmarshal(line, &rec); jerr != nil {
 				if complete {
-					return 0, fmt.Errorf("results: %s:%d: malformed record: %v", s.path, lineNo, jerr)
+					return 0, fmt.Errorf("results: %s:%d: malformed record: %v", path, lineNo, jerr)
 				}
 				return off, nil // torn tail: ignore, report clean offset
 			}
 			if rec.V != SchemaV {
-				return 0, fmt.Errorf("results: %s:%d: schema v%d, want v%d", s.path, lineNo, rec.V, SchemaV)
+				return 0, fmt.Errorf("results: %s:%d: schema v%d, want v%d", path, lineNo, rec.V, SchemaV)
 			}
 			if !complete {
 				// A full JSON object without a trailing newline still
-				// counts: re-write it on resume rather than risk gluing
-				// the next append onto it.
+				// counts as torn: re-measure it on resume rather than
+				// risk gluing the next append onto it.
 				return off, nil
 			}
-			s.recs[rec.Key] = rec
+			emit(line, rec)
 			off += int64(len(line))
 		}
 		if rerr == io.EOF {
@@ -134,7 +175,7 @@ func (s *Store) load(r io.Reader) (good int64, err error) {
 
 // Put stores rec (stamping V and, if empty, Key from the identity) and,
 // for file-backed stores, appends its JSONL line.
-func (s *Store) Put(rec Record) error {
+func (s *FileStore) Put(rec Record) error {
 	rec.V = SchemaV
 	if rec.Key == "" {
 		rec.Key = rec.Identity.Key()
@@ -156,7 +197,7 @@ func (s *Store) Put(rec Record) error {
 }
 
 // Get returns the record stored under key.
-func (s *Store) Get(key string) (Record, bool) {
+func (s *FileStore) Get(key string) (Record, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.recs[key]
@@ -164,22 +205,27 @@ func (s *Store) Get(key string) (Record, bool) {
 }
 
 // Len returns the number of distinct keys stored.
-func (s *Store) Len() int {
+func (s *FileStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.recs)
 }
 
-// Records returns all records sorted by (workload, machine, method, key)
-// — a canonical order independent of file order, so renders from a store
-// are deterministic however the sweep was scheduled or resumed.
-func (s *Store) Records() []Record {
+// Records returns all records in the canonical store order (see Store).
+func (s *FileStore) Records() []Record {
 	s.mu.Lock()
 	out := make([]Record, 0, len(s.recs))
 	for _, rec := range s.recs {
 		out = append(out, rec)
 	}
 	s.mu.Unlock()
+	sortRecords(out)
+	return out
+}
+
+// sortRecords orders records by (workload, machine, method, key) — the
+// canonical render order shared by every backend.
+func sortRecords(out []Record) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Workload != b.Workload {
@@ -193,15 +239,14 @@ func (s *Store) Records() []Record {
 		}
 		return a.Key < b.Key
 	})
-	return out
 }
 
 // Path returns the backing file path ("" for memory-only stores).
-func (s *Store) Path() string { return s.path }
+func (s *FileStore) Path() string { return s.path }
 
 // Close fsyncs and releases the append handle, if any. The store stays
 // readable.
-func (s *Store) Close() error {
+func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {

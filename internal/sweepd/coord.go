@@ -1,0 +1,201 @@
+package sweepd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"time"
+
+	"pmutrust/internal/results"
+)
+
+// Progress is one coordinator observation of a running sweep.
+type Progress struct {
+	// CellsDone / CellsTotal count distinct completed cells across every
+	// shard file (merge-on-read, so retries never double-count).
+	CellsDone, CellsTotal int
+	// ShardsDone / ShardsTotal count done-marked shards.
+	ShardsDone, ShardsTotal int
+	// Elapsed is the time since the coordinator started observing; ETA
+	// extrapolates the measured completion rate over the remaining cells
+	// (negative while no rate is measurable yet).
+	Elapsed, ETA time.Duration
+}
+
+// String renders the one-line progress form the coordinator streams.
+func (p Progress) String() string {
+	pct := 100.0
+	if p.CellsTotal > 0 {
+		pct = 100 * float64(p.CellsDone) / float64(p.CellsTotal)
+	}
+	eta := "?"
+	if p.ETA >= 0 {
+		eta = p.ETA.Round(time.Second).String()
+	}
+	return fmt.Sprintf("cells %d/%d (%.1f%%), shards %d/%d done, elapsed %s, eta %s",
+		p.CellsDone, p.CellsTotal, pct, p.ShardsDone, p.ShardsTotal,
+		p.Elapsed.Round(time.Second), eta)
+}
+
+// Coordinator runs one distributed sweep: it writes the shard plan into
+// the shared directory, optionally spawns local worker processes, and
+// streams progress until every shard is done-marked. It never measures
+// cells itself and holds no leases — killing and restarting the
+// coordinator is as safe as killing a worker (WritePlan re-accepts an
+// identical plan).
+type Coordinator struct {
+	// Dir is the shared sweep directory.
+	Dir string
+	// Plan is the sweep to run (see NewPlan).
+	Plan *Plan
+	// Workers is how many local worker processes to spawn through
+	// WorkerCmd; 0 with a nil WorkerCmd means external workers attach on
+	// their own (the coordinator then only plans and observes).
+	Workers int
+	// WorkerCmd builds the command for local worker i. The command must
+	// run a sweepd worker against Dir and exit when the sweep is done —
+	// `pmubench -worker -sweep-dir Dir` (the CLIs wire this up).
+	WorkerCmd func(i int) *exec.Cmd
+	// Progress, when non-nil, receives one line whenever the observed
+	// (cells, shards) state changes, plus worker lifecycle warnings.
+	Progress io.Writer
+	// PollInterval is the observation cadence (default 1s).
+	PollInterval time.Duration
+}
+
+// workerExit pairs a worker index with its exit error.
+type workerExit struct {
+	i   int
+	err error
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, "sweepd: "+format+"\n", args...)
+	}
+}
+
+// observe snapshots sweep progress by merge-on-read.
+func (c *Coordinator) observe(start time.Time, firstDone int) (Progress, error) {
+	st, err := results.LoadDir(CellsDir(c.Dir))
+	if err != nil {
+		return Progress{}, err
+	}
+	done, err := countDone(doneDir(c.Dir), len(c.Plan.Shards))
+	if err != nil {
+		return Progress{}, err
+	}
+	p := Progress{
+		CellsDone:   st.Len(),
+		CellsTotal:  c.Plan.NumCells(),
+		ShardsDone:  done,
+		ShardsTotal: len(c.Plan.Shards),
+		Elapsed:     time.Since(start),
+		ETA:         -1,
+	}
+	// Rate from cells completed *under this coordinator's watch*: a
+	// resumed sweep must not let pre-existing records inflate the rate.
+	if newCells := p.CellsDone - firstDone; newCells > 0 && p.Elapsed > 0 {
+		rate := float64(newCells) / p.Elapsed.Seconds()
+		p.ETA = time.Duration(float64(p.CellsTotal-p.CellsDone) / rate * float64(time.Second))
+	}
+	return p, nil
+}
+
+// Run plans the sweep, spawns the local workers, and blocks until every
+// shard is done-marked. Worker crashes are survivable — the remaining
+// fleet takes over expired leases — so Run fails only when the whole
+// fleet has exited with shards still unfinished (or on structural
+// errors: unwritable directory, corrupt plan).
+func (c *Coordinator) Run() error {
+	if err := WritePlan(c.Dir, c.Plan); err != nil {
+		return err
+	}
+	poll := c.PollInterval
+	if poll <= 0 {
+		poll = time.Second
+	}
+
+	// Spawn the local fleet.
+	exits := make(chan workerExit, c.Workers)
+	var cmds []*exec.Cmd
+	if c.WorkerCmd != nil {
+		for i := 0; i < c.Workers; i++ {
+			cmd := c.WorkerCmd(i)
+			if err := cmd.Start(); err != nil {
+				for _, running := range cmds {
+					running.Process.Kill()
+				}
+				return fmt.Errorf("sweepd: spawn worker %d: %w", i, err)
+			}
+			cmds = append(cmds, cmd)
+			go func(i int, cmd *exec.Cmd) {
+				exits <- workerExit{i, cmd.Wait()}
+			}(i, cmd)
+		}
+		c.logf("spawned %d workers over %d shards (%d cells)",
+			len(cmds), len(c.Plan.Shards), c.Plan.NumCells())
+	}
+
+	start := time.Now()
+	firstDone := -1
+	exited := 0
+	var workerErrs []error
+	var last Progress
+	for {
+		p, err := c.observe(start, max(firstDone, 0))
+		if err != nil {
+			return err
+		}
+		if firstDone < 0 {
+			firstDone = p.CellsDone
+		}
+		if c.Progress != nil && (p.CellsDone != last.CellsDone || p.ShardsDone != last.ShardsDone) {
+			fmt.Fprintf(c.Progress, "sweepd: %s\n", p)
+		}
+		last = p
+		if p.ShardsDone == p.ShardsTotal {
+			break
+		}
+		select {
+		case e := <-exits:
+			exited++
+			if e.err != nil {
+				// A crashed worker is a warning, not a failure: its
+				// lease expires and the fleet absorbs the shard.
+				c.logf("worker %d exited: %v", e.i, e.err)
+				workerErrs = append(workerErrs, fmt.Errorf("worker %d: %w", e.i, e.err))
+			}
+			if len(cmds) > 0 && exited == len(cmds) {
+				// The whole local fleet is gone with work remaining.
+				// (With external workers the sweep could still finish,
+				// but a coordinator that spawned its own fleet has
+				// nothing left to wait for.)
+				return errors.Join(
+					append([]error{fmt.Errorf("sweepd: all %d workers exited with %d/%d shards done",
+						len(cmds), p.ShardsDone, p.ShardsTotal)}, workerErrs...)...)
+			}
+		case <-time.After(poll):
+		}
+	}
+
+	// Sweep complete: the fleet exits on its own once it observes the
+	// done markers; reap it so no worker outlives the coordinator.
+	deadline := time.After(30 * time.Second)
+	for exited < len(cmds) {
+		select {
+		case e := <-exits:
+			exited++
+			if e.err != nil {
+				c.logf("worker %d exited: %v", e.i, e.err)
+			}
+		case <-deadline:
+			for _, cmd := range cmds {
+				cmd.Process.Kill()
+			}
+			return fmt.Errorf("sweepd: sweep done but %d workers did not exit; killed", len(cmds)-exited)
+		}
+	}
+	return nil
+}

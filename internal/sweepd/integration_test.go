@@ -1,0 +1,306 @@
+package sweepd
+
+// The fault-injection integration harness: a sweep fleet of real worker
+// subprocesses, one SIGKILLed by its own fault injector mid-shard after
+// leaving a torn record tail, one SIGKILLed externally while stalled
+// mid-shard — then a resume fleet that must finish the sweep such that
+// the final render is byte-identical to a single-process reference with
+// every cell measured exactly once across the whole ordeal.
+//
+// Workers re-exec this test binary: TestMain detects SWEEPD_TEST_WORKER
+// in the environment and runs a Worker instead of the test suite, so the
+// kills land on real processes with real lease files — no simulation.
+//
+// On failure the sweep directory is copied to $SWEEPD_TEST_ARTIFACT_DIR
+// (when set) so CI can upload the shard files for post-mortem.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pmutrust/internal/experiments"
+	"pmutrust/internal/results"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SWEEPD_TEST_WORKER") == "1" {
+		runTestWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runTestWorker is the subprocess side of the harness: a plain Worker
+// over the shared sweep dir, with fault injection configured from the
+// environment.
+func runTestWorker() {
+	atoi := func(k string) int {
+		n, _ := strconv.Atoi(os.Getenv(k))
+		return n
+	}
+	var fault *Fault
+	if n := atoi("SWEEPD_TEST_KILL_AFTER"); n > 0 {
+		fault = &Fault{KillAfterRecords: n, TornTail: os.Getenv("SWEEPD_TEST_TORN") == "1"}
+	}
+	if n := atoi("SWEEPD_TEST_STALL_AFTER"); n > 0 {
+		fault = &Fault{StallAfterRecords: n, StallMarker: os.Getenv("SWEEPD_TEST_STALL_MARKER")}
+	}
+	ttl, err := time.ParseDuration(os.Getenv("SWEEPD_TEST_TTL"))
+	if err != nil {
+		ttl = DefaultLeaseTTL
+	}
+	w := &Worker{
+		Dir:      os.Getenv("SWEEPD_TEST_DIR"),
+		Owner:    os.Getenv("SWEEPD_TEST_OWNER"),
+		TTL:      ttl,
+		Parallel: 1, // one in-flight cell, so "killed mid-shard" is well-defined
+		Log:      os.Stderr,
+		Fault:    fault,
+	}
+	if _, err := w.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "test worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// spawnWorker re-execs the test binary as a sweep worker.
+func spawnWorker(t *testing.T, dir, owner string, ttl time.Duration, extraEnv ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"SWEEPD_TEST_WORKER=1",
+		"SWEEPD_TEST_DIR="+dir,
+		"SWEEPD_TEST_OWNER="+owner,
+		"SWEEPD_TEST_TTL="+ttl.String(),
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// saveArtifacts copies the sweep dir for CI upload when the test failed.
+func saveArtifacts(t *testing.T, dir string) {
+	t.Cleanup(func() {
+		dest := os.Getenv("SWEEPD_TEST_ARTIFACT_DIR")
+		if !t.Failed() || dest == "" {
+			return
+		}
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(dir, path)
+			target := filepath.Join(dest, t.Name(), rel)
+			if d.IsDir() {
+				return os.MkdirAll(target, 0o755)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(target, data, 0o644)
+		})
+		if err != nil {
+			t.Logf("saving artifacts to %s: %v", dest, err)
+		} else {
+			t.Logf("sweep dir saved to %s", filepath.Join(dest, t.Name()))
+		}
+	})
+}
+
+// waitExit waits for a spawned worker with a deadline.
+func waitExit(t *testing.T, name string, cmd *exec.Cmd, timeout time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		t.Fatalf("%s did not exit within %v", name, timeout)
+		return nil
+	}
+}
+
+// countShardRecords counts complete (newline-terminated, parseable)
+// records across every shard file, plus the files that end in a torn
+// tail. Counting raw lines — not merged keys — is what catches double
+// measurement: a cell measured twice appears as two records even though
+// the merged view dedupes them.
+func countShardRecords(t *testing.T, cellsDir string) (records int, tornFiles []string) {
+	t.Helper()
+	ents, err := os.ReadDir(cellsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(cellsDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 0 && !bytes.HasSuffix(data, []byte("\n")) {
+			tornFiles = append(tornFiles, e.Name())
+			data = data[:bytes.LastIndexByte(data, '\n')+1]
+		}
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			if !json.Valid(line) {
+				t.Errorf("%s: interior non-JSON line %q", e.Name(), line)
+				continue
+			}
+			records++
+		}
+	}
+	return records, tornFiles
+}
+
+// TestKillResumeByteIdentical is the acceptance test of the distributed
+// sweep: 4 worker subprocesses, one self-SIGKILLs mid-shard right after
+// writing a torn record tail, one is SIGKILLed from outside while
+// stalled mid-shard, the survivors absorb the orphaned shards — and the
+// final render must be byte-identical to a single-process reference with
+// every cell measured exactly once (asserted two ways: raw shard-file
+// record count equals the grid size, and the render's SweepStats show
+// zero cells measured).
+func TestKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess fault-injection test; skipped in -short")
+	}
+	dir := t.TempDir()
+	saveArtifacts(t, dir)
+	const ttl = time.Second
+	p := testPlan(4) // 12 cells in 4 shards of 3
+	if err := WritePlan(dir, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the two victims, alone so they deterministically claim
+	// shards and die mid-way through them.
+	marker := filepath.Join(t.TempDir(), "stalled")
+	torn := spawnWorker(t, dir, "victim-torn", ttl,
+		"SWEEPD_TEST_KILL_AFTER=2", "SWEEPD_TEST_TORN=1")
+	stall := spawnWorker(t, dir, "victim-stall", ttl,
+		"SWEEPD_TEST_STALL_AFTER=1", "SWEEPD_TEST_STALL_MARKER="+marker)
+
+	// The torn victim kills itself; SIGKILL surfaces as a non-nil Wait.
+	if err := waitExit(t, "torn victim", torn, 30*time.Second); err == nil {
+		t.Fatal("torn victim exited cleanly; want death by SIGKILL")
+	}
+	// The stall victim reports it is stalled mid-shard; shoot it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stall victim never reached its stall window")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := stall.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(t, "stall victim", stall, 30*time.Second); err == nil {
+		t.Fatal("stall victim exited cleanly; want death by SIGKILL")
+	}
+
+	// Both victims are dead mid-shard: no done markers, orphaned leases,
+	// 3 completed records on disk (2 + 1), one of them under a torn tail.
+	if n, err := countDone(doneDir(dir), len(p.Shards)); err != nil || n != 0 {
+		t.Fatalf("victims done-marked %d shards (err %v); want 0", n, err)
+	}
+	if rec, tornFiles := countShardRecords(t, CellsDir(dir)); rec != 3 || len(tornFiles) != 1 {
+		t.Fatalf("after victims: %d records, torn files %v; want 3 records, 1 torn file", rec, tornFiles)
+	}
+
+	// Phase 2: the resume fleet. The victims' leases expire within one
+	// TTL; the survivors reclaim their shards, serve the completed cells
+	// from the victims' files, and measure only what is missing.
+	w3 := spawnWorker(t, dir, "healthy-3", ttl)
+	w4 := spawnWorker(t, dir, "healthy-4", ttl)
+	if err := waitExit(t, "healthy-3", w3, 60*time.Second); err != nil {
+		t.Fatalf("healthy-3: %v", err)
+	}
+	if err := waitExit(t, "healthy-4", w4, 60*time.Second); err != nil {
+		t.Fatalf("healthy-4: %v", err)
+	}
+
+	if n, err := countDone(doneDir(dir), len(p.Shards)); err != nil || n != len(p.Shards) {
+		t.Fatalf("done shards = %d (err %v), want %d", n, err, len(p.Shards))
+	}
+
+	// Zero double measurement: every cell appears exactly once across the
+	// raw shard files (the victims' records were resumed, not redone), and
+	// the torn tail is still there, tolerated rather than repaired.
+	records, tornFiles := countShardRecords(t, CellsDir(dir))
+	if records != p.NumCells() {
+		t.Errorf("%d records across shard files, want %d (each cell measured exactly once)", records, p.NumCells())
+	}
+	if len(tornFiles) != 1 {
+		t.Errorf("torn files after resume = %v, want exactly the victim's", tornFiles)
+	}
+
+	// Byte identity: the merged store renders exactly what an
+	// uninterrupted single-process sweep measures, without measuring.
+	st, err := results.LoadDir(CellsDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != p.NumCells() {
+		t.Fatalf("merged store has %d distinct cells, want %d", st.Len(), p.NumCells())
+	}
+	g := testGrid()
+	r := experiments.NewRunner(experiments.SmallScale(), 42)
+	got, stats, err := r.SweepCached(g, st, experiments.SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Measured != 0 || stats.Cached != g.Size() {
+		t.Errorf("render stats = %+v, want all %d cached, 0 measured", stats, g.Size())
+	}
+	ref := experiments.NewRunner(experiments.SmallScale(), 42)
+	want, err := ref.Sweep(g, experiments.SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("post-crash render differs from single-process reference:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	// Determinism of the merge itself: a second independent read of the
+	// sweep dir produces byte-identical records.
+	st2, err := results.LoadDir(CellsDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(st.Records())
+	b, _ := json.Marshal(st2.Records())
+	if !bytes.Equal(a, b) {
+		t.Error("two merge-on-read passes over the same sweep dir disagree")
+	}
+}

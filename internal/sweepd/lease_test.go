@@ -1,0 +1,176 @@
+package sweepd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func TestAcquireFreshAndHeld(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Acquire(dir, 3, "a", time.Minute, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Shard != 3 || l.Gen != 1 || l.Owner != "a" {
+		t.Fatalf("lease = %+v, want shard 3 gen 1 owner a", l)
+	}
+	// Live lease: every contender sees ErrHeld until expiry.
+	if _, err := Acquire(dir, 3, "b", time.Minute, t0.Add(59*time.Second)); !errors.Is(err, ErrHeld) {
+		t.Fatalf("acquire of live lease: err = %v, want ErrHeld", err)
+	}
+	// A different shard is independent.
+	if _, err := Acquire(dir, 4, "b", time.Minute, t0); err != nil {
+		t.Fatalf("acquire of other shard: %v", err)
+	}
+}
+
+func TestAcquireAfterExpiry(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Acquire(dir, 0, "a", time.Minute, t0); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Acquire(dir, 0, "b", time.Minute, t0.Add(2*time.Minute))
+	if err != nil {
+		t.Fatalf("acquire of expired lease: %v", err)
+	}
+	if l.Gen != 2 || l.Owner != "b" {
+		t.Fatalf("steal produced %+v, want gen 2 owner b", l)
+	}
+}
+
+// TestAcquireExpiredLeaseContention is the lease-safety race test: many
+// workers contend for the same expired lease at the same instant, and
+// exactly one may win the next generation (the others must see ErrHeld,
+// never a structural error and never a shared win). Run under -race this
+// also proves Acquire is internally race-free.
+func TestAcquireExpiredLeaseContention(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Acquire(dir, 7, "dead", time.Millisecond, t0); err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(time.Minute) // well past expiry for every contender
+
+	const contenders = 16
+	var wg sync.WaitGroup
+	wins := make([]*Lease, contenders)
+	errs := make([]error, contenders)
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wins[i], errs[i] = Acquire(dir, 7, fmt.Sprintf("w%02d", i), time.Minute, now)
+		}(i)
+	}
+	wg.Wait()
+
+	var winners []*Lease
+	for i := range wins {
+		switch {
+		case wins[i] != nil:
+			winners = append(winners, wins[i])
+		case !errors.Is(errs[i], ErrHeld):
+			t.Errorf("contender %d: err = %v, want ErrHeld", i, errs[i])
+		}
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d contenders won the expired lease, want exactly 1: %+v", len(winners), winners)
+	}
+	if winners[0].Gen != 2 {
+		t.Errorf("winner gen = %d, want 2", winners[0].Gen)
+	}
+	// The winner's heartbeat still works; a fresh contender still loses.
+	if err := winners[0].Heartbeat(time.Minute, now.Add(time.Second)); err != nil {
+		t.Errorf("winner heartbeat: %v", err)
+	}
+	if _, err := Acquire(dir, 7, "late", time.Minute, now.Add(2*time.Second)); !errors.Is(err, ErrHeld) {
+		t.Errorf("late contender: err = %v, want ErrHeld", err)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Acquire(dir, 0, "a", time.Minute, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Heartbeat(time.Minute, t0.Add(50*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Past the original expiry but inside the renewed one.
+	if _, err := Acquire(dir, 0, "b", time.Minute, t0.Add(100*time.Second)); !errors.Is(err, ErrHeld) {
+		t.Fatalf("acquire inside renewed lease: err = %v, want ErrHeld", err)
+	}
+}
+
+// TestHeartbeatAfterStealSuperseded pins the takeover contract: once a
+// contender claims the next generation of an expired lease, the old
+// owner's heartbeat must fail with ErrSuperseded — under -race, with the
+// steal and the heartbeat racing from separate goroutines.
+func TestHeartbeatAfterStealSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Acquire(dir, 5, "old", 10*time.Millisecond, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(time.Minute)
+
+	stolen := make(chan *Lease, 1)
+	go func() {
+		nl, err := Acquire(dir, 5, "thief", time.Minute, now)
+		if err != nil {
+			t.Error(err)
+		}
+		stolen <- nl
+	}()
+
+	// Heartbeat concurrently with the steal: each attempt either still
+	// succeeds (steal not yet linked) or reports ErrSuperseded; once the
+	// steal lands, ErrSuperseded is guaranteed. TTL 0 keeps the lease
+	// expired from the thief's viewpoint no matter how the calls
+	// interleave (a positive TTL here could renew the lease forever and
+	// lock the thief out).
+	for {
+		err := l.Heartbeat(0, now)
+		if errors.Is(err, ErrSuperseded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("heartbeat: %v", err)
+		}
+	}
+	nl := <-stolen
+	if nl.Gen != l.Gen+1 || nl.Owner != "thief" {
+		t.Fatalf("steal produced %+v, want gen %d owner thief", nl, l.Gen+1)
+	}
+	if err := nl.Heartbeat(time.Minute, now.Add(time.Second)); err != nil {
+		t.Errorf("new owner heartbeat: %v", err)
+	}
+}
+
+func TestDoneMarkers(t *testing.T) {
+	dir := t.TempDir()
+	for _, s := range []int{0, 2} {
+		if done, err := isDone(dir, s); err != nil || done {
+			t.Fatalf("isDone(%d) before marking = %v, %v", s, done, err)
+		}
+	}
+	if err := markDone(dir, 2, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-marking (two owners finishing the same work) is harmless.
+	if err := markDone(dir, 2, "b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := isDone(dir, 2); err != nil || !done {
+		t.Fatalf("isDone(2) = %v, %v, want true", done, err)
+	}
+	n, err := countDone(dir, 3)
+	if err != nil || n != 1 {
+		t.Fatalf("countDone = %d, %v, want 1", n, err)
+	}
+}

@@ -1,0 +1,150 @@
+package sweepd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmutrust/internal/experiments"
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// testGrid is the small grid the sweepd tests plan over: two kernels
+// across two machines and three methods (12 cells), including cells the
+// registries mark unsupported.
+func testGrid() experiments.Grid {
+	return experiments.Grid{
+		Workloads: workloads.Kernels()[:2],
+		Machines:  machine.All()[:2],
+		Methods:   sampling.Registry()[:3],
+	}
+}
+
+func testPlan(shards int) *Plan {
+	return NewPlan("table1", experiments.SmallScale(), 42, testGrid(), shards)
+}
+
+func TestNewPlanPartition(t *testing.T) {
+	g := testGrid()
+	cells := g.Cells()
+	p := testPlan(5)
+	if len(p.Shards) != 5 {
+		t.Fatalf("shards = %d, want 5", len(p.Shards))
+	}
+	if p.NumCells() != len(cells) {
+		t.Fatalf("NumCells = %d, want %d", p.NumCells(), len(cells))
+	}
+	// Concatenated shards must reproduce the canonical cell order, and
+	// the split must be balanced to within one cell.
+	i := 0
+	for s, shard := range p.Shards {
+		if len(shard) < len(cells)/5 || len(shard) > len(cells)/5+1 {
+			t.Errorf("shard %d has %d cells; want %d or %d", s, len(shard), len(cells)/5, len(cells)/5+1)
+		}
+		for _, ref := range shard {
+			c := cells[i]
+			if ref.Workload != c.Workload.Name || ref.Machine != c.Machine.Name || ref.Method != c.Method.Key {
+				t.Fatalf("shard %d ref %+v != canonical cell %d (%s/%s/%s)",
+					s, ref, i, c.Workload.Name, c.Machine.Name, c.Method.Key)
+			}
+			i++
+		}
+	}
+	if i != len(cells) {
+		t.Fatalf("shards cover %d cells, want %d", i, len(cells))
+	}
+}
+
+func TestNewPlanClampsShards(t *testing.T) {
+	g := testGrid()
+	if p := testPlan(10 * g.Size()); len(p.Shards) != g.Size() {
+		t.Errorf("oversharded plan got %d shards, want one per cell (%d)", len(p.Shards), g.Size())
+	}
+	if p := testPlan(-3); len(p.Shards) != 1 {
+		t.Errorf("negative shard count got %d shards, want 1", len(p.Shards))
+	}
+}
+
+func TestPlanFingerprintDeterministic(t *testing.T) {
+	a, b := testPlan(4), testPlan(4)
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("re-planning changed the fingerprint: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if c := testPlan(3); c.Fingerprint == a.Fingerprint {
+		t.Error("different shard counts share a fingerprint")
+	}
+	if d := NewPlan("table1", experiments.SmallScale(), 43, testGrid(), 4); d.Fingerprint == a.Fingerprint {
+		t.Error("different seeds share a fingerprint")
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := testPlan(4)
+	if err := WritePlan(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != p.Fingerprint || got.NumCells() != p.NumCells() {
+		t.Fatalf("round trip lost the plan: got %s/%d cells, want %s/%d",
+			got.Fingerprint, got.NumCells(), p.Fingerprint, p.NumCells())
+	}
+	// Rewriting the identical plan is a no-op (resume), a different plan
+	// is rejected (cross-contamination).
+	if err := WritePlan(dir, p); err != nil {
+		t.Fatalf("rewriting the same plan: %v", err)
+	}
+	if err := WritePlan(dir, testPlan(3)); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("writing a different plan into a live sweep dir: err = %v, want 'different sweep'", err)
+	}
+}
+
+func TestReadPlanMissing(t *testing.T) {
+	if _, err := ReadPlan(t.TempDir()); !os.IsNotExist(err) {
+		t.Fatalf("missing plan: err = %v, want os.IsNotExist", err)
+	}
+}
+
+func TestReadPlanTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	if err := WritePlan(dir, testPlan(2)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, planName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"seed": 42`, `"seed": 43`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper substitution did not apply")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlan(dir); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("tampered plan: err = %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestCellRefResolve(t *testing.T) {
+	p := testPlan(1)
+	for _, ref := range p.Shards[0] {
+		c, err := ref.Resolve()
+		if err != nil {
+			t.Fatalf("resolve %+v: %v", ref, err)
+		}
+		if c.Workload.Name != ref.Workload || c.Machine.Name != ref.Machine || c.Method.Key != ref.Method {
+			t.Fatalf("resolve %+v returned %s/%s/%s", ref, c.Workload.Name, c.Machine.Name, c.Method.Key)
+		}
+	}
+	if _, err := (CellRef{Workload: "no-such", Machine: "no-such", Method: "no-such"}).Resolve(); err == nil {
+		t.Fatal("resolving an unregistered ref succeeded")
+	}
+}

@@ -62,6 +62,24 @@
 // new.jsonl` diffs two stores cell-by-cell, exiting non-zero when a
 // cell's accuracy error regressed beyond a tolerance.
 //
+// # Distributed sweeps
+//
+// The store sits behind the results.Store interface with two backends:
+// a single append-only JSONL file, and a sharded directory of
+// single-writer files merged and deduplicated on read. The latter backs
+// the distributed sweep service (internal/sweepd): `pmubench -serve`
+// partitions a matrix experiment's cell grid into shards leased through
+// expiring lease files under a shared sweep directory, N `pmubench
+// -worker` processes (local or on any host sharing the filesystem)
+// claim shards and append completed cells to per-shard files, and the
+// coordinator streams progress/ETA and renders the final tables from
+// the merged records. Workers killed mid-shard — even mid-record-write —
+// cost at most one lease TTL and never a re-measurement of their
+// completed cells; because every cell is content-addressed, the
+// distributed result is byte-identical to a single-process run (a
+// subprocess fault-injection harness in internal/sweepd proves it).
+// pmureport accepts the sweep directory anywhere it takes a store file.
+//
 // # Execution engines
 //
 // Two engines execute the simulated machines. The reference interpreter
