@@ -294,6 +294,81 @@ func BenchmarkEngines(b *testing.B) {
 	b.Logf("engine speedup geomean %.2fx across %d kernels (BENCH_engine.json)", doc.Geomean, n)
 }
 
+// BenchmarkCollectAllocs pins the steady-state allocation cost of one
+// full sampling collection, without and with LBR capture (the LBR case
+// is the allocation-heavy one: every sample snapshots the branch ring;
+// the arena in internal/pmu amortizes those snapshots into shared
+// chunks). Run with -benchmem. The benchmark also writes
+// BENCH_alloc.json — allocations per collection, measured directly via
+// runtime.MemStats so the artifact works at any -benchtime — which
+// cmd/benchgate compares against the committed baseline: a per-sample
+// allocation creeping back into the hot path multiplies allocs/op by
+// the sample count and fails the gate.
+func BenchmarkCollectAllocs(b *testing.B) {
+	mach := machine.IvyBridge()
+	p := workloads.MustBuild("G4Box", 0.1)
+	type caseResult struct {
+		Method      string  `json:"method"`
+		Samples     int     `json:"samples"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	}
+	// The testing package re-invokes the parent function once per
+	// sub-benchmark run, so results are keyed (last run wins), not
+	// appended.
+	methods := []string{"precise+prime+rand", "lbr"}
+	results := make(map[string]caseResult, len(methods))
+	for _, key := range methods {
+		m, err := sampling.MethodByKey(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(key, func(b *testing.B) {
+			b.ReportAllocs()
+			var samples int
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			for i := 0; i < b.N; i++ {
+				run, err := sampling.Collect(p, mach, m, sampling.Options{
+					PeriodBase: 1000,
+					Seed:       42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = len(run.Samples)
+			}
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(samples), "samples")
+			results[key] = caseResult{
+				Method:      key,
+				Samples:     samples,
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(b.N),
+			}
+		})
+	}
+	if len(results) < len(methods) {
+		return // partial -bench filter run
+	}
+	var cases []caseResult
+	for _, key := range methods {
+		cases = append(cases, results[key])
+	}
+	doc := struct {
+		Machine    string       `json:"machine"`
+		Workload   string       `json:"workload"`
+		PeriodBase uint64       `json:"period_base"`
+		Cases      []caseResult `json:"cases"`
+	}{Machine: mach.Name, Workload: "G4Box", PeriodBase: 1000, Cases: cases}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_alloc.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Substrate micro-benchmarks ---------------------------------------------
 
 // BenchmarkCPUTimedRun measures simulator throughput (instructions/op via

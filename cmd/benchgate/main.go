@@ -1,19 +1,31 @@
-// Command benchgate is the CI bench-regression gate: it compares a fresh
-// BenchmarkEngines artifact against the committed baseline and fails when
-// the fast-engine speedup regressed beyond tolerance.
+// Command benchgate is the CI bench-regression gate: it compares fresh
+// benchmark artifacts against the committed baselines and fails when a
+// gated property regressed beyond tolerance.
 //
 // Usage:
 //
 //	benchgate -baseline BENCH_engine.json -new BENCH_engine_fresh.json [-tol 0.15]
+//	benchgate -alloc-baseline BENCH_alloc.json -alloc-new BENCH_alloc_fresh.json [-alloc-tol 0.5]
 //
-// The compared quantity is geomean_speedup — the geometric-mean ratio of
+// (The two gates compose: pass both flag pairs to run both.)
+//
+// The engine gate compares geomean_speedup — the geometric-mean ratio of
 // interpreter to fast-engine wall-clock over the kernel set. Absolute
 // nanoseconds are machine-dependent and useless across CI runners; the
-// speedup *ratio* is the property PR 3 bought and this gate defends. Exit
-// status: 0 when the fresh geomean is within (or above) tolerance, 1 on
-// regression, 2 on usage or artifact errors. An improvement beyond the
-// tolerance band is reported with a hint to refresh the baseline, but
-// does not fail the gate.
+// speedup *ratio* is the property PR 3 bought and this gate defends.
+//
+// The alloc gate compares allocs/op of each BenchmarkCollectAllocs case
+// (BENCH_alloc.json) against the baseline. Allocation counts are
+// machine-independent, so the tolerance exists only to absorb runtime
+// background noise (a fixed slack of a few allocations plus a relative
+// band); the failure mode it defends against is a per-sample allocation
+// creeping back into the collection hot path, which multiplies allocs/op
+// by the sample count.
+//
+// Exit status: 0 when every requested gate passes, 1 on regression, 2 on
+// usage or artifact errors. An improvement beyond the engine tolerance
+// band is reported with a hint to refresh the baseline, but does not fail
+// the gate.
 package main
 
 import (
@@ -50,6 +62,72 @@ func load(path string) (engineDoc, error) {
 	return doc, nil
 }
 
+// allocDoc is the subset of BENCH_alloc.json the alloc gate reads
+// (written by BenchmarkCollectAllocs in bench_test.go).
+type allocDoc struct {
+	Workload string `json:"workload"`
+	Cases    []struct {
+		Method      string  `json:"method"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"cases"`
+}
+
+func loadAlloc(path string) (allocDoc, error) {
+	var doc allocDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Cases) == 0 {
+		return doc, fmt.Errorf("%s: no benchmark cases", path)
+	}
+	for _, c := range doc.Cases {
+		if c.AllocsPerOp <= 0 {
+			return doc, fmt.Errorf("%s: case %s has non-positive allocs_per_op", path, c.Method)
+		}
+	}
+	return doc, nil
+}
+
+// allocSlack is the fixed allocation headroom on top of the relative
+// tolerance: at ~15 allocs per collection a purely relative band is
+// tighter than the runtime's own background allocation noise.
+const allocSlack = 8
+
+// gateAlloc compares per-case allocs/op against the baseline and returns
+// the process exit code plus one verdict line per case. A fresh artifact
+// missing a baseline case is an artifact error (exit 2): silently
+// skipping a case would un-gate it.
+func gateAlloc(baseline, fresh allocDoc, tol float64) (int, []string) {
+	freshBy := make(map[string]float64, len(fresh.Cases))
+	for _, c := range fresh.Cases {
+		freshBy[c.Method] = c.AllocsPerOp
+	}
+	code := 0
+	var verdicts []string
+	for _, c := range baseline.Cases {
+		got, ok := freshBy[c.Method]
+		if !ok {
+			return 2, append(verdicts, fmt.Sprintf("ERROR: fresh artifact has no case %q", c.Method))
+		}
+		ceil := c.AllocsPerOp*(1+tol) + allocSlack
+		if got > ceil {
+			code = 1
+			verdicts = append(verdicts, fmt.Sprintf(
+				"REGRESSION: %s allocs/op %.1f exceeds baseline %.1f + %.0f%% + %d slack (ceiling %.1f)",
+				c.Method, got, c.AllocsPerOp, tol*100, allocSlack, ceil))
+		} else {
+			verdicts = append(verdicts, fmt.Sprintf(
+				"ok: %s allocs/op %.1f within ceiling %.1f (baseline %.1f)",
+				c.Method, got, ceil, c.AllocsPerOp))
+		}
+	}
+	return code, verdicts
+}
+
 // gate compares the two geomeans and returns the process exit code plus a
 // human-readable verdict. Split from main for testability.
 func gate(baseline, fresh engineDoc, tol float64) (int, string) {
@@ -73,33 +151,65 @@ func gate(baseline, fresh engineDoc, tol float64) (int, string) {
 
 func main() {
 	var (
-		basePath = flag.String("baseline", "BENCH_engine.json", "committed baseline artifact")
-		newPath  = flag.String("new", "", "freshly measured artifact")
-		tol      = flag.Float64("tol", 0.15, "allowed relative geomean deviation")
+		basePath      = flag.String("baseline", "BENCH_engine.json", "committed engine baseline artifact")
+		newPath       = flag.String("new", "", "freshly measured engine artifact")
+		tol           = flag.Float64("tol", 0.15, "allowed relative geomean deviation")
+		allocBasePath = flag.String("alloc-baseline", "BENCH_alloc.json", "committed allocation baseline artifact")
+		allocNewPath  = flag.String("alloc-new", "", "freshly measured allocation artifact")
+		allocTol      = flag.Float64("alloc-tol", 0.5, "allowed relative allocs/op growth (plus fixed slack)")
 	)
 	flag.Parse()
-	if *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+	if *newPath == "" && *allocNewPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one of -new / -alloc-new is required")
 		os.Exit(2)
 	}
 	if *tol <= 0 || *tol >= 1 {
 		fmt.Fprintln(os.Stderr, "benchgate: -tol must be in (0, 1)")
 		os.Exit(2)
 	}
-	baseline, err := load(*basePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	if *allocTol <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -alloc-tol must be positive")
 		os.Exit(2)
 	}
-	fresh, err := load(*newPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+	exitCode := 0
+	if *newPath != "" {
+		baseline, err := load(*basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, err := load(*newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		code, verdict := gate(baseline, fresh, *tol)
+		fmt.Println("benchgate:", verdict)
+		for _, w := range fresh.Workloads {
+			fmt.Printf("  %-16s %.3fx\n", w.Workload, w.Speedup)
+		}
+		if code > exitCode {
+			exitCode = code
+		}
 	}
-	code, verdict := gate(baseline, fresh, *tol)
-	fmt.Println("benchgate:", verdict)
-	for _, w := range fresh.Workloads {
-		fmt.Printf("  %-16s %.3fx\n", w.Workload, w.Speedup)
+	if *allocNewPath != "" {
+		baseline, err := loadAlloc(*allocBasePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, err := loadAlloc(*allocNewPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		code, verdicts := gateAlloc(baseline, fresh, *allocTol)
+		for _, v := range verdicts {
+			fmt.Println("benchgate:", v)
+		}
+		if code > exitCode {
+			exitCode = code
+		}
 	}
-	os.Exit(code)
+	os.Exit(exitCode)
 }

@@ -65,9 +65,73 @@ func TestLoadRejectsBadArtifacts(t *testing.T) {
 	}
 }
 
-// TestGateAgainstCommittedBaseline: the committed artifact must stay
-// parseable by the gate, or the CI job dies with a usage error instead of
-// a verdict.
+func allocFixture(methods map[string]float64) allocDoc {
+	var d allocDoc
+	d.Workload = "G4Box"
+	for m, a := range methods {
+		d.Cases = append(d.Cases, struct {
+			Method      string  `json:"method"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		}{m, a})
+	}
+	return d
+}
+
+func TestGateAllocVerdicts(t *testing.T) {
+	base := allocFixture(map[string]float64{"lbr": 16})
+	cases := []struct {
+		name     string
+		fresh    float64
+		wantCode int
+		wantWord string
+	}{
+		{"equal", 16, 0, "ok:"},
+		{"within-slack", 16*1.5 + 8, 0, "ok:"},
+		{"just-over", 16*1.5 + 9, 1, "REGRESSION"},
+		{"per-sample-regression", 1000, 1, "REGRESSION"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, verdicts := gateAlloc(base, allocFixture(map[string]float64{"lbr": tc.fresh}), 0.5)
+			if code != tc.wantCode {
+				t.Errorf("code = %d, want %d (%v)", code, tc.wantCode, verdicts)
+			}
+			if len(verdicts) != 1 || !strings.Contains(verdicts[0], tc.wantWord) {
+				t.Errorf("verdicts %v lack %q", verdicts, tc.wantWord)
+			}
+		})
+	}
+
+	// A fresh artifact that dropped a baseline case is an artifact error,
+	// not a pass.
+	if code, _ := gateAlloc(base, allocFixture(map[string]float64{"other": 1}), 0.5); code != 2 {
+		t.Errorf("missing case gated with code %d, want 2", code)
+	}
+}
+
+func TestLoadAllocRejectsBadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := loadAlloc(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := loadAlloc(write("empty.json", "{}")); err == nil {
+		t.Error("artifact without cases accepted")
+	}
+	if _, err := loadAlloc(write("zero.json", `{"cases":[{"method":"lbr","allocs_per_op":0}]}`)); err == nil {
+		t.Error("non-positive allocs_per_op accepted")
+	}
+}
+
+// TestGateAgainstCommittedBaseline: the committed artifacts must stay
+// parseable by the gates, or the CI job dies with a usage error instead
+// of a verdict.
 func TestGateAgainstCommittedBaseline(t *testing.T) {
 	d, err := load("../../BENCH_engine.json")
 	if err != nil {
@@ -75,5 +139,12 @@ func TestGateAgainstCommittedBaseline(t *testing.T) {
 	}
 	if code, _ := gate(d, d, 0.15); code != 0 {
 		t.Error("baseline does not pass against itself")
+	}
+	a, err := loadAlloc("../../BENCH_alloc.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_alloc.json unreadable: %v", err)
+	}
+	if code, verdicts := gateAlloc(a, a, 0.5); code != 0 {
+		t.Errorf("alloc baseline does not pass against itself: %v", verdicts)
 	}
 }

@@ -7,7 +7,7 @@
 //	                      ablate-skid|ablate-period|ablate-lbr|ablate-burst|
 //	                      ablate-rand|overhead|freq|lbr-contention|
 //	                      stability|future-hw|mux-events|mux-timeslice|
-//	                      mux-policy|mux|phased|all]
+//	                      mux-policy|mux|phased|spec|all]
 //	         [-scale paper|small] [-seed N] [-markdown]
 //	         [-parallel N] [-timeout D] [-json FILE]
 //	         [-store FILE] [-resume] [-engine fast|interp|both]
@@ -39,7 +39,12 @@
 // restart-safe: only the missing cells run, and the tables come out
 // byte-identical to an uninterrupted run. Without -resume the store path
 // must be new or empty (pmubench refuses to clobber accumulated
-// results). cmd/pmureport renders and diffs store files.
+// results). cmd/pmureport renders and diffs store files. Alongside the
+// store, pmubench keeps a FILE.refs sidecar memoizing each workload's
+// ground-truth reference profile: references are a pure function of
+// (workload, scale), so the sidecar is always opened for resume — even a
+// fresh -store run serves references an earlier run at the same scale
+// already collected, and a re-rendered sweep re-executes nothing.
 //
 // -engine selects the execution engine: "fast" (default) runs the
 // block-stride fast-path executor, "interp" the per-instruction reference
@@ -100,6 +105,36 @@ import (
 	"pmutrust/internal/sweepd"
 	"pmutrust/internal/workloads"
 )
+
+// experimentList is the registry of every dispatchable -experiment
+// name, in the order "-experiment all" runs them (table3 first: it is
+// analytic, so a broken build fails before any sweep starts). The run
+// dispatch switch and the usage comment's experiment list must both
+// match it exactly — TestExperimentRegistryConsistent pins all three
+// against each other.
+var experimentList = []string{
+	"table3", "table1", "table2", "factors", "ipfix", "ranking",
+	"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
+	"overhead", "freq", "lbr-contention", "stability", "future-hw",
+	"mux-events", "mux-timeslice", "mux-policy", "mux", "phased", "spec",
+}
+
+// flagOnlyExperiments are dispatchable by name but excluded from "all"
+// because they are meaningless without an extra flag ("mux" needs
+// -events, "spec" needs -spec).
+var flagOnlyExperiments = map[string]bool{"mux": true, "spec": true}
+
+// allExperiments returns what "-experiment all" runs: the registry
+// minus the flag-dependent entries, in registry order.
+func allExperiments() []string {
+	var names []string
+	for _, n := range experimentList {
+		if !flagOnlyExperiments[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}
 
 // jsonResult is one experiment's machine-readable record.
 type jsonResult struct {
@@ -182,8 +217,8 @@ func main() {
 			Log:      os.Stderr,
 		}
 		stats, err := w.Run()
-		fmt.Fprintf(os.Stderr, "pmubench: worker: %d shards completed (%d leases taken), %d cells measured, %d served from predecessors\n",
-			stats.ShardsCompleted, stats.ShardsTaken, stats.Measured, stats.Served)
+		fmt.Fprintf(os.Stderr, "pmubench: worker: %d shards completed (%d leases taken), %d cells measured, %d served from predecessors, %d refs collected, %d served from memo\n",
+			stats.ShardsCompleted, stats.ShardsTaken, stats.Measured, stats.Served, stats.RefsCollected, stats.RefsServed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmubench: worker: %v\n", err)
 			os.Exit(1)
@@ -206,7 +241,7 @@ func main() {
 	r.Timeout = *timeout
 	r.Engine = engine
 
-	var store results.Store
+	var store, refStore results.Store
 	if *storePath != "" {
 		if *serve {
 			fmt.Fprintln(os.Stderr, "pmubench: -serve keeps its results under -sweep-dir; it cannot be combined with -store")
@@ -231,6 +266,17 @@ func main() {
 			os.Exit(2)
 		}
 		r.Store = store
+		// The reference memo rides in a sidecar file. Unlike the store
+		// itself it is always opened for resume: ground truth is a pure
+		// function of (workload, scale), never of seed or method, so a
+		// stale sidecar is impossible by construction.
+		refs, err := results.Open(*storePath + ".refs")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
+			os.Exit(2)
+		}
+		refStore = refs
+		r.RefStore = refs
 	}
 
 	// Coordinator mode: run the distributed sweep to completion, then
@@ -290,6 +336,15 @@ func main() {
 		store = st
 		storeLabel = *sweepDir
 		r.Store = store
+		// The render pass re-measures any cell the fleet failed on; its
+		// references come from the fleet's shared memo under the sweep dir.
+		refs, err := results.OpenDir(sweepd.RefsDir(*sweepDir), "render")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		refStore = refs
+		r.RefStore = refs
 	}
 
 	jsonResults := []jsonResult{}
@@ -506,10 +561,7 @@ func main() {
 		// and nothing else.
 		names = []string{"spec"}
 	} else if *experiment == "all" {
-		names = []string{"table3", "table1", "table2", "factors", "ipfix", "ranking",
-			"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
-			"overhead", "freq", "lbr-contention", "stability", "future-hw",
-			"mux-events", "mux-timeslice", "mux-policy", "phased"}
+		names = allExperiments()
 	}
 	exitCode := 0
 	for _, name := range names {
@@ -536,6 +588,15 @@ func main() {
 			storeLabel, store.Len(), stats.Cached, stats.Measured)
 		if err := store.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "pmubench: store: %v\n", err)
+			exitCode = 1
+		}
+	}
+	if refStore != nil {
+		rs := r.RefStats()
+		fmt.Fprintf(os.Stderr, "pmubench: refs: %d served from memo, %d newly collected\n",
+			rs.Cached, rs.Measured)
+		if err := refStore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: refs: %v\n", err)
 			exitCode = 1
 		}
 	}

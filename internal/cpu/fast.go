@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"fmt"
-
 	"pmutrust/internal/isa"
 	"pmutrust/internal/program"
 )
@@ -46,10 +44,12 @@ func RunEngine(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64, en
 // BulkCounts is the per-event-class retirement total of one fast-path
 // stride — everything a counting PMU can observe about a stride without
 // seeing individual instructions. The fields mirror the countable events
-// of internal/pmu: per-opcode-class counts are accumulated by the stride
-// loop at the cost of one increment in the already-dispatched opcode
-// case, so richer multiplexed counting (loads, stores, FP ops, call/ret
-// pairs, mispredicts) never forces the engine out of stride mode.
+// of internal/pmu. The Result-shaped classes (instructions, uops, taken
+// branches, conditional branches, mispredicts) are computed as deltas of
+// the engine's own run counters at flush time; the remaining classes cost
+// one increment in the already-dispatched opcode case of the full loop,
+// so richer multiplexed counting (loads, stores, FP ops, call/ret pairs)
+// never forces the engine out of stride mode.
 type BulkCounts struct {
 	// Instrs is the number of retired instructions.
 	Instrs uint64
@@ -67,6 +67,55 @@ type BulkCounts struct {
 	FPOps uint64
 	// Calls and Rets count retired calls and returns.
 	Calls, Rets uint64
+}
+
+// BulkClass is a bitmask over the fields of BulkCounts. Monitors use it
+// (through BulkClassHinter) to declare which classes they actually read,
+// which lets RunFast pick a specialized stride loop that skips the
+// bookkeeping for every class the monitor ignores.
+type BulkClass uint16
+
+const (
+	// BulkInstrs selects BulkCounts.Instrs.
+	BulkInstrs BulkClass = 1 << iota
+	// BulkUops selects BulkCounts.Uops.
+	BulkUops
+	// BulkTakenBranches selects BulkCounts.TakenBranches.
+	BulkTakenBranches
+	// BulkCondBranches selects BulkCounts.CondBranches.
+	BulkCondBranches
+	// BulkMispredicts selects BulkCounts.Mispredicts.
+	BulkMispredicts
+	// BulkLoads selects BulkCounts.Loads.
+	BulkLoads
+	// BulkStores selects BulkCounts.Stores.
+	BulkStores
+	// BulkFPOps selects BulkCounts.FPOps.
+	BulkFPOps
+	// BulkCalls selects BulkCounts.Calls.
+	BulkCalls
+	// BulkRets selects BulkCounts.Rets.
+	BulkRets
+
+	// BulkAll selects every class — the conservative default for monitors
+	// that do not hint.
+	BulkAll BulkClass = 1<<10 - 1
+)
+
+// leanBulkClasses are the classes the lean stride loop materializes: the
+// ones the engine tracks for Result anyway, so their BulkCounts fields
+// are flush-time deltas with zero per-instruction cost.
+const leanBulkClasses = BulkInstrs | BulkUops | BulkTakenBranches | BulkCondBranches | BulkMispredicts
+
+// BulkClassHinter is an optional refinement of FastMonitor: a monitor
+// that implements it promises to read only the hinted BulkCounts fields
+// in BulkRetire — every other field may arrive as zero. The hint (and
+// WantBranches) must be constant over a run: RunFast consults both once
+// at setup to select a specialized loop. The PMU hints the class of its
+// configured event; the mux hints the union over its event set plus its
+// inner unit's hint.
+type BulkClassHinter interface {
+	BulkClasses() BulkClass
 }
 
 // FastMonitor is the bulk-advance contract a Monitor may implement to let
@@ -127,6 +176,70 @@ func (NopMonitor) OnFastBranch(from, to uint32, op isa.Op) {}
 // BulkRetire implements FastMonitor.
 func (NopMonitor) BulkRetire(c BulkCounts) {}
 
+// BulkClasses implements BulkClassHinter: a NopMonitor reads nothing.
+func (NopMonitor) BulkClasses() BulkClass { return 0 }
+
+// Variant identifies which specialized execution loop RunFast selects for
+// a monitor. The variants differ only in which bookkeeping they elide —
+// every observable (Result, event stream, bulk totals, branch stream,
+// error text) is bit-identical across all of them and the interpreter;
+// the differential harness runs its full battery against each.
+type Variant uint8
+
+const (
+	// VariantFull is the fully general stride loop: per-class bulk
+	// accumulation and the OnFastBranch stream. Selected for any
+	// FastMonitor that wants branches, reads classes beyond the
+	// Result-shaped set, or does not hint.
+	VariantFull Variant = iota
+	// VariantLean is the counting-only loop: no branch stream, and every
+	// bulk class the monitor reads is a flush-time delta of the engine's
+	// own run counters — the stride body carries no monitor bookkeeping
+	// at all. Selected for hinting monitors whose classes fit the
+	// Result-shaped set (a sampling PMU on a Result-shaped event, a mux
+	// over Result-shaped events with a conforming or absent inner unit).
+	VariantLean
+	// VariantNop is the monitor-free loop: no headroom protocol, no
+	// flushes, no streams. Selected for NopMonitor (timing-only runs).
+	VariantNop
+	// VariantInterp marks a monitor with no FastMonitor implementation:
+	// RunFast falls back to the reference interpreter.
+	VariantInterp
+)
+
+// String returns the variant name used by tests and diagnostics.
+func (v Variant) String() string {
+	switch v {
+	case VariantFull:
+		return "full"
+	case VariantLean:
+		return "lean"
+	case VariantNop:
+		return "nop"
+	case VariantInterp:
+		return "interp"
+	default:
+		return "unknown"
+	}
+}
+
+// FastVariant reports the specialized loop RunFast will select for mon.
+// Exported so the differential suites can prove they cover every variant.
+func FastVariant(mon Monitor) Variant {
+	fm, ok := mon.(FastMonitor)
+	if !ok {
+		return VariantInterp
+	}
+	if _, ok := fm.(NopMonitor); ok {
+		return VariantNop
+	}
+	if h, ok := fm.(BulkClassHinter); ok &&
+		!fm.WantBranches() && h.BulkClasses()&^leanBulkClasses == 0 {
+		return VariantLean
+	}
+	return VariantFull
+}
+
 // Decoded-instruction flag bits (fastInstr.fl), used by the generic
 // (event-mode) body.
 const (
@@ -140,17 +253,19 @@ const (
 
 // fastInstr is one predecoded instruction: the opcode's static property
 // table (latency, uops, operand flags) flattened into the instruction so
-// the stride loop never chases opInfo through method calls.
+// the stride loop never chases opInfo through method calls. The immediate
+// and the branch target are mutually exclusive in the ISA (branches and
+// calls carry no immediate operand), so they share one field and the
+// whole record packs into 16 bytes — four instructions per cache line.
 type fastInstr struct {
-	imm    int64
-	target int32
-	op     isa.Op
-	dst    uint8
-	src1   uint8
-	src2   uint8
-	lat    uint8
-	uops   uint8
-	fl     uint8
+	imm  int64 // immediate, or the control-transfer target for jmp/jcc/call
+	op   isa.Op
+	dst  uint8
+	src1 uint8
+	src2 uint8
+	lat  uint8
+	uops uint8
+	fl   uint8
 }
 
 // decodeProgram flattens p into the predecoded fast representation. The
@@ -159,18 +274,102 @@ type fastInstr struct {
 // only target block heads, so a stride is a chain of whole blocks in which
 // every instruction's successor is statically pc+1 except at block
 // terminators — exactly the cases the specialized switch handles.
+// Decode-time fused superinstructions: a cmp/cmpi whose immediate
+// successor is a conditional branch that no control transfer targets
+// (reachable only by falling out of the compare). The stride loops execute
+// the pair in one dispatch, halving loop overhead on it; event mode
+// executes the head as its plain compare and the branch as itself. The
+// values sit directly after the ISA opcodes so the dispatch switches stay
+// dense jump tables.
+const (
+	opCmpJz isa.Op = isa.Op(isa.NumOps) + iota
+	opCmpJnz
+	opCmpJlt
+	opCmpJge
+	opCmpiJz
+	opCmpiJnz
+	opCmpiJlt
+	opCmpiJge
+)
+
+// ALU/memory/FP pair superinstructions: any fusable head glued to an
+// untargeted successor from the same class (or an unconditional jmp). The
+// head's opcode is rewritten to its opPair form; the glued instruction's
+// entry stays intact and is read as the pair's second half.
+const (
+	opPairMov   isa.Op = isa.Op(isa.NumOps) + 8 + 0
+	opPairMovi  isa.Op = isa.Op(isa.NumOps) + 8 + 1
+	opPairAdd   isa.Op = isa.Op(isa.NumOps) + 8 + 2
+	opPairAddi  isa.Op = isa.Op(isa.NumOps) + 8 + 3
+	opPairSub   isa.Op = isa.Op(isa.NumOps) + 8 + 4
+	opPairMul   isa.Op = isa.Op(isa.NumOps) + 8 + 5
+	opPairDiv   isa.Op = isa.Op(isa.NumOps) + 8 + 6
+	opPairRem   isa.Op = isa.Op(isa.NumOps) + 8 + 7
+	opPairAnd   isa.Op = isa.Op(isa.NumOps) + 8 + 8
+	opPairOr    isa.Op = isa.Op(isa.NumOps) + 8 + 9
+	opPairXor   isa.Op = isa.Op(isa.NumOps) + 8 + 10
+	opPairShl   isa.Op = isa.Op(isa.NumOps) + 8 + 11
+	opPairShr   isa.Op = isa.Op(isa.NumOps) + 8 + 12
+	opPairLoad  isa.Op = isa.Op(isa.NumOps) + 8 + 13
+	opPairStore isa.Op = isa.Op(isa.NumOps) + 8 + 14
+	opPairFadd  isa.Op = isa.Op(isa.NumOps) + 8 + 15
+	opPairFmul  isa.Op = isa.Op(isa.NumOps) + 8 + 16
+	opPairFdiv  isa.Op = isa.Op(isa.NumOps) + 8 + 17
+	opPairFma   isa.Op = isa.Op(isa.NumOps) + 8 + 18
+)
+
+// pairPlain maps opPair opcodes (offset by opPairMov) back to the head's
+// plain opcode, for event-mode execution and fusability checks.
+var pairPlain = [...]isa.Op{
+	isa.OpMov,
+	isa.OpMovi,
+	isa.OpAdd,
+	isa.OpAddi,
+	isa.OpSub,
+	isa.OpMul,
+	isa.OpDiv,
+	isa.OpRem,
+	isa.OpAnd,
+	isa.OpOr,
+	isa.OpXor,
+	isa.OpShl,
+	isa.OpShr,
+	isa.OpLoad,
+	isa.OpStore,
+	isa.OpFadd,
+	isa.OpFmul,
+	isa.OpFdiv,
+	isa.OpFma,
+}
+
+// unfuse maps a fused decode-time opcode back to the plain opcode of its
+// head instruction.
+func unfuse(op isa.Op) isa.Op {
+	switch {
+	case op >= opPairMov:
+		return pairPlain[op-opPairMov]
+	case op >= opCmpiJz:
+		return isa.OpCmpi
+	default:
+		return isa.OpCmp
+	}
+}
+
 func decodeProgram(p *program.Program) []fastInstr {
 	code := make([]fastInstr, len(p.Code))
 	for i := range p.Code {
 		in := &p.Code[i]
 		op := in.Op
 		d := fastInstr{
-			imm:    in.Imm,
-			target: in.Target,
-			op:     op,
-			dst:    uint8(in.Dst),
-			src1:   uint8(in.Src1),
-			src2:   uint8(in.Src2),
+			imm:  in.Imm,
+			op:   op,
+			dst:  uint8(in.Dst),
+			src1: uint8(in.Src1),
+			src2: uint8(in.Src2),
+		}
+		switch op {
+		case isa.OpJmp, isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge, isa.OpCall:
+			d.imm = int64(in.Target)
 		}
 		if op.Valid() {
 			d.lat = op.Latency()
@@ -198,7 +397,112 @@ func decodeProgram(p *program.Program) []fastInstr {
 		}
 		code[i] = d
 	}
+
+	// Fusion pass: mark every instruction a control transfer can land on
+	// (branch/call targets, return addresses, function entries), then fuse
+	// each compare whose successor is an untargeted conditional branch.
+	targeted := make([]bool, len(p.Code)+1)
+	for i := range p.Code {
+		in := &p.Code[i]
+		switch in.Op {
+		case isa.OpJmp, isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
+			if int(in.Target) < len(targeted) {
+				targeted[in.Target] = true
+			}
+		case isa.OpCall:
+			if int(in.Target) < len(targeted) {
+				targeted[in.Target] = true
+			}
+			targeted[i+1] = true // a ret lands on the call's successor
+		}
+	}
+	for _, f := range p.Funcs {
+		if int(f.Start) < len(targeted) {
+			targeted[f.Start] = true
+		}
+	}
+	for i := 0; i+1 < len(code); {
+		if targeted[i+1] {
+			i++
+			continue
+		}
+		head, second := code[i].op, code[i+1].op
+		if head == isa.OpCmp || head == isa.OpCmpi {
+			var fused isa.Op
+			switch second {
+			case isa.OpJz:
+				fused = opCmpJz
+			case isa.OpJnz:
+				fused = opCmpJnz
+			case isa.OpJlt:
+				fused = opCmpJlt
+			case isa.OpJge:
+				fused = opCmpJge
+			}
+			if fused != 0 {
+				if head == isa.OpCmpi {
+					fused += opCmpiJz - opCmpJz
+				}
+				code[i].op = fused
+				i += 2
+				continue
+			}
+			i++
+			continue
+		}
+		if hf, ok := pairHeadOp(head); ok && pairSecondOK(second) {
+			code[i].op = hf
+			i += 2
+			continue
+		}
+		i++
+	}
 	return code
+}
+
+// regState is one architectural register's simulation state: its value and
+// the cycle its last writer completes. Interleaving the two halves the
+// cache lines the stride loops touch per operand.
+type regState struct {
+	val   int64
+	ready uint64
+}
+
+// fastMem sizes the run's memory to the next power of two (at least one
+// word) so address wrapping is a mask, exactly like the interpreter's
+// state. Callers derive the mask as int64(len(mem)-1) so the bounds-check
+// prover sees every masked index fit the slice.
+func fastMem(p *program.Program) []int64 {
+	memWords := 1
+	for memWords < p.MemWords {
+		memWords <<= 1
+	}
+	return make([]int64, memWords)
+}
+
+// predictUpdate is predict and update fused into one table access, used
+// by the fast engine's stride loops (the interpreter keeps the two-step
+// form; semantics are identical and the differential harness proves it).
+func (pr *predictor) predictUpdate(pc uint32, taken bool) bool {
+	// Mask against len(t)-1 (== pr.mask by construction in init) so the
+	// prove pass elides the table bounds checks in the inlined hot loops;
+	// the impossible empty-table guard gives it the len ≥ 1 fact it needs.
+	t := pr.table
+	if len(t) == 0 {
+		return false
+	}
+	i := int(pc) & (len(t) - 1)
+	c := t[i]
+	if taken {
+		if c < 3 {
+			t[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			t[i] = c - 1
+		}
+	}
+	return c >= 2
 }
 
 // RunFast executes p to completion under cfg, like Run, but advances in
@@ -213,541 +517,39 @@ func decodeProgram(p *program.Program) []fastInstr {
 // counter within one block of overflow, armed PEBS capture window, pending
 // imprecise PMI or displaced IBS tag).
 //
+// The loop itself is specialized to the monitor's shape at setup (see
+// Variant and FastVariant): NopMonitor runs a monitor-free loop,
+// counting-only monitors whose bulk classes fit the Result-shaped set run
+// a loop whose stride body carries no monitor bookkeeping at all, and
+// everything else runs the fully general loop. Interface dispatch on the
+// monitor therefore never appears inside a stride — only at flush
+// boundaries and in event mode.
+//
 // Functional semantics, the timing model, Result, the sample stream and
-// error text are bit-identical to Run; the differential harness in this
-// package and internal/sampling enforces it. Opcodes must be valid and
-// register indices < isa.NumRegs — program.Validate checks both, and
-// Build never produces anything else. The contract holds for validated
-// programs only: on unvalidated garbage the engines may differ (both
-// panic on invalid opcodes, but an out-of-range register panics the
-// interpreter while the fast path's deliberately oversized register file
-// reads phantom zeros).
+// error text are bit-identical to Run across every variant; the
+// differential harness in this package and internal/sampling enforces it.
+// Opcodes must be valid and register indices < isa.NumRegs —
+// program.Validate checks both, and Build never produces anything else.
+// The contract holds for validated programs only: on unvalidated garbage
+// the engines may differ (both panic on invalid opcodes, but an
+// out-of-range register panics the interpreter while the fast path's
+// deliberately oversized register file reads phantom zeros).
 //
 // A monitor that does not implement FastMonitor falls back to Run.
 func RunFast(p *program.Program, cfg Config, mon Monitor, maxInstrs uint64) (Result, error) {
-	fm, ok := mon.(FastMonitor)
-	if !ok {
-		return Run(p, cfg, mon, maxInstrs)
-	}
 	cfg = cfg.withDefaults()
 	if maxInstrs == 0 {
 		maxInstrs = 1 << 40
 	}
-	code := decodeProgram(p)
-
-	// Architectural state (mirrors state in engine.go). The register files
-	// are sized 256 so uint8 operand indices never need a bounds check in
-	// the stride loop; validated programs only touch the first NumRegs
-	// entries.
-	memWords := 1
-	for memWords < p.MemWords {
-		memWords <<= 1
-	}
-	mem := make([]int64, memWords)
-	memMask := int64(memWords - 1)
-	stack := make([]uint32, 0, 64)
-	var regs [256]int64
-	var regReady [256]uint64
-	var flags int64
-	var pred predictor
-	pred.init(cfg.PredictorBits)
-
-	// Timing and count state, hoisted to locals so the stride loop keeps
-	// it in registers; folded into Result at the exit points.
-	var flagsReady, dispCycle, retCycle, redirect uint64
-	var dispCount, retCount int
-	var instrs, uopsDone, takenBr, condBr, mispred uint64
-
-	dw, rw := cfg.DispatchWidth, cfg.RetireWidth
-	mispen, bubble := cfg.MispredictPenalty, cfg.TakenBranchBubble
-	maxDepth := cfg.MaxCallDepth
-	wantBr := fm.WantBranches()
-
-	pc := int32(p.Funcs[0].Start)
-
-	// Stride accounting: headroom is the remainder of the monitor's last
-	// grant; acc holds retired-but-not-yet-flushed per-class totals
-	// (uopsDone is updated only when acc.Uops is folded in, so Result.Uops
-	// is read as uopsDone after a flush).
-	var headroom uint64
-	var acc BulkCounts
-
-	// Cold-path error state (call overflow / ret underflow), reached by
-	// goto so the hot loop carries no error plumbing.
-	var pendingErr error
-	var nDone uint64 // instructions completed in the failing stride
-
-	for {
-		if headroom == 0 {
-			if acc.Instrs != 0 {
-				uopsDone += acc.Uops
-				fm.BulkRetire(acc)
-				acc = BulkCounts{}
-			}
-			headroom = fm.FastHeadroom()
-		}
-
-		if headroom == 0 {
-			// ---- event mode: one instruction, generic body, full event ----
-			in := &code[pc]
-			idx := uint32(pc)
-
-			d := dispCycle
-			if dispCount >= dw {
-				d++
-				dispCount = 0
-			}
-			if redirect > d {
-				d = redirect
-				dispCount = 0
-			}
-			dispCycle = d
-			dispCount++
-
-			ready := d
-			fl := in.fl
-			if fl&fReads1 != 0 {
-				ready = max(ready, regReady[in.src1])
-			}
-			if fl&fReads2 != 0 {
-				ready = max(ready, regReady[in.src2])
-			}
-			if fl&fReadsF != 0 {
-				ready = max(ready, flagsReady)
-			}
-			complete := ready + uint64(in.lat)
-
-			var taken, halt bool
-			var target int32
-			next := pc + 1
-			switch in.op {
-			case isa.OpNop:
-			case isa.OpMov:
-				regs[in.dst] = regs[in.src1]
-			case isa.OpMovi:
-				regs[in.dst] = in.imm
-			case isa.OpAdd:
-				regs[in.dst] = regs[in.src1] + regs[in.src2]
-			case isa.OpAddi:
-				regs[in.dst] = regs[in.src1] + in.imm
-			case isa.OpSub:
-				regs[in.dst] = regs[in.src1] - regs[in.src2]
-			case isa.OpMul:
-				regs[in.dst] = regs[in.src1] * regs[in.src2]
-			case isa.OpDiv:
-				if v := regs[in.src2]; v != 0 {
-					regs[in.dst] = regs[in.src1] / v
-				} else {
-					regs[in.dst] = 0
-				}
-			case isa.OpRem:
-				if v := regs[in.src2]; v != 0 {
-					regs[in.dst] = regs[in.src1] % v
-				} else {
-					regs[in.dst] = 0
-				}
-			case isa.OpAnd:
-				regs[in.dst] = regs[in.src1] & regs[in.src2]
-			case isa.OpOr:
-				regs[in.dst] = regs[in.src1] | regs[in.src2]
-			case isa.OpXor:
-				regs[in.dst] = regs[in.src1] ^ regs[in.src2]
-			case isa.OpShl:
-				regs[in.dst] = regs[in.src1] << uint(in.imm&63)
-			case isa.OpShr:
-				regs[in.dst] = int64(uint64(regs[in.src1]) >> uint(in.imm&63))
-			case isa.OpLoad:
-				regs[in.dst] = mem[(regs[in.src1]+in.imm)&memMask]
-			case isa.OpStore:
-				mem[(regs[in.src2]+in.imm)&memMask] = regs[in.src1]
-			case isa.OpFadd:
-				regs[in.dst] = regs[in.src1] + regs[in.src2]
-			case isa.OpFmul:
-				regs[in.dst] = regs[in.src1] * regs[in.src2]
-			case isa.OpFdiv:
-				if v := regs[in.src2]; v != 0 {
-					regs[in.dst] = regs[in.src1] / v
-				} else {
-					regs[in.dst] = 0
-				}
-			case isa.OpFma:
-				regs[in.dst] += regs[in.src1] * regs[in.src2]
-			case isa.OpCmp:
-				flags = regs[in.src1] - regs[in.src2]
-			case isa.OpCmpi:
-				flags = regs[in.src1] - in.imm
-			case isa.OpJmp:
-				taken, target, next = true, in.target, in.target
-			case isa.OpJz:
-				if flags == 0 {
-					taken, target, next = true, in.target, in.target
-				}
-			case isa.OpJnz:
-				if flags != 0 {
-					taken, target, next = true, in.target, in.target
-				}
-			case isa.OpJlt:
-				if flags < 0 {
-					taken, target, next = true, in.target, in.target
-				}
-			case isa.OpJge:
-				if flags >= 0 {
-					taken, target, next = true, in.target, in.target
-				}
-			case isa.OpCall:
-				if len(stack) >= maxDepth {
-					pendingErr = errCallOverflow(len(stack))
-					nDone = 0
-					goto fail
-				}
-				stack = append(stack, uint32(pc+1))
-				taken, target, next = true, in.target, in.target
-			case isa.OpRet:
-				if len(stack) == 0 {
-					pendingErr = errEmptyRet
-					nDone = 0
-					goto fail
-				}
-				ra := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				taken, target, next = true, int32(ra), int32(ra)
-			case isa.OpHalt:
-				halt = true
-			default:
-				panic(fmt.Sprintf("cpu: invalid opcode %d at index %d", in.op, idx))
-			}
-
-			if fl&fWrites != 0 {
-				regReady[in.dst] = complete
-			}
-			if fl&fSetsF != 0 {
-				flagsReady = complete
-			}
-
-			evMispred := false
-			if fl&fCond != 0 {
-				condBr++
-				predTaken := pred.predict(idx)
-				pred.update(idx, taken)
-				if predTaken != taken {
-					mispred++
-					evMispred = true
-					redirect = complete + mispen
-				} else if taken {
-					redirect = d + 1 + bubble
-				}
-			} else if taken {
-				redirect = d + 1 + bubble
-			}
-
-			rc := complete
-			if rc < retCycle {
-				rc = retCycle
-			}
-			if rc == retCycle {
-				if retCount >= rw {
-					rc++
-					retCount = 0
-				}
-			} else {
-				retCount = 0
-			}
-			retCycle = rc
-			retCount++
-
-			instrs++
-			uopsDone += uint64(in.uops)
-			if taken {
-				takenBr++
-			}
-
-			fm.OnRetire(RetireEvent{
-				Idx:     idx,
-				Cycle:   rc,
-				Seq:     instrs,
-				Op:      in.op,
-				Uops:    in.uops,
-				Taken:   taken,
-				Mispred: evMispred,
-				Target:  uint32(target),
-			})
-
-			if halt {
-				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), nil
-			}
-			if instrs >= maxInstrs {
-				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), ErrInstrLimit
-			}
-			pc = next
-			continue
-		}
-
-		// ---- stride mode: specialized per-opcode loop, no per-instruction
-		// monitor calls; taken branches stream to the LBR only when the
-		// monitor wants them.
-		{
-			n := headroom
-			if left := maxInstrs - instrs; n > left {
-				n = left
-			}
-			executed := n
-			halted := false
-
-			for i := n; i > 0; i-- {
-				in := &code[pc]
-
-				d := dispCycle
-				if dispCount >= dw {
-					d++
-					dispCount = 0
-				}
-				if redirect > d {
-					d = redirect
-					dispCount = 0
-				}
-				dispCycle = d
-				dispCount++
-
-				var complete uint64
-				next := pc + 1
-				switch in.op {
-				case isa.OpNop:
-					complete = d + uint64(in.lat)
-				case isa.OpMov:
-					complete = max(d, regReady[in.src1]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1]
-					regReady[in.dst] = complete
-				case isa.OpMovi:
-					complete = d + uint64(in.lat)
-					regs[in.dst] = in.imm
-					regReady[in.dst] = complete
-				case isa.OpAdd:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] + regs[in.src2]
-					regReady[in.dst] = complete
-				case isa.OpAddi:
-					complete = max(d, regReady[in.src1]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] + in.imm
-					regReady[in.dst] = complete
-				case isa.OpSub:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] - regs[in.src2]
-					regReady[in.dst] = complete
-				case isa.OpMul:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] * regs[in.src2]
-					regReady[in.dst] = complete
-				case isa.OpDiv:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					if v := regs[in.src2]; v != 0 {
-						regs[in.dst] = regs[in.src1] / v
-					} else {
-						regs[in.dst] = 0
-					}
-					regReady[in.dst] = complete
-				case isa.OpRem:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					if v := regs[in.src2]; v != 0 {
-						regs[in.dst] = regs[in.src1] % v
-					} else {
-						regs[in.dst] = 0
-					}
-					regReady[in.dst] = complete
-				case isa.OpAnd:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] & regs[in.src2]
-					regReady[in.dst] = complete
-				case isa.OpOr:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] | regs[in.src2]
-					regReady[in.dst] = complete
-				case isa.OpXor:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] ^ regs[in.src2]
-					regReady[in.dst] = complete
-				case isa.OpShl:
-					complete = max(d, regReady[in.src1]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] << uint(in.imm&63)
-					regReady[in.dst] = complete
-				case isa.OpShr:
-					complete = max(d, regReady[in.src1]) + uint64(in.lat)
-					regs[in.dst] = int64(uint64(regs[in.src1]) >> uint(in.imm&63))
-					regReady[in.dst] = complete
-				case isa.OpLoad:
-					complete = max(d, regReady[in.src1]) + uint64(in.lat)
-					regs[in.dst] = mem[(regs[in.src1]+in.imm)&memMask]
-					regReady[in.dst] = complete
-					acc.Loads++
-				case isa.OpStore:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					mem[(regs[in.src2]+in.imm)&memMask] = regs[in.src1]
-					acc.Stores++
-				case isa.OpFadd:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] + regs[in.src2]
-					regReady[in.dst] = complete
-					acc.FPOps++
-				case isa.OpFmul:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] = regs[in.src1] * regs[in.src2]
-					regReady[in.dst] = complete
-					acc.FPOps++
-				case isa.OpFdiv:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					if v := regs[in.src2]; v != 0 {
-						regs[in.dst] = regs[in.src1] / v
-					} else {
-						regs[in.dst] = 0
-					}
-					regReady[in.dst] = complete
-					acc.FPOps++
-				case isa.OpFma:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					regs[in.dst] += regs[in.src1] * regs[in.src2]
-					regReady[in.dst] = complete
-					acc.FPOps++
-				case isa.OpCmp:
-					complete = max(d, regReady[in.src1], regReady[in.src2]) + uint64(in.lat)
-					flags = regs[in.src1] - regs[in.src2]
-					flagsReady = complete
-				case isa.OpCmpi:
-					complete = max(d, regReady[in.src1]) + uint64(in.lat)
-					flags = regs[in.src1] - in.imm
-					flagsReady = complete
-				case isa.OpJmp:
-					complete = d + uint64(in.lat)
-					next = in.target
-					redirect = d + 1 + bubble
-					takenBr++
-					acc.TakenBranches++
-					if wantBr {
-						fm.OnFastBranch(uint32(pc), uint32(in.target), in.op)
-					}
-				case isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
-					complete = max(d, flagsReady) + uint64(in.lat)
-					var taken bool
-					switch in.op {
-					case isa.OpJz:
-						taken = flags == 0
-					case isa.OpJnz:
-						taken = flags != 0
-					case isa.OpJlt:
-						taken = flags < 0
-					default:
-						taken = flags >= 0
-					}
-					condBr++
-					acc.CondBranches++
-					idx := uint32(pc)
-					predTaken := pred.predict(idx)
-					pred.update(idx, taken)
-					if predTaken != taken {
-						mispred++
-						acc.Mispredicts++
-						redirect = complete + mispen
-					} else if taken {
-						redirect = d + 1 + bubble
-					}
-					if taken {
-						next = in.target
-						takenBr++
-						acc.TakenBranches++
-						if wantBr {
-							fm.OnFastBranch(idx, uint32(in.target), in.op)
-						}
-					}
-				case isa.OpCall:
-					complete = d + uint64(in.lat)
-					if len(stack) >= maxDepth {
-						pendingErr = errCallOverflow(len(stack))
-						nDone = n - i
-						goto fail
-					}
-					stack = append(stack, uint32(pc+1))
-					next = in.target
-					redirect = d + 1 + bubble
-					takenBr++
-					acc.TakenBranches++
-					acc.Calls++
-					if wantBr {
-						fm.OnFastBranch(uint32(pc), uint32(in.target), in.op)
-					}
-				case isa.OpRet:
-					complete = d + uint64(in.lat)
-					if len(stack) == 0 {
-						pendingErr = errEmptyRet
-						nDone = n - i
-						goto fail
-					}
-					ra := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					next = int32(ra)
-					redirect = d + 1 + bubble
-					takenBr++
-					acc.TakenBranches++
-					acc.Rets++
-					if wantBr {
-						fm.OnFastBranch(uint32(pc), ra, in.op)
-					}
-				case isa.OpHalt:
-					complete = d + uint64(in.lat)
-					halted = true
-				default:
-					panic(fmt.Sprintf("cpu: invalid opcode %d at index %d", in.op, pc))
-				}
-
-				acc.Uops += uint64(in.uops)
-
-				rc := complete
-				if rc < retCycle {
-					rc = retCycle
-				}
-				if rc == retCycle {
-					if retCount >= rw {
-						rc++
-						retCount = 0
-					}
-				} else {
-					retCount = 0
-				}
-				retCycle = rc
-				retCount++
-
-				if halted {
-					executed = n - i + 1
-					break
-				}
-				pc = next
-			}
-
-			instrs += executed
-			headroom -= executed
-			acc.Instrs += executed
-			if halted {
-				uopsDone += acc.Uops
-				fm.BulkRetire(acc)
-				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), nil
-			}
-			if instrs >= maxInstrs {
-				uopsDone += acc.Uops
-				fm.BulkRetire(acc)
-				return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), ErrInstrLimit
-			}
-		}
-		continue
-
-	fail:
-		// A call/ret fault aborts the run before the faulting instruction
-		// retires (matching the interpreter): account the stride's
-		// completed prefix, flush, and wrap the error exactly as Run does.
-		instrs += nDone
-		acc.Instrs += nDone
-		if acc.Instrs != 0 {
-			uopsDone += acc.Uops
-			fm.BulkRetire(acc)
-		}
-		return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred),
-			runErr(uint32(pc), &p.Code[pc], pendingErr)
+	switch FastVariant(mon) {
+	case VariantInterp:
+		return Run(p, cfg, mon, maxInstrs)
+	case VariantNop:
+		return runFastNop(p, cfg, maxInstrs)
+	case VariantLean:
+		return runFastLean(p, cfg, mon.(FastMonitor), maxInstrs)
+	default:
+		return runFastFull(p, cfg, mon.(FastMonitor), maxInstrs)
 	}
 }
 
@@ -761,4 +563,24 @@ func fastResult(instrs, uops, cycles, taken, cond, mispred uint64) Result {
 		CondBranches:  cond,
 		Mispredicts:   mispred,
 	}
+}
+
+// pairHeadOp returns the opPair opcode for a fusable pair head.
+func pairHeadOp(op isa.Op) (isa.Op, bool) {
+	for i, p := range pairPlain {
+		if p == op {
+			return opPairMov + isa.Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// pairSecondOK reports whether op may be glued as the second half of a
+// pair: any fusable head class, or an unconditional jmp.
+func pairSecondOK(op isa.Op) bool {
+	if op == isa.OpJmp {
+		return true
+	}
+	_, ok := pairHeadOp(op)
+	return ok
 }

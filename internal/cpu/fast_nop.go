@@ -1,0 +1,566 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pmutrust/internal/isa"
+	"pmutrust/internal/program"
+)
+
+// runFastNop is the monitor-free specialized loop, selected for
+// NopMonitor: timing-only runs with no headroom protocol, no flushes and
+// no streams. Result and error text are bit-identical to the other
+// variants and the interpreter.
+func runFastNop(p *program.Program, cfg Config, maxInstrs uint64) (Result, error) {
+	code := decodeProgram(p)
+
+	mem := fastMem(p)
+	_ = mem[0] // fastMem returns at least one word; lets prove elide masked-index checks
+	memMask := int64(len(mem) - 1)
+	stack := make([]uint32, 0, 64)
+	var rf [256]regState
+	var flags int64
+	var pred predictor
+	pred.init(cfg.PredictorBits)
+
+	var flagsReady, dispCycle, retCycle, redirect uint64
+	var dispCount, retCount int
+	var uopsDone, takenBr, condBr, mispred uint64
+
+	dw, rw := cfg.DispatchWidth, cfg.RetireWidth
+	mispen, bubble := cfg.MispredictPenalty, cfg.TakenBranchBubble
+	maxDepth := cfg.MaxCallDepth
+
+	pc := int32(p.Funcs[0].Start)
+
+	var pendingErr error
+	var instrs uint64
+
+	n := maxInstrs
+	for i := n; i > 0; i-- {
+		in := &code[pc]
+
+		d := dispCycle
+		if dispCount >= dw {
+			d++
+			dispCount = 0
+		}
+		if redirect > d {
+			d = redirect
+			dispCount = 0
+		}
+		dispCycle = d
+		dispCount++
+
+		var complete uint64
+		next := pc + 1
+		switch in.op {
+		case isa.OpNop:
+			complete = d + uint64(in.lat)
+		case isa.OpMov:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val
+			rf[in.dst].ready = complete
+		case isa.OpMovi:
+			complete = d + uint64(in.lat)
+			rf[in.dst].val = in.imm
+			rf[in.dst].ready = complete
+		case isa.OpAdd:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val + rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpAddi:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val + in.imm
+			rf[in.dst].ready = complete
+		case isa.OpSub:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val - rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpMul:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val * rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpDiv:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			if v := rf[in.src2].val; v != 0 {
+				rf[in.dst].val = rf[in.src1].val / v
+			} else {
+				rf[in.dst].val = 0
+			}
+			rf[in.dst].ready = complete
+		case isa.OpRem:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			if v := rf[in.src2].val; v != 0 {
+				rf[in.dst].val = rf[in.src1].val % v
+			} else {
+				rf[in.dst].val = 0
+			}
+			rf[in.dst].ready = complete
+		case isa.OpAnd:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val & rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpOr:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val | rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpXor:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val ^ rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpShl:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val << uint(in.imm&63)
+			rf[in.dst].ready = complete
+		case isa.OpShr:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = int64(uint64(rf[in.src1].val) >> uint(in.imm&63))
+			rf[in.dst].ready = complete
+		case isa.OpLoad:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = mem[(rf[in.src1].val+in.imm)&memMask]
+			rf[in.dst].ready = complete
+		case isa.OpStore:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			mem[(rf[in.src2].val+in.imm)&memMask] = rf[in.src1].val
+		case isa.OpFadd:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val + rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpFmul:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val * rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpFdiv:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			if v := rf[in.src2].val; v != 0 {
+				rf[in.dst].val = rf[in.src1].val / v
+			} else {
+				rf[in.dst].val = 0
+			}
+			rf[in.dst].ready = complete
+		case isa.OpFma:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val += rf[in.src1].val * rf[in.src2].val
+			rf[in.dst].ready = complete
+		case isa.OpCmp:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			flags = rf[in.src1].val - rf[in.src2].val
+			flagsReady = complete
+		case isa.OpCmpi:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			flags = rf[in.src1].val - in.imm
+			flagsReady = complete
+		case opCmpJz, opCmpJnz, opCmpJlt, opCmpJge, opCmpiJz, opCmpiJnz, opCmpiJlt, opCmpiJge:
+			// Fused compare+branch: the compare retires here, then the
+			// branch at pc+1 dispatches in the same iteration. The compare
+			// already applied any pending redirect, so the branch dispatch
+			// only needs the width rollover.
+			op := in.op
+			if op >= opCmpiJz {
+				complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+				flags = rf[in.src1].val - in.imm
+			} else {
+				complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+				flags = rf[in.src1].val - rf[in.src2].val
+			}
+			flagsReady = complete
+			uopsDone += uint64(in.uops)
+			if complete > retCycle {
+				retCycle = complete
+				retCount = 1
+			} else if retCount >= rw {
+				retCycle++
+				retCount = 1
+			} else {
+				retCount++
+			}
+			if i == 1 {
+				// The grant ends at the compare; the branch runs at the
+				// top of the next stride (or in event mode).
+				pc++
+				continue
+			}
+			i--
+			jin := &code[pc+1]
+			d2 := d
+			if dispCount >= dw {
+				d2++
+				dispCount = 0
+			}
+			dispCycle = d2
+			dispCount++
+			complete = max(d2, flagsReady) + uint64(jin.lat)
+			var taken bool
+			switch op {
+			case opCmpJz, opCmpiJz:
+				taken = flags == 0
+			case opCmpJnz, opCmpiJnz:
+				taken = flags != 0
+			case opCmpJlt, opCmpiJlt:
+				taken = flags < 0
+			default:
+				taken = flags >= 0
+			}
+			condBr++
+			idx := uint32(pc) + 1
+			predTaken := pred.predictUpdate(idx, taken)
+			if predTaken != taken {
+				mispred++
+				redirect = complete + mispen
+			} else if taken {
+				redirect = d2 + 1 + bubble
+			}
+			next = pc + 2
+			if taken {
+				next = int32(jin.imm)
+				takenBr++
+			}
+			uopsDone += uint64(jin.uops)
+			if complete > retCycle {
+				retCycle = complete
+				retCount = 1
+			} else if retCount >= rw {
+				retCycle++
+				retCount = 1
+			} else {
+				retCount++
+			}
+			pc = next
+			continue
+		case isa.OpJmp:
+			complete = d + uint64(in.lat)
+			next = int32(in.imm)
+			redirect = d + 1 + bubble
+			takenBr++
+		case isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
+			complete = max(d, flagsReady) + uint64(in.lat)
+			var taken bool
+			switch in.op {
+			case isa.OpJz:
+				taken = flags == 0
+			case isa.OpJnz:
+				taken = flags != 0
+			case isa.OpJlt:
+				taken = flags < 0
+			default:
+				taken = flags >= 0
+			}
+			condBr++
+			predTaken := pred.predictUpdate(uint32(pc), taken)
+			if predTaken != taken {
+				mispred++
+				redirect = complete + mispen
+			} else if taken {
+				redirect = d + 1 + bubble
+			}
+			if taken {
+				next = int32(in.imm)
+				takenBr++
+			}
+		case isa.OpCall:
+			complete = d + uint64(in.lat)
+			if len(stack) >= maxDepth {
+				pendingErr = errCallOverflow(len(stack))
+				instrs = n - i
+				goto fail
+			}
+			stack = append(stack, uint32(pc+1))
+			next = int32(in.imm)
+			redirect = d + 1 + bubble
+			takenBr++
+		case isa.OpRet:
+			complete = d + uint64(in.lat)
+			if len(stack) == 0 {
+				pendingErr = errEmptyRet
+				instrs = n - i
+				goto fail
+			}
+			ra := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			next = int32(ra)
+			redirect = d + 1 + bubble
+			takenBr++
+		case isa.OpHalt:
+			complete = d + uint64(in.lat)
+			uopsDone += uint64(in.uops)
+			if complete > retCycle {
+				retCycle = complete
+			} else if retCount >= rw {
+				retCycle++
+			}
+			instrs = n - i + 1
+			return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred), nil
+		case opPairMov:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairMovi:
+			complete = d + uint64(in.lat)
+			rf[in.dst].val = in.imm
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairAdd:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val + rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairAddi:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val + in.imm
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairSub:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val - rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairMul:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val * rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairDiv:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			if v := rf[in.src2].val; v != 0 {
+				rf[in.dst].val = rf[in.src1].val / v
+			} else {
+				rf[in.dst].val = 0
+			}
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairRem:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			if v := rf[in.src2].val; v != 0 {
+				rf[in.dst].val = rf[in.src1].val % v
+			} else {
+				rf[in.dst].val = 0
+			}
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairAnd:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val & rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairOr:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val | rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairXor:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val ^ rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairShl:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val << uint(in.imm&63)
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairShr:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = int64(uint64(rf[in.src1].val) >> uint(in.imm&63))
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairFadd:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val + rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairFmul:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val = rf[in.src1].val * rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairFdiv:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			if v := rf[in.src2].val; v != 0 {
+				rf[in.dst].val = rf[in.src1].val / v
+			} else {
+				rf[in.dst].val = 0
+			}
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairFma:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			rf[in.dst].val += rf[in.src1].val * rf[in.src2].val
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairLoad:
+			complete = max(d, rf[in.src1].ready) + uint64(in.lat)
+			rf[in.dst].val = mem[(rf[in.src1].val+in.imm)&memMask]
+			rf[in.dst].ready = complete
+			goto pairSecond
+		case opPairStore:
+			complete = max(d, rf[in.src1].ready, rf[in.src2].ready) + uint64(in.lat)
+			mem[(rf[in.src2].val+in.imm)&memMask] = rf[in.src1].val
+			goto pairSecond
+		default:
+			panic(fmt.Sprintf("cpu: invalid opcode %d at index %d", in.op, pc))
+		}
+
+		uopsDone += uint64(in.uops)
+
+		if complete > retCycle {
+			retCycle = complete
+			retCount = 1
+		} else if retCount >= rw {
+			retCycle++
+			retCount = 1
+		} else {
+			retCount++
+		}
+
+		pc = next
+		continue
+
+	pairSecond:
+		// Second half of a fused pair: retire the head, then dispatch
+		// the glued instruction at pc+1 in the same iteration. The head
+		// applied any pending redirect and set none itself, so the
+		// glued dispatch only needs the width rollover.
+		uopsDone += uint64(in.uops)
+		if complete > retCycle {
+			retCycle = complete
+			retCount = 1
+		} else if retCount >= rw {
+			retCycle++
+			retCount = 1
+		} else {
+			retCount++
+		}
+		if i == 1 {
+			// The grant ends at the head; the glued instruction runs
+			// at the top of the next stride (or in event mode).
+			pc++
+			continue
+		}
+		i--
+		jin := &code[pc+1]
+		d2 := d
+		if dispCount >= dw {
+			d2++
+			dispCount = 0
+		}
+		dispCycle = d2
+		dispCount++
+		next = pc + 2
+		switch jin.op {
+		case isa.OpMov:
+			complete = max(d2, rf[jin.src1].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val
+			rf[jin.dst].ready = complete
+		case isa.OpMovi:
+			complete = d2 + uint64(jin.lat)
+			rf[jin.dst].val = jin.imm
+			rf[jin.dst].ready = complete
+		case isa.OpAdd:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val + rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpAddi:
+			complete = max(d2, rf[jin.src1].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val + jin.imm
+			rf[jin.dst].ready = complete
+		case isa.OpSub:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val - rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpMul:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val * rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpDiv:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			if v := rf[jin.src2].val; v != 0 {
+				rf[jin.dst].val = rf[jin.src1].val / v
+			} else {
+				rf[jin.dst].val = 0
+			}
+			rf[jin.dst].ready = complete
+		case isa.OpRem:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			if v := rf[jin.src2].val; v != 0 {
+				rf[jin.dst].val = rf[jin.src1].val % v
+			} else {
+				rf[jin.dst].val = 0
+			}
+			rf[jin.dst].ready = complete
+		case isa.OpAnd:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val & rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpOr:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val | rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpXor:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val ^ rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpShl:
+			complete = max(d2, rf[jin.src1].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val << uint(jin.imm&63)
+			rf[jin.dst].ready = complete
+		case isa.OpShr:
+			complete = max(d2, rf[jin.src1].ready) + uint64(jin.lat)
+			rf[jin.dst].val = int64(uint64(rf[jin.src1].val) >> uint(jin.imm&63))
+			rf[jin.dst].ready = complete
+		case isa.OpFadd:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val + rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpFmul:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val = rf[jin.src1].val * rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpFdiv:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			if v := rf[jin.src2].val; v != 0 {
+				rf[jin.dst].val = rf[jin.src1].val / v
+			} else {
+				rf[jin.dst].val = 0
+			}
+			rf[jin.dst].ready = complete
+		case isa.OpFma:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			rf[jin.dst].val += rf[jin.src1].val * rf[jin.src2].val
+			rf[jin.dst].ready = complete
+		case isa.OpLoad:
+			complete = max(d2, rf[jin.src1].ready) + uint64(jin.lat)
+			rf[jin.dst].val = mem[(rf[jin.src1].val+jin.imm)&memMask]
+			rf[jin.dst].ready = complete
+		case isa.OpStore:
+			complete = max(d2, rf[jin.src1].ready, rf[jin.src2].ready) + uint64(jin.lat)
+			mem[(rf[jin.src2].val+jin.imm)&memMask] = rf[jin.src1].val
+		case isa.OpJmp:
+			complete = d2 + uint64(jin.lat)
+			next = int32(jin.imm)
+			redirect = d2 + 1 + bubble
+			takenBr++
+		default:
+			panic(fmt.Sprintf("cpu: unfusable glued opcode %d at index %d", jin.op, pc+1))
+		}
+		uopsDone += uint64(jin.uops)
+		if complete > retCycle {
+			retCycle = complete
+			retCount = 1
+		} else if retCount >= rw {
+			retCycle++
+			retCount = 1
+		} else {
+			retCount++
+		}
+		pc = next
+	}
+	return fastResult(n, uopsDone, retCycle, takenBr, condBr, mispred), ErrInstrLimit
+
+fail:
+	// A call/ret fault aborts the run before the faulting instruction
+	// retires, wrapping the error exactly as the interpreter does.
+	return fastResult(instrs, uopsDone, retCycle, takenBr, condBr, mispred),
+		runErr(uint32(pc), &p.Code[pc], pendingErr)
+}

@@ -87,6 +87,72 @@ func (r *mixRecorder) BulkRetire(c cpu.BulkCounts) {
 	r.uops += c.Uops
 }
 
+// leanStreamRecorder is the lean-classified twin of streamRecorder: it
+// hints only Result-shaped bulk classes and wants no branch stream, so
+// RunFast selects the lean loop; zero headroom then forces the lean
+// event-mode path, whose stream must match the interpreter's too.
+type leanStreamRecorder struct {
+	evs []cpu.RetireEvent
+}
+
+func (r *leanStreamRecorder) OnRetire(ev cpu.RetireEvent)             { r.evs = append(r.evs, ev) }
+func (r *leanStreamRecorder) FastHeadroom() uint64                    { return 0 }
+func (r *leanStreamRecorder) WantBranches() bool                      { return false }
+func (r *leanStreamRecorder) OnFastBranch(from, to uint32, op isa.Op) {}
+func (r *leanStreamRecorder) BulkRetire(c cpu.BulkCounts)             {}
+func (r *leanStreamRecorder) BulkClasses() cpu.BulkClass {
+	return cpu.BulkInstrs | cpu.BulkUops | cpu.BulkTakenBranches
+}
+
+// leanMixRecorder drives the lean loop through adversarial stride/event
+// transitions, accumulating totals from both delivery paths.
+type leanMixRecorder struct {
+	schedule []uint64
+	pos      int
+	instrs   uint64
+	uops     uint64
+	taken    uint64
+	cond     uint64
+	mispred  uint64
+}
+
+func (r *leanMixRecorder) OnRetire(ev cpu.RetireEvent) {
+	r.instrs++
+	r.uops += uint64(ev.Uops)
+	if ev.Taken {
+		r.taken++
+	}
+	if ev.Mispred {
+		r.mispred++
+	}
+	switch ev.Op {
+	case isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
+		r.cond++
+	}
+}
+
+func (r *leanMixRecorder) FastHeadroom() uint64 {
+	h := r.schedule[r.pos%len(r.schedule)]
+	r.pos++
+	return h
+}
+
+func (r *leanMixRecorder) WantBranches() bool                      { return false }
+func (r *leanMixRecorder) OnFastBranch(from, to uint32, op isa.Op) {}
+
+func (r *leanMixRecorder) BulkRetire(c cpu.BulkCounts) {
+	r.instrs += c.Instrs
+	r.uops += c.Uops
+	r.taken += c.TakenBranches
+	r.cond += c.CondBranches
+	r.mispred += c.Mispredicts
+}
+
+func (r *leanMixRecorder) BulkClasses() cpu.BulkClass {
+	return cpu.BulkInstrs | cpu.BulkUops | cpu.BulkTakenBranches |
+		cpu.BulkCondBranches | cpu.BulkMispredicts
+}
+
 // diffResults compares the two engines' Result structs.
 func diffResults(a, b cpu.Result) error {
 	if a != b {
@@ -314,6 +380,53 @@ func diffProgram(p *program.Program, maxInstrs uint64) string {
 		}
 	}
 
+	// Lean variant, forced event mode: the counting-only loop's
+	// per-instruction path must deliver the identical stream.
+	lsr := &leanStreamRecorder{}
+	rl, errl := cpu.RunFast(p, cpuCfg, lsr, streamCap)
+	if err := diffErrs(erri, errl); err != nil {
+		return "lean event mode: " + err.Error()
+	}
+	if err := diffResults(ri, rl); err != nil {
+		return "lean event mode: " + err.Error()
+	}
+	if err := diffStreams(ir.evs, lsr.evs); err != nil {
+		return "lean event mode: " + err.Error()
+	}
+
+	// Lean variant, adversarial stride schedules: flush-time deltas plus
+	// event-mode stretches must reproduce the interpreter's totals.
+	for _, schedule := range [][]uint64{
+		{1 << 40},
+		{1, 0, 2, 0, 3, 7},
+		{0, 0, 5, 1, 0, 1000},
+	} {
+		lm := &leanMixRecorder{schedule: schedule}
+		rm, errm := cpu.RunFast(p, cpuCfg, lm, streamCap)
+		if err := diffErrs(erri, errm); err != nil {
+			return fmt.Sprintf("lean mix schedule %v: %v", schedule, err)
+		}
+		if err := diffResults(ri, rm); err != nil {
+			return fmt.Sprintf("lean mix schedule %v: %v", schedule, err)
+		}
+		if lm.instrs != ri.Instructions || lm.uops != ri.Uops || lm.taken != ri.TakenBranches ||
+			lm.cond != ri.CondBranches || lm.mispred != ri.Mispredicts {
+			return fmt.Sprintf("lean mix schedule %v: monitor totals diverge: instrs %d/%d uops %d/%d taken %d/%d cond %d/%d mispred %d/%d",
+				schedule, lm.instrs, ri.Instructions, lm.uops, ri.Uops,
+				lm.taken, ri.TakenBranches, lm.cond, ri.CondBranches, lm.mispred, ri.Mispredicts)
+		}
+	}
+
+	// Nop variant: the monitor-free loop has no monitor observables, but
+	// its Result and error must still be bit-identical.
+	rn, errn := cpu.RunFast(p, cpuCfg, cpu.NopMonitor{}, streamCap)
+	if err := diffErrs(erri, errn); err != nil {
+		return "nop variant: " + err.Error()
+	}
+	if err := diffResults(ri, rn); err != nil {
+		return "nop variant: " + err.Error()
+	}
+
 	// PMU configurations: sample-stream equality. Tiny periods sample
 	// every few instructions — cap those runs so the sample slices stay
 	// small; long-period configs get the full run.
@@ -447,6 +560,63 @@ func TestFuzzEngineEquivalence(t *testing.T) {
 		t.Fatalf("engine divergence at seed %d\n  original cfg %+v: %s\n  minimal cfg %+v: %s\n  minimal program (%d instrs):\n%s",
 			seed, cfg, msg, min, minMsg,
 			program.Random(seed, min).NumInstrs(), disasmProgram(program.Random(seed, min)))
+	}
+}
+
+// TestDiffBatteryCoversAllVariants pins the variant classification of
+// every monitor shape the differential battery drives through RunFast:
+// the fuzz battery only proves what it covers, so the covered set must
+// provably span all three specialized loops plus the interpreter
+// fallback. If a classification rule changes and silently reroutes a
+// battery monitor to a different loop, this test fails before the
+// coverage gap can hide.
+func TestDiffBatteryCoversAllVariants(t *testing.T) {
+	type entry struct {
+		name string
+		mon  cpu.Monitor
+		want cpu.Variant
+	}
+	entries := []entry{
+		{"interpRecorder", &interpRecorder{}, cpu.VariantInterp},
+		{"streamRecorder", &streamRecorder{}, cpu.VariantFull},
+		{"mixRecorder", &mixRecorder{schedule: []uint64{1}}, cpu.VariantFull},
+		{"leanStreamRecorder", &leanStreamRecorder{}, cpu.VariantLean},
+		{"leanMixRecorder", &leanMixRecorder{schedule: []uint64{1}}, cpu.VariantLean},
+		{"NopMonitor", cpu.NopMonitor{}, cpu.VariantNop},
+	}
+	// The PMU grid must exercise both the lean loop (counting-shaped
+	// events, no LBR) and the full loop (LBR capture wants the branch
+	// stream).
+	for i, cfg := range pmuConfigGrid(7) {
+		want := cpu.VariantLean
+		if cfg.CaptureLBR {
+			want = cpu.VariantFull
+		}
+		entries = append(entries, entry{fmt.Sprintf("pmu[%d]", i), pmu.New(cfg), want})
+	}
+	// Mux monitors hint the union over their event set: the three-event
+	// grid config counts only Result-shaped classes and stays lean, the
+	// rest count loads/stores/FP/call-ret and need the full loop.
+	cpuCfg := cpu.DefaultConfig()
+	for i, cfg := range muxConfigGrid(cpuCfg) {
+		want := cpu.VariantFull
+		if i == 0 {
+			want = cpu.VariantLean
+		}
+		entries = append(entries, entry{fmt.Sprintf("mux[%d]", i), pmu.NewMux(cfg, nil), want})
+	}
+	covered := map[cpu.Variant]bool{}
+	for _, e := range entries {
+		got := cpu.FastVariant(e.mon)
+		if got != e.want {
+			t.Errorf("%s: FastVariant = %v, want %v", e.name, got, e.want)
+		}
+		covered[got] = true
+	}
+	for _, v := range []cpu.Variant{cpu.VariantInterp, cpu.VariantNop, cpu.VariantLean, cpu.VariantFull} {
+		if !covered[v] {
+			t.Errorf("differential battery covers no %v monitor", v)
+		}
 	}
 }
 

@@ -125,6 +125,12 @@ type Runner struct {
 	// Any results.Store backend works — a FileStore for single-file
 	// resume, a DirStore merged view for distributed sweeps.
 	Store results.Store
+	// RefStore, when non-nil, memoizes ground-truth reference profiles
+	// across processes: Reference serves a workload's profile from the
+	// store when a valid record exists and appends freshly collected ones
+	// (see refcache.go). It is a sidecar of Store — reference records use
+	// the reserved results.RefMethod key and never mix with measurements.
+	RefStore results.Store
 
 	mu    sync.Mutex
 	progs map[string]*progEntry
@@ -132,6 +138,9 @@ type Runner struct {
 	// storeStats accumulates the served/measured split across every
 	// store-aware sweep (see sweep and StoreStats).
 	storeStats SweepStats
+	// refStats accumulates the served/collected split of reference
+	// lookups (see RefStats).
+	refStats SweepStats
 }
 
 // progEntry is a single-flight slot for one built workload: the first
@@ -175,7 +184,11 @@ func (r *Runner) Workload(spec workloads.Spec) *program.Program {
 
 // Reference returns the exact profile for a workload, cached. Concurrent
 // calls for the same spec collect it exactly once; a collection error is
-// cached too, so a broken workload fails fast on every later call.
+// cached too, so a broken workload fails fast on every later call. With
+// a RefStore attached, the profile is served from the store when a valid
+// memo exists and memoized into it otherwise (see refcache.go), so
+// across processes each (workload, scale) reference is executed once
+// per store lifetime instead of once per process.
 func (r *Runner) Reference(spec workloads.Spec) (*ref.Profile, error) {
 	r.mu.Lock()
 	e, ok := r.refs[spec.Name]
@@ -185,12 +198,23 @@ func (r *Runner) Reference(spec workloads.Spec) (*ref.Profile, error) {
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
+		if rp, ok := r.refFromStore(spec); ok {
+			e.rp = rp
+			r.mu.Lock()
+			r.refStats.Cached++
+			r.mu.Unlock()
+			return
+		}
 		rp, err := ref.Collect(r.Workload(spec))
 		if err != nil {
 			e.err = fmt.Errorf("experiments: reference for %s: %w", spec.Name, err)
 			return
 		}
 		e.rp = rp
+		r.putRef(spec, rp)
+		r.mu.Lock()
+		r.refStats.Measured++
+		r.mu.Unlock()
 	})
 	return e.rp, e.err
 }

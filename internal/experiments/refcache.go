@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"pmutrust/internal/ref"
+	"pmutrust/internal/results"
+	"pmutrust/internal/workloads"
+)
+
+// Reference memoization: ground-truth profiles are exact functional runs
+// — pure functions of (workload, workload scale) — but collecting one
+// costs a full per-instruction execution of the workload, which
+// dominates short sweeps and is re-paid by every process of a
+// distributed fleet. When a Runner has a RefStore attached, each
+// reference run is content-addressed into it (under the reserved
+// results.RefMethod key) the first time it is collected, and every later
+// Runner pointed at the same store — a resumed pmubench, another sweepd
+// worker generation, the coordinator's final render — serves it back
+// without re-executing. Serving is observably identical to collecting:
+// the memo holds the exact per-block counts, so a rebuilt profile is
+// structurally equal to a fresh one and every downstream render is
+// byte-identical.
+
+// RefIdentity returns the store identity of one workload's ground-truth
+// reference under this runner's scale. A reference depends only on the
+// workload and its iteration scale — machine, method, period, seed and
+// repeat knobs are zeroed so the address cannot fracture across sweep
+// configurations that share ground truth.
+func (r *Runner) RefIdentity(spec workloads.Spec) results.Identity {
+	return results.Identity{
+		Workload:      spec.Name,
+		Method:        results.RefMethod,
+		Scale:         r.Scale.Name,
+		WorkloadScale: r.Scale.Workload,
+	}
+}
+
+// refFromStore attempts to serve spec's reference profile from the
+// RefStore. A stored record is validated against the built program
+// before it is trusted (see ref.FromCounts); a missing or mismatching
+// record reports !ok and the caller collects fresh.
+func (r *Runner) refFromStore(spec workloads.Spec) (*ref.Profile, bool) {
+	if r.RefStore == nil {
+		return nil, false
+	}
+	rec, ok := r.RefStore.Get(r.RefIdentity(spec).Key())
+	if !ok || rec.Ref == nil || rec.Ref.Blocks != len(rec.Ref.ExecCount) {
+		return nil, false
+	}
+	rp, err := ref.FromCounts(r.Workload(spec), rec.Ref.ExecCount, rec.Ref.NetInstructions, rec.Ref.TakenBranches)
+	if err != nil {
+		// Shape mismatch: a stale memo from a changed workload
+		// definition. Ignore it and re-collect; the fresh record will
+		// carry the current shape.
+		return nil, false
+	}
+	return rp, true
+}
+
+// putRef memoizes a freshly collected reference profile. Append errors
+// are swallowed: the profile in hand is already correct, and a memo that
+// failed to persist only costs a future re-collection.
+func (r *Runner) putRef(spec workloads.Spec, rp *ref.Profile) {
+	if r.RefStore == nil {
+		return
+	}
+	id := r.RefIdentity(spec)
+	_ = r.RefStore.Put(results.Record{
+		Key:      id.Key(),
+		Identity: id,
+		Ref: &results.RefData{
+			Blocks:          len(rp.ExecCount),
+			NetInstructions: rp.NetInstructions,
+			TakenBranches:   rp.TakenBranches,
+			ExecCount:       rp.ExecCount,
+		},
+	})
+}
+
+// RefStats returns the served/collected split of every reference lookup
+// this Runner has performed — the resume observable for reference
+// memoization (a warm store reports zero collected).
+func (r *Runner) RefStats() SweepStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refStats
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/results"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/workloads"
+)
+
+// TestReferenceMemoization: a Runner with a RefStore collects each
+// workload's ground truth once, appends it, and a second Runner over the
+// same (reloaded) store serves every reference without re-executing —
+// with the rebuilt profile structurally identical to a fresh one.
+func TestReferenceMemoization(t *testing.T) {
+	spec := workloads.Kernels()[0]
+	path := filepath.Join(t.TempDir(), "store.jsonl.refs")
+
+	st, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(SmallScale(), 42)
+	r1.RefStore = st
+	fresh, err := r1.Reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := r1.RefStats(); rs.Measured != 1 || rs.Cached != 0 {
+		t.Fatalf("cold ref stats = %+v, want 1 collected", rs)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("ref store holds %d records, want 1", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process resuming against the same store file.
+	st2, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r2 := NewRunner(SmallScale(), 42)
+	r2.RefStore = st2
+	served, err := r2.Reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := r2.RefStats(); rs.Measured != 0 || rs.Cached != 1 {
+		t.Fatalf("warm ref stats = %+v, want 1 served / 0 collected", rs)
+	}
+	if !reflect.DeepEqual(served.ExecCount, fresh.ExecCount) ||
+		!reflect.DeepEqual(served.InstrCount, fresh.InstrCount) ||
+		served.NetInstructions != fresh.NetInstructions ||
+		served.TakenBranches != fresh.TakenBranches {
+		t.Error("profile served from store differs from freshly collected one")
+	}
+
+	// Repeated lookups within one runner hit the in-process cache, not
+	// the store counter.
+	if _, err := r2.Reference(spec); err != nil {
+		t.Fatal(err)
+	}
+	if rs := r2.RefStats(); rs.Cached != 1 {
+		t.Errorf("in-process repeat reconsulted the store: %+v", rs)
+	}
+}
+
+// TestReferenceMemoStaleShapeRecollected: a memo whose block count does
+// not match the built program (a workload definition changed shape under
+// an old store) is ignored and the reference re-collected, never trusted.
+func TestReferenceMemoStaleShapeRecollected(t *testing.T) {
+	spec := workloads.Kernels()[0]
+	st := results.NewMemory()
+	r := NewRunner(SmallScale(), 42)
+	r.RefStore = st
+
+	id := r.RefIdentity(spec)
+	if err := st.Put(results.Record{
+		Identity: id,
+		Ref: &results.RefData{
+			Blocks:          3,
+			NetInstructions: 999,
+			TakenBranches:   1,
+			ExecCount:       []uint64{1, 2, 3}, // wrong shape for the real program
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := r.Reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := r.RefStats(); rs.Measured != 1 || rs.Cached != 0 {
+		t.Fatalf("stale memo was served: stats %+v", rs)
+	}
+	if rp.NetInstructions == 999 {
+		t.Error("stale memo's payload leaked into the profile")
+	}
+}
+
+// TestRefIdentityDisjointFromMeasurements: reference records can never
+// collide with measurement records, even in a shared store — the
+// reserved method key addresses a disjoint key space, and the identity
+// ignores machine/method/period/seed knobs so all sweep configurations
+// at one scale share one ground truth.
+func TestRefIdentityDisjointFromMeasurements(t *testing.T) {
+	spec := workloads.Kernels()[0]
+	r := NewRunner(SmallScale(), 42)
+	refKey := r.RefIdentity(spec).Key()
+	for _, m := range sampling.Registry() {
+		c := Cell{Workload: spec, Machine: machine.IvyBridge(), Method: m}
+		if r.CellIdentity(c).Key() == refKey {
+			t.Fatalf("ref key collides with measurement cell %s", m.Key)
+		}
+	}
+	// Different seeds and periods share the reference address; different
+	// scales do not.
+	r2 := NewRunner(SmallScale(), 7)
+	if r2.RefIdentity(spec).Key() != refKey {
+		t.Error("reference address depends on the base seed")
+	}
+	r3 := NewRunner(PaperScale(), 42)
+	if r3.RefIdentity(spec).Key() == refKey {
+		t.Error("reference address ignores the scale")
+	}
+}
+
+// TestMeasureWithRefStoreByteIdentical: measurements made with a warm
+// reference memo are byte-identical to measurements made with none —
+// serving ground truth from the store is not allowed to perturb any
+// downstream number.
+func TestMeasureWithRefStoreByteIdentical(t *testing.T) {
+	g := Grid{
+		Workloads: workloads.Kernels()[:1],
+		Machines:  []machine.Machine{machine.IvyBridge()},
+		Methods:   sampling.Registry(),
+	}
+	refs := results.NewMemory()
+	r1 := NewRunner(SmallScale(), 42)
+	r1.RefStore = refs
+	warmup, err := r1.Sweep(g, SweepOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(SmallScale(), 42)
+	r2.RefStore = refs
+	served, err := r2.Sweep(g, SweepOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := r2.RefStats(); rs.Measured != 0 || rs.Cached != len(g.Workloads) {
+		t.Fatalf("second sweep ref stats = %+v, want all served", rs)
+	}
+
+	plain, err := NewRunner(SmallScale(), 42).Sweep(g, SweepOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(warmup)
+	sb, _ := json.Marshal(served)
+	pb, _ := json.Marshal(plain)
+	if !bytes.Equal(sb, pb) || !bytes.Equal(wb, pb) {
+		t.Errorf("ref-memoized sweep differs from plain sweep:\nwarm:   %s\nserved: %s\nplain:  %s", wb, sb, pb)
+	}
+}

@@ -287,6 +287,7 @@ type PMU struct {
 	lbr     lbrRing
 	csRing  lbrRing // call-stack-filtered ring for the contention model
 	samples []Sample
+	arena   lbrArena // backing storage for the samples' LBR snapshots
 
 	counter    uint64
 	effPeriod  uint64
@@ -587,6 +588,41 @@ func (p *PMU) FastHeadroom() uint64 {
 // because the ring's contents at the next sample depend on all of them.
 func (p *PMU) WantBranches() bool { return p.cfg.CaptureLBR }
 
+// BulkClasses implements cpu.BulkClassHinter: BulkRetire reads exactly
+// the configured event's BulkCounts field, so the engine may zero every
+// other class. With a Result-shaped event and no LBR capture this is what
+// lets RunFast select its lean loop for the sampling PMU.
+func (p *PMU) BulkClasses() cpu.BulkClass { return bulkClassOf(p.cfg.Event) }
+
+// bulkClassOf maps a countable event to the BulkCounts class its
+// EventUnitsBulk accessor reads. Unknown events demand every class, the
+// conservative answer.
+func bulkClassOf(e Event) cpu.BulkClass {
+	switch e {
+	case EvInstRetired:
+		return cpu.BulkInstrs
+	case EvUopsRetired:
+		return cpu.BulkUops
+	case EvBrTaken:
+		return cpu.BulkTakenBranches
+	case EvCondBr:
+		return cpu.BulkCondBranches
+	case EvBrMispred:
+		return cpu.BulkMispredicts
+	case EvLoad:
+		return cpu.BulkLoads
+	case EvStore:
+		return cpu.BulkStores
+	case EvFPOp:
+		return cpu.BulkFPOps
+	case EvCall:
+		return cpu.BulkCalls
+	case EvRet:
+		return cpu.BulkRets
+	}
+	return cpu.BulkAll
+}
+
 // OnFastBranch implements cpu.FastMonitor: the stride-mode half of the LBR
 // update in OnRetire.
 func (p *PMU) OnFastBranch(from, to uint32, op isa.Op) {
@@ -657,10 +693,16 @@ func (p *PMU) record(ip uint32, ev cpu.RetireEvent, period uint64) {
 		if p.cfg.LBRContention > 0 && p.rng.Float64() < p.cfg.LBRContention {
 			// The other consumer owned the LBR when this PMI fired: the
 			// snapshot holds call-stack-filtered records.
-			s.LBR = p.csRing.snapshot()
+			s.LBR = p.csRing.snapshot(&p.arena)
 		} else {
-			s.LBR = p.lbr.snapshot()
+			s.LBR = p.lbr.snapshot(&p.arena)
 		}
+	}
+	if p.samples == nil {
+		// One run produces hundreds to thousands of samples; skipping the
+		// small steps of append's growth ladder keeps steady-state
+		// collection at a handful of allocations.
+		p.samples = make([]Sample, 0, initialSampleCap)
 	}
 	p.samples = append(p.samples, s)
 }
@@ -690,6 +732,44 @@ func (p *PMU) retunePeriod(cycle uint64) {
 // EffectiveBasePeriod returns the current base period — constant in fixed
 // mode, the converged feedback value in frequency mode.
 func (p *PMU) EffectiveBasePeriod() uint64 { return p.basePeriod }
+
+// initialSampleCap seeds the sample buffer's capacity on the first
+// recorded sample (a run that samples nothing allocates nothing).
+const initialSampleCap = 512
+
+// lbrArena hands out LBR snapshot slices carved from large shared
+// chunks, so a collection run costs one allocation per ~lbrArenaChunk
+// snapshot entries instead of one per sample. Samples retain their
+// snapshots beyond the run (they escape through Run.Samples), which
+// rules out sync.Pool recycling — but the snapshots are immutable once
+// taken, so packing them into shared chunks is safe. Every handed-out
+// slice has its capacity clipped to its length, so even an (incorrect)
+// append by a consumer cannot clobber a neighboring snapshot.
+type lbrArena struct {
+	chunk []BranchRecord
+}
+
+// lbrArenaChunk is the arena chunk size in entries (~32 KiB chunks).
+const lbrArenaChunk = 4096
+
+// alloc returns a zeroed slice of n records backed by the arena. n = 0
+// returns a non-nil empty slice: "captured, empty" must stay distinct
+// from the nil "not captured" in every observable (JSON, DiffRuns).
+func (a *lbrArena) alloc(n int) []BranchRecord {
+	if n == 0 {
+		return []BranchRecord{}
+	}
+	if len(a.chunk)+n > cap(a.chunk) {
+		size := lbrArenaChunk
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]BranchRecord, 0, size)
+	}
+	start := len(a.chunk)
+	a.chunk = a.chunk[:start+n]
+	return a.chunk[start : start+n : start+n]
+}
 
 // lbrRing is the Last Branch Record stack: a ring buffer overwritten by
 // every retiring taken branch.
@@ -725,9 +805,10 @@ func (l *lbrRing) pop() {
 	l.filled--
 }
 
-// snapshot returns the stack contents, oldest branch first.
-func (l *lbrRing) snapshot() []BranchRecord {
-	out := make([]BranchRecord, l.filled)
+// snapshot returns the stack contents, oldest branch first, in storage
+// carved from the arena.
+func (l *lbrRing) snapshot(a *lbrArena) []BranchRecord {
+	out := a.alloc(l.filled)
 	start := l.pos - l.filled
 	if start < 0 {
 		start += len(l.entries)

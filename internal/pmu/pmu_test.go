@@ -254,14 +254,15 @@ func TestBrTakenEventCountsOnlyTaken(t *testing.T) {
 
 func TestLBRRingOrder(t *testing.T) {
 	var l lbrRing
+	var a lbrArena
 	l.init(4)
-	if got := l.snapshot(); len(got) != 0 {
-		t.Errorf("empty ring snapshot = %v", got)
+	if got := l.snapshot(&a); got == nil || len(got) != 0 {
+		t.Errorf("empty ring snapshot = %v, want non-nil empty", got)
 	}
 	for i := 1; i <= 3; i++ {
 		l.push(BranchRecord{From: uint32(i), To: uint32(i * 10)})
 	}
-	s := l.snapshot()
+	s := l.snapshot(&a)
 	if len(s) != 3 {
 		t.Fatalf("snapshot len = %d", len(s))
 	}
@@ -272,12 +273,43 @@ func TestLBRRingOrder(t *testing.T) {
 	for i := 4; i <= 9; i++ {
 		l.push(BranchRecord{From: uint32(i)})
 	}
-	s = l.snapshot()
+	s = l.snapshot(&a)
 	if len(s) != 4 {
 		t.Fatalf("full snapshot len = %d", len(s))
 	}
 	if s[0].From != 6 || s[3].From != 9 {
 		t.Errorf("ring overflow order wrong: %v", s)
+	}
+}
+
+// TestLBRArenaSnapshotsIndependent pins the arena's safety contract:
+// snapshots carved from shared chunks never alias, capacities are
+// clipped so appending to one snapshot cannot clobber its neighbor, and
+// snapshots taken before a chunk rollover survive it intact.
+func TestLBRArenaSnapshotsIndependent(t *testing.T) {
+	var l lbrRing
+	var a lbrArena
+	l.init(4)
+	l.push(BranchRecord{From: 1, To: 2})
+	first := l.snapshot(&a)
+	l.push(BranchRecord{From: 3, To: 4})
+	second := l.snapshot(&a)
+
+	if cap(first) != len(first) {
+		t.Errorf("snapshot capacity %d > length %d: appends could clobber the arena", cap(first), len(first))
+	}
+	_ = append(first, BranchRecord{From: 99, To: 99})
+	if second[0] != (BranchRecord{From: 1, To: 2}) || second[1] != (BranchRecord{From: 3, To: 4}) {
+		t.Errorf("append to one snapshot corrupted another: %v", second)
+	}
+
+	// Force several chunk rollovers; the earliest snapshots must still
+	// read back their original contents.
+	for i := 0; i < lbrArenaChunk; i++ {
+		l.snapshot(&a)
+	}
+	if first[0] != (BranchRecord{From: 1, To: 2}) {
+		t.Errorf("chunk rollover corrupted an old snapshot: %v", first)
 	}
 }
 

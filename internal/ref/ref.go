@@ -10,6 +10,8 @@
 package ref
 
 import (
+	"fmt"
+
 	"pmutrust/internal/cpu"
 	"pmutrust/internal/program"
 )
@@ -28,6 +30,33 @@ type Profile struct {
 	NetInstructions uint64
 	// TakenBranches is the total taken-branch count.
 	TakenBranches uint64
+}
+
+// FromCounts reconstructs a Profile from memoized block execution
+// counts (the payload a results store holds for a reference run) without
+// re-executing p. It validates the shape — exec must have exactly one
+// entry per block of p — and recomputes the derived InstrCount column,
+// so a profile rebuilt from a store is structurally identical to one
+// Collect produced. Callers must pass counts that were collected from
+// the *same* program; the block-count check catches stale memos after a
+// workload definition changes shape, but cannot catch a same-shape
+// content change (the content-addressed store identity is what rules
+// that out).
+func FromCounts(p *program.Program, exec []uint64, netInstrs, takenBranches uint64) (*Profile, error) {
+	if len(exec) != p.NumBlocks() {
+		return nil, fmt.Errorf("ref: memoized profile has %d blocks, program has %d", len(exec), p.NumBlocks())
+	}
+	prof := &Profile{
+		Prog:            p,
+		ExecCount:       exec,
+		InstrCount:      make([]uint64, p.NumBlocks()),
+		NetInstructions: netInstrs,
+		TakenBranches:   takenBranches,
+	}
+	for i, b := range p.Blocks {
+		prof.InstrCount[i] = exec[i] * uint64(b.Len())
+	}
+	return prof, nil
 }
 
 // collector implements cpu.FuncMonitor counting block entries.

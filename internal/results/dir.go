@@ -1,7 +1,6 @@
 package results
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,9 +35,9 @@ import (
 // The rule is a pure function of the record *set* — independent of file
 // names, file order, and line order — so every reader of a shard
 // directory resolves duplicates identically, which is what makes
-// distributed renders byte-identical to single-process ones. (A single
-// FileStore instead keeps its documented last-write-wins rule, which is
-// deterministic there because one file has one total line order.)
+// distributed renders byte-identical to single-process ones. FileStore
+// applies the same store-wide rule (see merge), so moving records
+// between backends can never flip a duplicate's winner.
 //
 // # Torn tails
 //
@@ -167,20 +166,10 @@ func (s *DirStore) loadAll() error {
 	return nil
 }
 
-// merge applies the pinned duplicate rule: the record with the
-// lexicographically smallest canonical JSON encoding wins its key. It
-// must be called with a V-stamped, keyed record.
+// merge applies the store-wide duplicate rule (see the shared merge in
+// store.go). It must be called with a V-stamped, keyed record.
 func (s *DirStore) merge(rec Record) error {
-	canon, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("results: marshal record: %w", err)
-	}
-	if old, ok := s.enc[rec.Key]; ok && bytes.Compare(old, canon) <= 0 {
-		return nil
-	}
-	s.enc[rec.Key] = canon
-	s.recs[rec.Key] = rec
-	return nil
+	return merge(s.recs, s.enc, rec)
 }
 
 // Put stores rec (stamping V and, if empty, Key from the identity) and,

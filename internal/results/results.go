@@ -61,6 +61,32 @@ func (id Identity) Key() string {
 		strconv.Itoa(id.Repeats))
 }
 
+// RefMethod is the reserved method name under which ground-truth
+// reference profiles are addressed. It can never collide with a real
+// sampling method key (sampling method keys never start with "__"), so
+// reference records and measurement records occupy disjoint key spaces
+// even if they ever share a store — though by convention they live in a
+// sidecar store of their own (see experiments.Runner.RefStore).
+const RefMethod = "__ref__"
+
+// RefData is the memoized payload of one ground-truth reference run:
+// exactly the fields ref.Collect computes from a functional execution.
+// A reference depends only on (workload, workload scale) — no machine,
+// period or seed — so its identity zeroes every other field and uses
+// RefMethod as the method.
+type RefData struct {
+	// Blocks is the block count of the profiled program, stored so a
+	// loaded record can be validated against the program it claims to
+	// describe before ExecCount is trusted.
+	Blocks int `json:"blocks"`
+	// NetInstructions is the total retired instruction count.
+	NetInstructions uint64 `json:"net_instructions"`
+	// TakenBranches is the total taken-branch count.
+	TakenBranches uint64 `json:"taken_branches"`
+	// ExecCount[b] is the exact execution count of block ID b.
+	ExecCount []uint64 `json:"exec_count"`
+}
+
 // Record is one stored measurement: the identity that addresses it plus
 // the measured payload (mirroring experiments.Measurement).
 type Record struct {
@@ -81,4 +107,7 @@ type Record struct {
 	Supported bool `json:"supported"`
 	// Failed reports that at least one repeat errored.
 	Failed bool `json:"failed,omitempty"`
+	// Ref carries the ground-truth reference payload for records
+	// addressed under RefMethod; nil on measurement records.
+	Ref *RefData `json:"ref,omitempty"`
 }

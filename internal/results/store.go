@@ -2,6 +2,7 @@ package results
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -49,23 +50,53 @@ type Store interface {
 // those cells. A FileStore is safe for concurrent use — sweep workers
 // Put from many goroutines.
 //
-// Within one file the last record for a key wins, matching the cache
-// semantics: re-putting an identical identity re-states the same value.
-// (That rule is deterministic here because a single file has a single
-// total line order; merging *multiple* files needs the order-free rule
-// DirStore pins instead.)
+// Duplicate keys resolve by the store-wide rule (see merge): the record
+// with the lexicographically smallest canonical JSON encoding wins,
+// independent of Put or line order. Re-putting an identical identity
+// re-states the same value, so the rule is invisible in normal operation
+// — it only pins which candidate survives when payloads genuinely
+// conflict, and it pins the *same* winner a DirStore merge would elect.
 type FileStore struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File // append handle; nil for a memory-only store
 	recs map[string]Record
+	// enc holds the canonical encoding of the winning record per key —
+	// the comparison column of the duplicate rule.
+	enc map[string][]byte
 }
 
 var _ Store = (*FileStore)(nil)
 
 // NewMemory returns an unbacked store, for tests and one-shot renders.
 func NewMemory() *FileStore {
-	return &FileStore{recs: make(map[string]Record)}
+	return &FileStore{recs: make(map[string]Record), enc: make(map[string][]byte)}
+}
+
+// merge applies the store-wide duplicate rule shared by every backend
+// (and pinned by the storetest contract suite): among all records
+// sharing a key, the one whose canonical JSON encoding (json.Marshal of
+// the parsed, stamped record) is lexicographically smallest wins. The
+// rule is a pure function of the record *set* — independent of file
+// names, file order, line order and Put order — so a single-file store,
+// a shard-directory merge-on-read and any future backend all elect the
+// same winner from the same candidates. Measurements are pure functions
+// of their content-addressed identity, so genuine conflicts only arise
+// from corruption or version skew; the rule's job is to keep even those
+// deterministic. recs is the backend's live view and enc its comparison
+// column; the caller must hold the backend lock and pass a V-stamped,
+// keyed record.
+func merge(recs map[string]Record, enc map[string][]byte, rec Record) error {
+	canon, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("results: marshal record: %w", err)
+	}
+	if old, ok := enc[rec.Key]; ok && bytes.Compare(old, canon) <= 0 {
+		return nil
+	}
+	enc[rec.Key] = canon
+	recs[rec.Key] = rec
+	return nil
 }
 
 // Create truncates (or creates) path and returns an empty store writing
@@ -75,7 +106,7 @@ func Create(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("results: create store: %w", err)
 	}
-	return &FileStore{path: path, f: f, recs: make(map[string]Record)}, nil
+	return &FileStore{path: path, f: f, recs: make(map[string]Record), enc: make(map[string][]byte)}, nil
 }
 
 // Open loads the records already present at path (creating the file if
@@ -90,9 +121,9 @@ func Open(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("results: open store: %w", err)
 	}
-	s := &FileStore{path: path, f: f, recs: make(map[string]Record)}
+	s := &FileStore{path: path, f: f, recs: make(map[string]Record), enc: make(map[string][]byte)}
 	good, err := scanRecords(path, f, func(_ []byte, rec Record) {
-		s.recs[rec.Key] = rec
+		merge(s.recs, s.enc, rec)
 	})
 	if err != nil {
 		f.Close()
@@ -119,9 +150,9 @@ func Load(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("results: load store: %w", err)
 	}
 	defer f.Close()
-	s := &FileStore{path: path, recs: make(map[string]Record)}
+	s := &FileStore{path: path, recs: make(map[string]Record), enc: make(map[string][]byte)}
 	if _, err := scanRecords(path, f, func(_ []byte, rec Record) {
-		s.recs[rec.Key] = rec
+		merge(s.recs, s.enc, rec)
 	}); err != nil {
 		return nil, err
 	}
@@ -192,8 +223,7 @@ func (s *FileStore) Put(rec Record) error {
 			return fmt.Errorf("results: append record: %w", err)
 		}
 	}
-	s.recs[rec.Key] = rec
-	return nil
+	return merge(s.recs, s.enc, rec)
 }
 
 // Get returns the record stored under key.

@@ -154,19 +154,29 @@ func TestLoadRejectsSchemaMismatch(t *testing.T) {
 	}
 }
 
-func TestStoreLastWriteWins(t *testing.T) {
-	s := NewMemory()
-	rec := testRec("G4Box", "lbr", 0.1)
-	if err := s.Put(rec); err != nil {
-		t.Fatal(err)
-	}
-	rec.Err = 0.2
-	if err := s.Put(rec); err != nil {
-		t.Fatal(err)
-	}
-	got, _ := s.Get(rec.Identity.Key())
-	if got.Err != 0.2 || s.Len() != 1 {
-		t.Errorf("last write did not win: %+v len=%d", got, s.Len())
+// TestStoreDuplicateRuleUnified pins the store-wide duplicate rule on
+// the FileStore side: the record with the smallest canonical JSON
+// encoding wins its key regardless of Put order, so a FileStore and a
+// DirStore holding the same record set always elect the same winner
+// (the storetest suite checks the DirStore half and the cross-backend
+// agreement).
+func TestStoreDuplicateRuleUnified(t *testing.T) {
+	lo := testRec("G4Box", "lbr", 0.125) // "err":0.125 sorts before "err":0.5
+	hi := testRec("G4Box", "lbr", 0.5)
+	for name, order := range map[string][2]Record{
+		"lo-first": {lo, hi},
+		"hi-first": {hi, lo},
+	} {
+		s := NewMemory()
+		for _, rec := range order {
+			if err := s.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, _ := s.Get(lo.Identity.Key())
+		if got.Err != lo.Err || s.Len() != 1 {
+			t.Errorf("%s: smallest encoding did not win: %+v len=%d", name, got, s.Len())
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os/exec"
 	"time"
 
@@ -96,11 +97,27 @@ func (c *Coordinator) observe(start time.Time, firstDone int) (Progress, error) 
 	}
 	// Rate from cells completed *under this coordinator's watch*: a
 	// resumed sweep must not let pre-existing records inflate the rate.
-	if newCells := p.CellsDone - firstDone; newCells > 0 && p.Elapsed > 0 {
-		rate := float64(newCells) / p.Elapsed.Seconds()
-		p.ETA = time.Duration(float64(p.CellsTotal-p.CellsDone) / rate * float64(time.Second))
-	}
+	p.ETA = etaFor(p.CellsDone-firstDone, p.CellsTotal-p.CellsDone, p.Elapsed)
 	return p, nil
+}
+
+// etaFor extrapolates the measured completion rate (newCells finished
+// over elapsed) across the remaining cells. It returns -1 — rendered as
+// "?" — when no rate is measurable yet, and also when the extrapolation
+// exceeds time.Duration's range: converting an out-of-range float64 to
+// int64 is not defined to saturate in Go, so a near-zero rate early in a
+// huge sweep could otherwise render as a negative or nonsense ETA
+// instead of the honest "unknown".
+func etaFor(newCells, remaining int, elapsed time.Duration) time.Duration {
+	if newCells <= 0 || elapsed <= 0 {
+		return -1
+	}
+	rate := float64(newCells) / elapsed.Seconds()
+	eta := float64(remaining) / rate * float64(time.Second)
+	if eta >= float64(math.MaxInt64) {
+		return -1
+	}
+	return time.Duration(eta)
 }
 
 // Run plans the sweep, spawns the local workers, and blocks until every

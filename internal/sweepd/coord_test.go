@@ -1,0 +1,61 @@
+package sweepd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEtaForOverflowClamp pins the float→Duration overflow behavior of
+// the coordinator's ETA extrapolation: a near-zero completion rate must
+// clamp to the -1 sentinel (rendered "?") instead of converting an
+// out-of-range float64 to int64, which Go does not define to saturate.
+func TestEtaForOverflowClamp(t *testing.T) {
+	// One cell done after an hour, with enough remaining cells that the
+	// extrapolation exceeds time.Duration's ~292-year range.
+	if got := etaFor(1, math.MaxInt32, 300_000*time.Hour); got != -1 {
+		t.Errorf("overflowing ETA = %v, want -1 sentinel", got)
+	}
+
+	// The exact boundary: remaining/rate*1e9 lands right around
+	// MaxInt64. Just below must stay finite and positive; at or above
+	// must clamp.
+	const maxSec = float64(math.MaxInt64) / float64(time.Second) // ~9.22e9 s
+	elapsed := time.Hour
+	rate := 1.0 / elapsed.Seconds()
+	below := int(maxSec*rate) - 1 // remaining cells just under the limit
+	if got := etaFor(1, below, elapsed); got < 0 {
+		t.Errorf("in-range ETA (remaining=%d) = %v, want non-negative", below, got)
+	}
+	above := int(maxSec*rate) + 1
+	if got := etaFor(1, above, elapsed); got != -1 {
+		t.Errorf("boundary ETA (remaining=%d) = %v, want -1 sentinel", above, got)
+	}
+
+	// No measurable rate yet.
+	if got := etaFor(0, 100, time.Minute); got != -1 {
+		t.Errorf("zero-rate ETA = %v, want -1", got)
+	}
+	if got := etaFor(5, 100, 0); got != -1 {
+		t.Errorf("zero-elapsed ETA = %v, want -1", got)
+	}
+
+	// Sane mid-range extrapolation: 10 cells in 10s, 50 remaining → 50s.
+	if got := etaFor(10, 50, 10*time.Second); got != 50*time.Second {
+		t.Errorf("ETA = %v, want 50s", got)
+	}
+}
+
+// TestProgressRendersUnknownETA: the -1 sentinel renders as "?" in the
+// streamed progress line.
+func TestProgressRendersUnknownETA(t *testing.T) {
+	p := Progress{CellsDone: 1, CellsTotal: 10, ShardsTotal: 4, Elapsed: time.Minute, ETA: -1}
+	if s := p.String(); !strings.Contains(s, "eta ?") {
+		t.Errorf("progress %q does not render unknown ETA as ?", s)
+	}
+	p.ETA = 90 * time.Second
+	if s := p.String(); !strings.Contains(s, "eta 1m30s") {
+		t.Errorf("progress %q does not render finite ETA", s)
+	}
+}

@@ -15,6 +15,7 @@
 //	dir/leases/shard-0003.g000002.json generation-numbered lease files
 //	dir/cells/shard-0003.g000002.jsonl per-owner result shard files
 //	dir/done/shard-0003.json           shard completion markers
+//	dir/refs/<owner>.jsonl             memoized ground-truth references
 package sweepd
 
 import (
@@ -84,9 +85,18 @@ func doneDir(dir string) string   { return filepath.Join(dir, "done") }
 // records. Exported for the CLIs (pmureport renders straight from it).
 func CellsDir(dir string) string { return filepath.Join(dir, "cells") }
 
+// RefsDir returns the reference-memo directory of a sweep dir: a
+// results.DirStore holding the fleet's ground-truth profiles under the
+// reserved results.RefMethod key. Every worker appends to its own shard
+// file there (writer-named, like cells), so each (workload, scale)
+// reference is executed at most once per fleet member — and exactly
+// once for the common case of one worker reaching it first and the rest
+// attaching after its append is visible. Exported for the CLIs.
+func RefsDir(dir string) string { return filepath.Join(dir, "refs") }
+
 // InitDir creates the sweep directory layout.
 func InitDir(dir string) error {
-	for _, d := range []string{dir, leasesDir(dir), CellsDir(dir), doneDir(dir)} {
+	for _, d := range []string{dir, leasesDir(dir), CellsDir(dir), doneDir(dir), RefsDir(dir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return fmt.Errorf("sweepd: init dir: %w", err)
 		}

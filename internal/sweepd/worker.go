@@ -54,6 +54,10 @@ type WorkerStats struct {
 	// counts cells of its shards that merge-on-read found already
 	// complete (a predecessor measured them before dying).
 	Measured, Served int
+	// RefsCollected counts ground-truth reference profiles this worker
+	// executed; RefsServed counts those it loaded from the sweep's
+	// shared reference memo (dir/refs) without re-executing.
+	RefsCollected, RefsServed int
 }
 
 // Worker is one member of a sweep fleet: it claims shards from the plan
@@ -125,8 +129,7 @@ func readPlanWait(dir string, patience time.Duration, now func() time.Time) (*Pl
 // returned error (the shard is still done-marked: failed cells are never
 // stored, so a later render pass retries them — the same contract as
 // single-process SweepCached). Supersession is not an error.
-func (w *Worker) Run() (WorkerStats, error) {
-	var stats WorkerStats
+func (w *Worker) Run() (stats WorkerStats, err error) {
 	if w.Owner == "" {
 		w.Owner = ownerID()
 	}
@@ -142,6 +145,20 @@ func (w *Worker) Run() (WorkerStats, error) {
 		return stats, err
 	}
 	r.Engine = w.Engine
+	// Attach the fleet-shared reference memo: ground truth collected by
+	// any earlier (or concurrent) fleet member is served from dir/refs
+	// instead of re-executed. The owner name keeps this worker's appends
+	// in a file of their own, like a cells shard.
+	refs, err := results.OpenDir(RefsDir(w.Dir), w.Owner)
+	if err != nil {
+		return stats, err
+	}
+	defer refs.Close()
+	r.RefStore = refs
+	defer func() {
+		rs := r.RefStats()
+		stats.RefsCollected, stats.RefsServed = rs.Measured, rs.Cached
+	}()
 
 	n := len(p.Shards)
 	// Stagger each worker's claim order by its owner hash so a fleet

@@ -157,6 +157,100 @@ func TestWorkerServesPredecessorCells(t *testing.T) {
 	}
 }
 
+// TestWorkerSharesReferenceMemo pins the fleet-wide reference memo: a
+// worker collects each workload's ground truth into dir/refs exactly
+// once, and a worker attaching to a directory whose refs are already
+// populated (a predecessor or fleet-mate collected them) serves every
+// reference from the memo and re-executes none — while the measurements
+// it produces stay byte-identical to an unmemoized single-process sweep.
+func TestWorkerSharesReferenceMemo(t *testing.T) {
+	g := testGrid()
+	nWorkloads := len(g.Workloads)
+
+	// Cold directory: the lone worker collects every reference.
+	dir1 := t.TempDir()
+	if err := WritePlan(dir1, testPlan(2)); err != nil {
+		t.Fatal(err)
+	}
+	w1 := &Worker{Dir: dir1, Owner: "cold", TTL: time.Second, Parallel: 2}
+	s1, err := w1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.RefsCollected != nWorkloads || s1.RefsServed != 0 {
+		t.Errorf("cold worker refs = %d collected / %d served, want %d / 0",
+			s1.RefsCollected, s1.RefsServed, nWorkloads)
+	}
+	refs, err := results.LoadDir(RefsDir(dir1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs.Len() != nWorkloads {
+		t.Errorf("refs dir holds %d records, want %d", refs.Len(), nWorkloads)
+	}
+
+	// Warm directory: ground truth pre-collected (as a fleet-mate would
+	// have), cells still unmeasured — the worker must serve every
+	// reference and collect none.
+	dir2 := t.TempDir()
+	p := testPlan(2)
+	if err := WritePlan(dir2, p); err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := results.OpenDir(RefsDir(dir2), "pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RefStore = pre
+	for _, spec := range g.Workloads {
+		if _, err := r.Reference(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pre.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := &Worker{Dir: dir2, Owner: "warm", TTL: time.Second, Parallel: 2}
+	s2, err := w2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.RefsServed != nWorkloads || s2.RefsCollected != 0 {
+		t.Errorf("warm worker refs = %d collected / %d served, want 0 / %d",
+			s2.RefsCollected, s2.RefsServed, nWorkloads)
+	}
+
+	// Both sweeps must render byte-identically to a plain run: the memo
+	// cannot perturb a single downstream number.
+	want, err := experiments.NewRunner(experiments.SmallScale(), 42).Sweep(g, experiments.SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	for _, dir := range []string{dir1, dir2} {
+		st, err := results.LoadDir(CellsDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := experiments.NewRunner(experiments.SmallScale(), 42).
+			SweepCached(g, st, experiments.SweepOptions{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Measured != 0 {
+			t.Errorf("%s: render re-measured %d cells, want 0", dir, stats.Measured)
+		}
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("%s: memoized sweep render differs from plain sweep", dir)
+		}
+	}
+}
+
 // TestWorkerSkipsDoneShards: a worker attaching to a finished sweep
 // exits immediately without taking a lease.
 func TestWorkerSkipsDoneShards(t *testing.T) {
