@@ -164,6 +164,46 @@ func TestPublicAPICustomProgram(t *testing.T) {
 	}
 }
 
+// TestPublicAPITenants exercises the multi-tenant scheduling surface
+// through the facade: timeshare two tenants on one simulated core and
+// read the scheduling-noise accounting off each Run.
+func TestPublicAPITenants(t *testing.T) {
+	spec, err := pmutrust.WorkloadByName("G4Box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []*pmutrust.Program{spec.Build(0.05), spec.Build(0.05)}
+	method, err := pmutrust.MethodByKey("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := pmutrust.CollectTenants(progs, pmutrust.Westmere(), method,
+		pmutrust.SchedOptions{Options: pmutrust.Options{PeriodBase: 500, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(progs) {
+		t.Fatalf("runs = %d, want %d", len(runs), len(progs))
+	}
+	for i, run := range runs {
+		if run.Sched == nil {
+			t.Fatalf("tenant %d: no scheduling stats", i)
+		}
+		if run.Sched.Tenant != i || run.Sched.Tenants != len(progs) {
+			t.Errorf("tenant %d: stats indexed as %d/%d", i, run.Sched.Tenant, run.Sched.Tenants)
+		}
+		if run.Sched.Switches == 0 {
+			t.Errorf("tenant %d: never context-switched", i)
+		}
+		if run.Sched.KernelLeakInstrs == 0 {
+			t.Errorf("tenant %d: kernel switch path leaked no events", i)
+		}
+		if len(run.Samples) == 0 {
+			t.Errorf("tenant %d: no samples", i)
+		}
+	}
+}
+
 // TestPublicAPIMultiplexing exercises the counter-multiplexing surface
 // through the facade: request more counting events than the machine has
 // counters and read exact-vs-scaled counts off the Run.

@@ -7,12 +7,13 @@
 //	                      ablate-skid|ablate-period|ablate-lbr|ablate-burst|
 //	                      ablate-rand|overhead|freq|lbr-contention|
 //	                      stability|future-hw|mux-events|mux-timeslice|
-//	                      mux-policy|mux|phased|spec|all]
+//	                      mux-policy|mux|tenants|tenants-timeslice|
+//	                      phased|spec|all]
 //	         [-scale paper|small] [-seed N] [-markdown]
 //	         [-parallel N] [-timeout D] [-json FILE]
 //	         [-store FILE] [-resume] [-engine fast|interp|both]
 //	         [-events LIST] [-timeslice N] [-mux-policy rr|priority]
-//	         [-spec FILE]
+//	         [-tenants LIST] [-switch-cost N] [-spec FILE]
 //	pmubench -serve -sweep-dir DIR [-experiment table1|table2|phased]
 //	         [-shards N] [-workers N] [-lease-ttl D] [...common flags]
 //	pmubench -worker -sweep-dir DIR [-lease-ttl D] [-parallel N]
@@ -80,6 +81,17 @@
 // cmd/pmureport accepts the sweep directory anywhere it takes a store
 // file.
 //
+// The tenants experiments schedule N copies of each workload on one
+// simulated core under a CFS-style timeslice scheduler (internal/sched)
+// with per-task PMU context save/restore, kernel-path event leakage and
+// cross-tenant sample skid: "tenants" sweeps the tenant count (-tenants,
+// a comma-separated list, default 1,2,4,8) and "tenants-timeslice" the
+// scheduling period at a fixed four tenants. -switch-cost overrides the
+// per-machine context-switch cost in simulated cycles (0 = each model's
+// calibrated default). The n=1 column is collected by the unscheduled
+// sampling path with identical seeds, so it is bit-identical to the
+// plain accuracy tables.
+//
 // "-experiment phased" measures the registered phased/bursty workload
 // family (the hand-built PhaseShift plus the spec-generated alternate,
 // burst and ramp schedules — see docs/WORKLOADS.md) through the same
@@ -96,6 +108,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 
 	"pmutrust/internal/experiments"
 	"pmutrust/internal/pmu"
@@ -116,7 +129,8 @@ var experimentList = []string{
 	"table3", "table1", "table2", "factors", "ipfix", "ranking",
 	"ablate-skid", "ablate-period", "ablate-lbr", "ablate-burst", "ablate-rand",
 	"overhead", "freq", "lbr-contention", "stability", "future-hw",
-	"mux-events", "mux-timeslice", "mux-policy", "mux", "phased", "spec",
+	"mux-events", "mux-timeslice", "mux-policy", "mux",
+	"tenants", "tenants-timeslice", "phased", "spec",
 }
 
 // flagOnlyExperiments are dispatchable by name but excluded from "all"
@@ -148,6 +162,9 @@ type jsonResult struct {
 	// MuxMeasurements holds per-cell results for the counter-multiplexing
 	// experiments (mux-events, mux-timeslice, mux-policy, mux).
 	MuxMeasurements []experiments.MuxMeasurement `json:"mux_measurements,omitempty"`
+	// TenantMeasurements holds per-cell results for the multi-tenant
+	// scheduling experiments (tenants, tenants-timeslice).
+	TenantMeasurements []experiments.TenantMeasurement `json:"tenant_measurements,omitempty"`
 	// Table is the rendered table, for humans reading the artifact.
 	Table string `json:"table"`
 }
@@ -167,6 +184,8 @@ func main() {
 		eventsFlag = flag.String("events", "", "comma-separated counting-event list for -experiment mux (e.g. inst_retired,load,br_taken)")
 		timeslice  = flag.Uint64("timeslice", 0, "multiplexer rotation timeslice in simulated cycles (0 = default)")
 		muxPolicy  = flag.String("mux-policy", "rr", "multiplexer rotation policy: rr or priority")
+		tenantsF   = flag.String("tenants", "", "comma-separated simulated tenant counts for -experiment tenants (empty = 1,2,4,8)")
+		switchCost = flag.Uint64("switch-cost", 0, "context-switch cost in simulated cycles for the tenants experiments (0 = per-machine default)")
 		specFile   = flag.String("spec", "", "measure this phased spec file through the accuracy matrix instead of a built-in experiment")
 		serve      = flag.Bool("serve", false, "coordinator mode: run the matrix experiment as a sharded sweep under -sweep-dir")
 		workerMode = flag.Bool("worker", false, "worker mode: claim and measure shards of the sweep under -sweep-dir, then exit")
@@ -199,6 +218,11 @@ func main() {
 		os.Exit(2)
 	}
 	policy, err := pmu.MuxPolicyByName(*muxPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
+		os.Exit(2)
+	}
+	tenantCounts, err := parseTenantCounts(*tenantsF)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmubench: %v\n", err)
 		os.Exit(2)
@@ -374,6 +398,12 @@ func main() {
 	emitMux := func(name string, t *report.Table, ms []experiments.MuxMeasurement) {
 		emitFull(name, t, nil, ms)
 	}
+	emitTenants := func(name string, t *report.Table, ms []experiments.TenantMeasurement) {
+		emitFull(name, t, nil, nil)
+		if *jsonPath != "" {
+			jsonResults[len(jsonResults)-1].TenantMeasurements = ms
+		}
+	}
 
 	// Tables 1 and 2 are cached across experiments so "-experiment all"
 	// computes each matrix once (factors reuses them).
@@ -524,6 +554,18 @@ func main() {
 				return err
 			}
 			emitMux(name, t, ms)
+		case "tenants":
+			t, ms, err := r.RunTenants(tenantCounts, *switchCost)
+			if err != nil {
+				return err
+			}
+			emitTenants(name, t, ms)
+		case "tenants-timeslice":
+			t, ms, err := r.RunTenantsTimeslice(*switchCost)
+			if err != nil {
+				return err
+			}
+			emitTenants(name, t, ms)
 		case "phased":
 			tr, err := r.RunPhased()
 			if err != nil {
@@ -601,6 +643,23 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// parseTenantCounts parses the -tenants flag: a comma-separated list of
+// positive tenant counts, empty meaning the experiment default.
+func parseTenantCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-tenants: bad count %q (want positive integers, e.g. 1,2,4,8)", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func writeJSON(path string, results []jsonResult) error {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pmureport -store results.jsonl [-table kernels|apps|phased|ranking|factors|mux|all]
+//	pmureport -store results.jsonl [-table kernels|apps|phased|ranking|factors|mux|tenants|all]
 //	          [-markdown] [-csv] [-baseline classic]
 //	pmureport -compare OLD.jsonl NEW.jsonl [-tol 0.05] [-markdown]
 //
@@ -26,7 +26,11 @@
 // Counter-multiplexing cells (written by `pmubench -experiment
 // mux-events|mux-timeslice|mux-policy -store`, method keys "mux-*") are
 // kept out of the accuracy tables and rendered by -table mux as their
-// own matrix of exact-vs-scaled counting errors. -markdown and -csv
+// own matrix of exact-vs-scaled counting errors. Multi-tenant
+// scheduling cells (written by `pmubench -experiment
+// tenants|tenants-timeslice -store`, method keys "tn-*") likewise form
+// their own family, rendered by -table tenants as the accuracy matrix
+// under scheduling noise. -markdown and -csv
 // switch the
 // output format (plain aligned text by default); -csv emits a single
 // rectangle, so it requires picking one table with -table.
@@ -79,7 +83,7 @@ func dirExists(path string) bool {
 func main() {
 	var (
 		storePath = flag.String("store", "", "results store to render: a JSONL file from pmubench -store, or a sweep dir from pmubench -serve")
-		table     = flag.String("table", "all", "which table to render: kernels, apps, phased, ranking, factors, mux or all")
+		table     = flag.String("table", "all", "which table to render: kernels, apps, phased, ranking, factors, mux, tenants or all")
 		markdown  = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of plain text (matrix shapes only keep their rectangle)")
 		baseline  = flag.String("baseline", "classic", "baseline method for the factors table")
@@ -143,14 +147,15 @@ func canonicalOrders() (workloadOrder, machineOrder, methodOrder []string) {
 	return
 }
 
-// split partitions records into the kernel, application, phased and
-// multiplexing groups. Counter-multiplexing cells (method key "mux-*")
-// route first regardless of workload; then registry Kind decides: kernels
-// and apps form the paper's table pair, registered phased workloads (and
-// any "Phased*"-named user spec measured via `pmubench -spec`) form the
-// phased family; remaining unknown workloads land with the apps (user
-// additions, which the paper treats as applications).
-func split(recs []results.Record) (kernels, apps, phased, mux []results.Record) {
+// split partitions records into the kernel, application, phased,
+// multiplexing and tenant groups. Counter-multiplexing cells (method
+// key "mux-*") and multi-tenant scheduling cells (method key "tn-*")
+// route first regardless of workload; then registry Kind decides:
+// kernels and apps form the paper's table pair, registered phased
+// workloads (and any "Phased*"-named user spec measured via `pmubench
+// -spec`) form the phased family; remaining unknown workloads land with
+// the apps (user additions, which the paper treats as applications).
+func split(recs []results.Record) (kernels, apps, phased, mux, tenants []results.Record) {
 	kind := make(map[string]workloads.Kind)
 	for _, s := range workloads.All() {
 		kind[s.Name] = s.Kind
@@ -160,6 +165,8 @@ func split(recs []results.Record) (kernels, apps, phased, mux []results.Record) 
 		switch {
 		case strings.HasPrefix(rec.Method, "mux-"):
 			mux = append(mux, rec)
+		case strings.HasPrefix(rec.Method, "tn-"):
+			tenants = append(tenants, rec)
 		case ok && k == workloads.Kernel:
 			kernels = append(kernels, rec)
 		case ok && k == workloads.Phased,
@@ -208,7 +215,7 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 			fmt.Fprintf(os.Stderr, "  %s\n", c)
 		}
 	}
-	kernels, apps, phased, mux := split(recs)
+	kernels, apps, phased, mux, tenants := split(recs)
 	wlo, mco, mto := canonicalOrders()
 
 	var tables []*report.Table
@@ -250,13 +257,24 @@ func runReport(storePath, table, baseline string, markdown, csvOut bool) error {
 			"cells compare perf-style scaled counts against the simulator's exact ground truth."
 		tables = append(tables, t)
 	}
+	if want("tenants") && len(tenants) > 0 {
+		// Tenant columns are the zero-padded "tn-nNN-tsNNNNN-<method>"
+		// keys, which sort into (count, timeslice, method) order on the
+		// sorted-unknown-methods path of report.Matrix.
+		t := report.Matrix(
+			"Regenerated Table 10: accuracy error under multi-tenant scheduling (lower is better)",
+			tenants, wlo, mco, nil)
+		t.Note = "Written by pmubench -experiment tenants|tenants-timeslice -store; " +
+			"N tenants timeshare one simulated core with per-task PMU save/restore — see internal/sched."
+		tables = append(tables, t)
+	}
 	if len(tables) == 0 {
 		return fmt.Errorf("no table %q in store (or unknown -table value)", table)
 	}
 	if csvOut && len(tables) > 1 {
 		// Concatenated rectangles with different headers are not CSV;
 		// make the caller pick one.
-		return fmt.Errorf("-csv emits one rectangle: pick a single table with -table kernels|apps|phased|ranking|factors|mux")
+		return fmt.Errorf("-csv emits one rectangle: pick a single table with -table kernels|apps|phased|ranking|factors|mux|tenants")
 	}
 	for _, t := range tables {
 		switch {

@@ -166,7 +166,7 @@ func TestMuxSplitAndTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kernels, apps, phased, mux := split(ld.Records())
+	kernels, apps, phased, mux, _ := split(ld.Records())
 	if len(mux) != 2 {
 		t.Fatalf("mux records = %d, want 2", len(mux))
 	}
@@ -182,6 +182,56 @@ func TestMuxSplitAndTable(t *testing.T) {
 	}
 	if err := runReport(path, "mux", "classic", false, true); err != nil {
 		t.Errorf("csv mux table: %v", err)
+	}
+}
+
+// TestTenantSplitAndTable: multi-tenant scheduling records (method
+// "tn-*") must stay out of the accuracy tables and render as their own
+// matrix via -table tenants.
+func TestTenantSplitAndTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	writeStore(t, path, func(w, k string) float64 { return 0.3 })
+	st, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"G4Box", "LatencyBiased"} {
+		for _, k := range []string{"tn-n01-ts16000-classic", "tn-n04-ts16000-classic"} {
+			rec := results.Record{
+				Identity: results.Identity{
+					Workload: w, Machine: "IvyBridge", Method: k,
+					Scale: "small", WorkloadScale: 1, PeriodBase: 2000, Seed: 42, Repeats: 1,
+				},
+				Err: 0.04, Samples: 90, Supported: true,
+			}
+			if err := st.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := results.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels, apps, phased, _, tenants := split(ld.Records())
+	if len(tenants) != 4 {
+		t.Fatalf("tenant records = %d, want 4", len(tenants))
+	}
+	for _, rec := range append(append(kernels, apps...), phased...) {
+		if rec.Method == "tn-n01-ts16000-classic" || rec.Method == "tn-n04-ts16000-classic" {
+			t.Fatalf("tenant record leaked into accuracy group: %+v", rec.Identity)
+		}
+	}
+	for _, table := range []string{"tenants", "all"} {
+		if err := runReport(path, table, "classic", false, false); err != nil {
+			t.Errorf("runReport(table=%s): %v", table, err)
+		}
+	}
+	if err := runReport(path, "tenants", "classic", false, true); err != nil {
+		t.Errorf("csv tenants table: %v", err)
 	}
 }
 
@@ -215,7 +265,7 @@ func TestPhasedSplitAndTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kernels, apps, phased, _ := split(ld.Records())
+	kernels, apps, phased, _, _ := split(ld.Records())
 	if len(phased) != 3 {
 		t.Fatalf("phased records = %d, want 3: %+v", len(phased), phased)
 	}

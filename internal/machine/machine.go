@@ -95,6 +95,15 @@ type Machine struct {
 	// LBRReadCostCycles is the additional cost of reading one LBR entry
 	// pair (two MSR reads) inside the handler.
 	LBRReadCostCycles uint64
+	// CtxSwitchCostCycles is the kernel-path cost of one context switch
+	// with per-task PMU state save/restore: the scheduler switch itself
+	// plus perf's counter save on switch-out and reprogram/restore on
+	// switch-in (a handful of MSR writes per counter). The multi-tenant
+	// scheduler (internal/sched) turns this into counter leakage — the
+	// restored counters run while the tail of the switch path retires
+	// kernel instructions. Wider cores drain and refill faster, so the
+	// cost follows the dispatch-width ordering of the three platforms.
+	CtxSwitchCostCycles uint64
 }
 
 // defaultPMICost and defaultLBRReadCost apply to all three machines; the
@@ -124,18 +133,19 @@ func MagnyCours() Machine {
 			MispredictPenalty: 12,
 			TakenBranchBubble: 1,
 		},
-		HasFixedCounter:   false,
-		NumGenCounters:    4,
-		HasPEBS:           false,
-		HasPDIR:           false,
-		HasIBS:            true,
-		HasLBR:            false,
-		LBRDepth:          0,
-		SkidCycles:        120,
-		HasSWPeriodRandom: false,
-		HasHW4LSBRandom:   true,
-		PMICostCycles:     defaultPMICost,
-		LBRReadCostCycles: defaultLBRReadCost,
+		HasFixedCounter:     false,
+		NumGenCounters:      4,
+		HasPEBS:             false,
+		HasPDIR:             false,
+		HasIBS:              true,
+		HasLBR:              false,
+		LBRDepth:            0,
+		SkidCycles:          120,
+		HasSWPeriodRandom:   false,
+		HasHW4LSBRandom:     true,
+		PMICostCycles:       defaultPMICost,
+		LBRReadCostCycles:   defaultLBRReadCost,
+		CtxSwitchCostCycles: 1800,
 	}
 }
 
@@ -152,18 +162,19 @@ func Westmere() Machine {
 			MispredictPenalty: 17,
 			TakenBranchBubble: 1,
 		},
-		HasFixedCounter:   true,
-		NumGenCounters:    4,
-		HasPEBS:           true,
-		HasPDIR:           false,
-		HasIBS:            false,
-		HasLBR:            true,
-		LBRDepth:          16,
-		SkidCycles:        60,
-		HasSWPeriodRandom: true,
-		HasHW4LSBRandom:   false,
-		PMICostCycles:     defaultPMICost,
-		LBRReadCostCycles: defaultLBRReadCost,
+		HasFixedCounter:     true,
+		NumGenCounters:      4,
+		HasPEBS:             true,
+		HasPDIR:             false,
+		HasIBS:              false,
+		HasLBR:              true,
+		LBRDepth:            16,
+		SkidCycles:          60,
+		HasSWPeriodRandom:   true,
+		HasHW4LSBRandom:     false,
+		PMICostCycles:       defaultPMICost,
+		LBRReadCostCycles:   defaultLBRReadCost,
+		CtxSwitchCostCycles: 1500,
 	}
 }
 
@@ -180,18 +191,19 @@ func IvyBridge() Machine {
 			MispredictPenalty: 14,
 			TakenBranchBubble: 1,
 		},
-		HasFixedCounter:   true,
-		NumGenCounters:    4,
-		HasPEBS:           true,
-		HasPDIR:           true,
-		HasIBS:            false,
-		HasLBR:            true,
-		LBRDepth:          16,
-		SkidCycles:        45,
-		HasSWPeriodRandom: true,
-		HasHW4LSBRandom:   false,
-		PMICostCycles:     defaultPMICost,
-		LBRReadCostCycles: defaultLBRReadCost,
+		HasFixedCounter:     true,
+		NumGenCounters:      4,
+		HasPEBS:             true,
+		HasPDIR:             true,
+		HasIBS:              false,
+		HasLBR:              true,
+		LBRDepth:            16,
+		SkidCycles:          45,
+		HasSWPeriodRandom:   true,
+		HasHW4LSBRandom:     false,
+		PMICostCycles:       defaultPMICost,
+		LBRReadCostCycles:   defaultLBRReadCost,
+		CtxSwitchCostCycles: 1350,
 	}
 }
 

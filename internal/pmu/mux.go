@@ -403,6 +403,61 @@ func (m *Mux) Finish(finalCycle uint64) []MuxCount {
 	return out
 }
 
+// InjectKernel attributes a stretch of instrs kernel context-switch-path
+// instructions to the currently scheduled counters: the raw counts (and
+// nothing else) absorb the kernel mix, because the counters are already
+// restored while the switch tail retires, but the kernel instructions are
+// not part of the tenant program the exact ground truth describes. Every
+// injection therefore moves the scaled estimate away from Exact — the
+// per-task counting noise the multi-tenant scheduler measures. Running
+// time is unaffected: the injection happens at a scheduler deadline,
+// which is a fast-path fallback point, and window accounting continues
+// from real retirement cycles.
+func (m *Mux) InjectKernel(instrs uint64) {
+	for i, e := range m.cfg.Events {
+		if m.scheduled[i] {
+			m.raw[i] += KernelEventUnits(e, instrs)
+		}
+	}
+}
+
+// Repartition re-derives the physical counter budget mid-run, for the
+// scheduler's migration mode: a task migrating onto a machine model with
+// a different fixed-counter rule gets its events re-placed on the new
+// budget at the migration point (a fast-path fallback point, so both
+// engines re-place at the same retirement). The rotation offset and all
+// accumulated counts survive; only the placement changes.
+func (m *Mux) Repartition(genCounters int, fixedFree bool, cycle uint64) {
+	if genCounters < 0 {
+		genCounters = 0
+	}
+	if genCounters == 0 && !fixedFree {
+		panic("pmu: mux repartitioned to no available counters")
+	}
+	m.closeWindow(cycle)
+	m.cfg.GenCounters = genCounters
+	m.cfg.FixedCounterFree = fixedFree
+	m.place()
+	if cycle > m.estCycle {
+		// Resynchronize the conservative clock: while uncontended, bulk
+		// strides never advanced it, and a stale estimate would over-grant
+		// headroom across the rotation deadline armed below.
+		m.estCycle = cycle
+	}
+	if !m.contended && m.cfg.Policy == MuxRoundRobin {
+		// A shrunken budget can overcommit a list that used to fit; start
+		// rotating from here. (A re-grown budget keeps rotating — a
+		// rotation over a fitting list schedules everything, harmlessly.)
+		for _, s := range m.scheduled {
+			if !s {
+				m.contended = true
+				m.nextRot = cycle + m.cfg.TimesliceCycles
+				break
+			}
+		}
+	}
+}
+
 // Config returns the active configuration.
 func (m *Mux) Config() MuxConfig { return m.cfg }
 

@@ -733,6 +733,92 @@ func (p *PMU) retunePeriod(cycle uint64) {
 // mode, the converged feedback value in frequency mode.
 func (p *PMU) EffectiveBasePeriod() uint64 { return p.basePeriod }
 
+// Preempt models a context switch-out: the OS deschedules the task while
+// the unit is mid-capture. Any in-flight delivery — an imprecise PMI
+// riding out its skid, an armed PEBS window, a displaced IBS tag — cannot
+// complete against this task's stream; the interrupt fires after the
+// switch, against whatever runs next (the multi-tenant scheduler turns
+// these into the successor tenant's foreign samples). The pending state
+// is cleared, the lost delivery is counted as a dropped PMI, and the
+// return value reports whether one was in flight. Counter contents
+// survive (perf saves and restores them per task).
+//
+// The caller must invoke this only at a fast-path fallback point (the
+// scheduler's deadlines are, exactly like mux rotations), so both engines
+// observe the preemption at the same retirement.
+func (p *PMU) Preempt() bool {
+	drained := p.pendingPMI || p.pendingIBS || p.armed
+	if drained {
+		p.DroppedPMIs++
+	}
+	p.pendingPMI = false
+	p.pendingIBS = false
+	p.armed = false
+	return drained
+}
+
+// SetSkidCycles repoints the imprecise-PMI delivery latency, used by the
+// scheduler's migration mode when a task lands on a machine model with a
+// different skid. It affects only overflows that happen after the call.
+func (p *PMU) SetSkidCycles(skid uint64) { p.cfg.SkidCycles = skid }
+
+// InjectKernelEvents models the switch-in tail of a context switch: perf
+// restores the task's counters before the kernel path returns to user
+// code, so the last stretch of kernel execution — instrs instructions of
+// it — leaks into the task's counts. The counter advances by the kernel
+// instruction mix's contribution to the configured event; overflows that
+// land inside the kernel window deliver their PMI against kernel code,
+// which a user-space profile never sees, so those samples are dropped
+// (returned as drops) while the period reload sequence advances exactly
+// as if they had been taken. No pending capture state is armed: the
+// kernel window is over before user code resumes.
+func (p *PMU) InjectKernelEvents(instrs uint64) (drops uint64) {
+	u := KernelEventUnits(p.cfg.Event, instrs)
+	if u == 0 {
+		return 0
+	}
+	p.TotalEvents += u
+	p.counter += u
+	for p.counter >= p.effPeriod {
+		p.counter -= p.effPeriod
+		p.Overflows++
+		drops++
+		p.effPeriod = p.nextPeriod()
+	}
+	return drops
+}
+
+// KernelEventUnits returns how many units of event e a stretch of instrs
+// kernel context-switch-path instructions contributes. The mix is a fixed
+// characterization of scheduler/switch code — branchy integer code with
+// plenty of memory traffic and no floating point — in units per 16
+// instructions, applied with integer arithmetic so both engines and every
+// tenant count the same leak deterministically.
+func KernelEventUnits(e Event, instrs uint64) uint64 {
+	var per16 uint64
+	switch e {
+	case EvInstRetired:
+		per16 = 16
+	case EvUopsRetired:
+		per16 = 20
+	case EvBrTaken:
+		per16 = 3
+	case EvCondBr:
+		per16 = 4
+	case EvBrMispred:
+		per16 = 1
+	case EvLoad:
+		per16 = 5
+	case EvStore:
+		per16 = 4
+	case EvCall:
+		per16 = 1
+	case EvRet:
+		per16 = 1
+	}
+	return instrs * per16 / 16
+}
+
 // initialSampleCap seeds the sample buffer's capacity on the first
 // recorded sample (a run that samples nothing allocates nothing).
 const initialSampleCap = 512

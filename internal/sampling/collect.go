@@ -87,6 +87,53 @@ type Options struct {
 	// MuxPolicy selects the multiplexer's rotation policy (default
 	// round-robin). Ignored without Events.
 	MuxPolicy pmu.MuxPolicy
+	// Tenants enables the multi-tenant mode: N simulated programs
+	// time-share one simulated core under the timeslice scheduler of
+	// internal/sched, each with its own virtualized PMU context. 0 and 1
+	// both mean a single exclusive tenant. Collect itself rejects N > 1 —
+	// multi-tenant collections go through sched.Collect, which consumes
+	// the scheduling fields below (sampling stays import-free of sched).
+	Tenants int
+	// SchedTimesliceCycles is the scheduler period in simulated cycles:
+	// each of the N tenants runs PeriodCycles/N per round, CFS-style, so
+	// the context-switch rate grows with the tenant count (0 =
+	// sched.DefaultPeriodCycles). Ignored without Tenants > 1.
+	SchedTimesliceCycles uint64
+	// SchedSwitchCostCycles overrides the machine's context-switch cost
+	// (Machine.CtxSwitchCostCycles) for the scheduler's switch-in leak
+	// model. Ignored without Tenants > 1.
+	SchedSwitchCostCycles uint64
+}
+
+// SchedStats reports the scheduling noise one tenant's run absorbed under
+// the multi-tenant scheduler (internal/sched); nil Run.Sched means the
+// run was collected single-tenant. Plain data so DiffRuns can compare it
+// without importing sched.
+type SchedStats struct {
+	// Tenants is the tenant count of the collection; Tenant is this run's
+	// index within it.
+	Tenants int `json:"tenants"`
+	Tenant  int `json:"tenant"`
+	// Switches is the number of scheduler deadlines serviced (context
+	// switches this tenant was descheduled at).
+	Switches uint64 `json:"switches"`
+	// DrainedInFlight counts preemptions that caught an in-flight capture
+	// (pending PMI, armed PEBS window, displaced IBS tag): the tenant
+	// lost the sample, and its successor received it as a foreign sample.
+	DrainedInFlight uint64 `json:"drained_in_flight"`
+	// ForeignSamples counts samples in this run's stream that belong to
+	// the predecessor tenant (its drained in-flight captures delivered
+	// after the switch, attributed here at this tenant's resume IP).
+	ForeignSamples uint64 `json:"foreign_samples"`
+	// KernelLeakInstrs is the total number of kernel switch-path
+	// instructions that retired with this tenant's counters live.
+	KernelLeakInstrs uint64 `json:"kernel_leak_instrs"`
+	// KernelSamplesLost counts counter overflows that landed inside a
+	// kernel leak window: the PMI sampled kernel code, invisible to a
+	// user-space profile, so the sample is gone.
+	KernelSamplesLost uint64 `json:"kernel_samples_lost"`
+	// Migrations counts machine-model migrations applied to this tenant.
+	Migrations uint64 `json:"migrations"`
 }
 
 // Run is the outcome of sampling one workload on one machine with one
@@ -112,6 +159,9 @@ type Run struct {
 	// MuxRotations is the number of counter rotations the multiplexer
 	// serviced (0 when the request list fits the physical budget).
 	MuxRotations uint64
+	// Sched reports the scheduling noise absorbed under the multi-tenant
+	// scheduler; nil for single-tenant collections.
+	Sched *SchedStats
 }
 
 // SampleCostCycles returns the modelled cost of collecting one sample:
@@ -166,14 +216,52 @@ func (e *ErrUnsupported) Error() string {
 	return fmt.Sprintf("sampling: machine %s does not support method %s", e.Machine, e.Method)
 }
 
-// Collect runs p on mach while sampling with method m.
-func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*Run, error) {
+// Cell is the lowered per-run configuration Collect programs the PMU
+// with: the resolved method, the effective period, the sampling-unit
+// config and (when counting events are requested) the multiplexer config
+// with the machine's physical counter budget split around the pinned
+// sampling counter. It is exported so the multi-tenant scheduler
+// (internal/sched) applies exactly the same lowering rules per tenant
+// without duplicating them.
+type Cell struct {
+	// Resolved is the method after lowering onto the machine.
+	Resolved Method
+	// Period is the effective programmed period in event units.
+	Period uint64
+	// PMU programs the sampling unit.
+	PMU pmu.Config
+	// Mux programs the multiplexer; meaningful only when UseMux is set.
+	Mux pmu.MuxConfig
+	// UseMux reports whether counting events were requested.
+	UseMux bool
+}
+
+// CounterBudget splits a machine's physical counters around the pinned
+// sampling counter: classic imprecise inst_retired sampling rides the
+// fixed counter where one exists (Table 3: "Uses a fixed-function counter
+// to free up general counters"); precise mechanisms and other events pin
+// a general counter. Shared by Collect's mux setup and the scheduler's
+// migration mode, which must re-derive the budget on the target machine.
+func CounterBudget(mach machine.Machine, resolved Method) (genFree int, fixedFree bool) {
+	genFree = mach.NumGenCounters
+	fixedFree = mach.HasFixedCounter
+	if fixedFree && resolved.Event == pmu.EvInstRetired && resolved.Precision == pmu.Imprecise {
+		fixedFree = false
+	} else {
+		genFree--
+	}
+	return genFree, fixedFree
+}
+
+// PrepareCell lowers (machine, method, options) to the per-run PMU and
+// multiplexer configuration — the pure front half of Collect.
+func PrepareCell(mach machine.Machine, m Method, opt Options) (Cell, error) {
 	resolved, ok := Resolve(m, mach)
 	if !ok {
-		return nil, &ErrUnsupported{Machine: mach.Name, Method: m.Key}
+		return Cell{}, &ErrUnsupported{Machine: mach.Name, Method: m.Key}
 	}
 	if opt.PeriodBase == 0 {
-		return nil, fmt.Errorf("sampling: zero period base")
+		return Cell{}, fmt.Errorf("sampling: zero period base")
 	}
 	period := EffectivePeriod(resolved, opt.PeriodBase)
 
@@ -189,34 +277,27 @@ func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*
 		}
 	}
 
-	cfg := pmu.Config{
-		Event:         resolved.Event,
-		Precision:     resolved.Precision,
-		Period:        period,
-		Rand:          rand,
-		SkidCycles:    mach.SkidCycles,
-		CaptureLBR:    resolved.NeedsLBR(),
-		LBRDepth:      mach.LBRDepth,
-		Seed:          opt.Seed,
-		FreqMode:      resolved.Adaptive,
-		LBRContention: opt.LBRContention,
-		HWExactIP:     mach.HasHWIPFix,
+	cell := Cell{
+		Resolved: resolved,
+		Period:   period,
+		PMU: pmu.Config{
+			Event:         resolved.Event,
+			Precision:     resolved.Precision,
+			Period:        period,
+			Rand:          rand,
+			SkidCycles:    mach.SkidCycles,
+			CaptureLBR:    resolved.NeedsLBR(),
+			LBRDepth:      mach.LBRDepth,
+			Seed:          opt.Seed,
+			FreqMode:      resolved.Adaptive,
+			LBRContention: opt.LBRContention,
+			HWExactIP:     mach.HasHWIPFix,
+		},
 	}
-	// Counter placement for requested counting events: the sampling
-	// counter is pinned first. Classic imprecise inst_retired sampling
-	// rides the fixed counter where one exists (Table 3: "Uses a
-	// fixed-function counter to free up general counters"); precise
-	// mechanisms and other events pin a general counter.
-	var muxCfg pmu.MuxConfig
 	if len(opt.Events) > 0 {
-		genFree := mach.NumGenCounters
-		fixedFree := mach.HasFixedCounter
-		if fixedFree && resolved.Event == pmu.EvInstRetired && resolved.Precision == pmu.Imprecise {
-			fixedFree = false
-		} else {
-			genFree--
-		}
-		muxCfg = pmu.MuxConfig{
+		genFree, fixedFree := CounterBudget(mach, resolved)
+		cell.UseMux = true
+		cell.Mux = pmu.MuxConfig{
 			Events:            opt.Events,
 			TimesliceCycles:   opt.MuxTimesliceCycles,
 			Policy:            opt.MuxPolicy,
@@ -225,17 +306,33 @@ func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*
 			MaxCyclesPerInstr: mach.CPU.MaxRetireCyclesPerInstr(),
 		}
 	}
+	return cell, nil
+}
+
+// Collect runs p on mach while sampling with method m.
+func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*Run, error) {
+	if opt.Tenants > 1 {
+		// Multi-tenant collections need the scheduler layer above this
+		// package; keeping the rejection here means a stray Tenants value
+		// can never silently collect single-tenant.
+		return nil, fmt.Errorf("sampling: Options.Tenants = %d: multi-tenant collection goes through sched.Collect", opt.Tenants)
+	}
+	cell, err := PrepareCell(mach, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	resolved, period := cell.Resolved, cell.Period
 
 	// runOnce always returns the Run, even when the cpu run errored — the
 	// partial sample stream (and partial multiplexed counts) is what
 	// EngineBoth diffs on identically failing runs. Collect's public
 	// contract (nil Run on error) is restored by the switch below.
 	runOnce := func(eng cpu.Engine) (*Run, error) {
-		unit := pmu.New(cfg)
+		unit := pmu.New(cell.PMU)
 		var mon cpu.Monitor = unit
 		var mux *pmu.Mux
-		if len(opt.Events) > 0 {
-			mux = pmu.NewMux(muxCfg, unit)
+		if cell.UseMux {
+			mux = pmu.NewMux(cell.Mux, unit)
 			mon = mux
 		}
 		cpuRes, err := cpu.RunEngine(p, mach.CPU, mon, opt.MaxInstrs, eng)
@@ -318,6 +415,12 @@ func DiffRuns(a, b *Run) error {
 	}
 	if a.MuxRotations != b.MuxRotations {
 		return fmt.Errorf("mux rotations diverge: %d vs %d", a.MuxRotations, b.MuxRotations)
+	}
+	if (a.Sched == nil) != (b.Sched == nil) {
+		return fmt.Errorf("sched stats presence diverges: %+v vs %+v", a.Sched, b.Sched)
+	}
+	if a.Sched != nil && *a.Sched != *b.Sched {
+		return fmt.Errorf("sched stats diverge:\n  a %+v\n  b %+v", *a.Sched, *b.Sched)
 	}
 	if len(a.Counts) != len(b.Counts) {
 		return fmt.Errorf("mux count-list length diverges: %d vs %d", len(a.Counts), len(b.Counts))

@@ -147,10 +147,31 @@
 // there are no migrations). `wlgen -spec/-record/-replay` is the
 // command-line surface; docs/WORKLOADS.md is the authoring guide.
 //
+// # Multi-tenant scheduling
+//
+// Real profiles are taken on shared machines, where the kernel
+// timeslices tenants onto cores and context-switches the PMU state with
+// them. internal/sched simulates that: CollectTenants runs N programs
+// on one simulated core under a CFS-style timeslice scheduler with
+// per-task PMU context save/restore, injecting the three noise
+// mechanisms a real multi-tenant profile suffers — in-flight samples
+// drained at preemption, kernel context-switch path events leaking into
+// whichever tenant's counters are live, and PMI skid landing samples in
+// the successor tenant's stream (cross-tenant attribution noise).
+// SchedOptions.Migrate optionally migrates tenants across machine
+// models at every switch. Each returned Run carries SchedStats
+// (switches, drains, foreign samples, kernel leakage, migrations), and
+// scheduling is a deterministic pure function of its inputs: tenant
+// runs are bit-identical across both execution engines and at any
+// parallelism. `pmubench -experiment tenants|tenants-timeslice` sweeps
+// accuracy degradation against tenant count and timeslice (rendered
+// from a store by `pmureport -table tenants`), with the single-tenant
+// column bit-identical to the unscheduled accuracy tables.
+//
 // The heavy lifting lives in the internal packages (isa, program, cpu,
-// pmu, machine, sampling, ref, profile, lbr, analysis, workloads,
-// trace, experiments, results, report); this package re-exports the
-// stable surface.
+// pmu, machine, sampling, sched, ref, profile, lbr, analysis,
+// workloads, trace, experiments, results, report); this package
+// re-exports the stable surface.
 package pmutrust
 
 import (
@@ -163,6 +184,7 @@ import (
 	"pmutrust/internal/program"
 	"pmutrust/internal/ref"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/sched"
 	"pmutrust/internal/trace"
 	"pmutrust/internal/workloads"
 )
@@ -215,6 +237,13 @@ type (
 	TraceEntry = trace.Entry
 	// TraceMeta is the provenance carried by a trace entry.
 	TraceMeta = trace.Meta
+	// SchedOptions controls a multi-tenant scheduled collection
+	// (CollectTenants): the embedded Options plus optional cross-model
+	// migration.
+	SchedOptions = sched.Options
+	// SchedStats reports per-tenant scheduling noise accounting
+	// (Run.Sched on runs collected by CollectTenants).
+	SchedStats = sampling.SchedStats
 )
 
 // Re-exported countable events and multiplexer policies, so
@@ -321,6 +350,17 @@ func Reference(prog *Program) (*ReferenceProfile, error) { return ref.Collect(pr
 // Most callers want Profile instead.
 func Collect(prog *Program, mach Machine, m Method, opt Options) (*Run, error) {
 	return sampling.Collect(prog, mach, m, opt)
+}
+
+// CollectTenants timeshares progs on one simulated core of mach under a
+// CFS-style scheduler with per-task PMU context save/restore, sampling
+// every tenant with method m. Runs come back in tenant order, each with
+// its own sample stream and Run.Sched noise accounting. Set
+// opt.Tenants to len(progs) (or leave 0 to let it default) and
+// opt.SchedTimesliceCycles/SchedSwitchCostCycles to override the
+// scheduling period and per-machine switch cost.
+func CollectTenants(progs []*Program, mach Machine, m Method, opt SchedOptions) ([]*Run, error) {
+	return sched.Collect(progs, mach, m, opt)
 }
 
 // Profile samples prog on mach with method m and builds the basic-block
