@@ -14,10 +14,12 @@
 //	         [-store FILE] [-resume] [-engine fast|interp|both]
 //	         [-events LIST] [-timeslice N] [-mux-policy rr|priority]
 //	         [-tenants LIST] [-switch-cost N] [-spec FILE]
+//	         [-telemetry FILE] [-obs-addr ADDR] [-log-json]
 //	pmubench -serve -sweep-dir DIR [-experiment table1|table2|phased]
-//	         [-shards N] [-workers N] [-lease-ttl D] [...common flags]
+//	         [-shards N] [-workers N] [-lease-ttl D] [-obs-addr ADDR]
+//	         [...common flags]
 //	pmubench -worker -sweep-dir DIR [-lease-ttl D] [-parallel N]
-//	         [-engine fast|interp|both]
+//	         [-engine fast|interp|both] [-log-json]
 //
 // Every experiment prints a table whose rows/columns mirror the paper's
 // presentation; see DESIGN.md for the experiment index and EXPERIMENTS.md
@@ -99,12 +101,29 @@
 // store-aware like them, and cmd/pmureport renders the stored rows as
 // the phased table. -spec FILE measures a user-authored phased spec
 // through that matrix instead — any spec file wlgen accepts.
+//
+// Observability (see docs/ARCHITECTURE.md "Observability"): every
+// measurement feeds the telemetry sink (internal/telemetry) — engine
+// fast-path/fallback counters, per-cell wall-time histograms, store and
+// reference cache splits. -telemetry FILE writes the run's canonical
+// snapshot document ("-" for stdout); cmd/pmureport -telemetry renders
+// it. -obs-addr ADDR serves the observability plane over HTTP for the
+// life of the process: /metrics (the JSON snapshot — in -serve mode
+// merged across the fleet's dir/telemetry/ documents), /progress
+// (machine-readable sweep progress/ETA in -serve mode) and net/http/pprof
+// under /debug/pprof/. -log-json switches the structured diagnostic log
+// from human-readable text to JSON lines; either way each record carries
+// the run ID that also names snapshots and sweep plans, tying logs,
+// metrics and stored results to one run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -116,6 +135,7 @@ import (
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
 	"pmutrust/internal/sweepd"
+	"pmutrust/internal/telemetry"
 	"pmutrust/internal/workloads"
 )
 
@@ -148,6 +168,15 @@ func allExperiments() []string {
 		}
 	}
 	return names
+}
+
+// unknownExperimentErr is the error for an unrecognized -experiment
+// value. It lists every dispatchable name so a typo answers itself
+// instead of sending the user to the docs
+// (TestUnknownExperimentErrorListsRegistry pins the list).
+func unknownExperimentErr(name string) error {
+	return fmt.Errorf("unknown experiment %q (valid: %s, all)",
+		name, strings.Join(experimentList, ", "))
 }
 
 // jsonResult is one experiment's machine-readable record.
@@ -193,8 +222,12 @@ func main() {
 		shards     = flag.Int("shards", 0, "with -serve: shard count for the cell grid (0 = 4 per worker, min 8)")
 		workersN   = flag.Int("workers", 4, "with -serve: local worker processes to spawn (0 = external workers only)")
 		leaseTTL   = flag.Duration("lease-ttl", sweepd.DefaultLeaseTTL, "shard lease time-to-live; a dead worker's shard is reclaimable after this long")
+		obsAddr    = flag.String("obs-addr", "", "serve the HTTP observability plane (/metrics, /progress, /debug/pprof/) on this address, e.g. localhost:9090")
+		logJSON    = flag.Bool("log-json", false, "emit structured diagnostic logs as JSON lines instead of text")
+		teleFile   = flag.String("telemetry", "", "write the run's telemetry snapshot to FILE (\"-\" for stdout); render with pmureport -telemetry")
 	)
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, *logJSON)
 	if *serve && *workerMode {
 		fmt.Fprintln(os.Stderr, "pmubench: -serve and -worker are mutually exclusive")
 		os.Exit(2)
@@ -238,13 +271,21 @@ func main() {
 			TTL:      *leaseTTL,
 			Parallel: *parallel,
 			Engine:   engine,
-			Log:      os.Stderr,
+			Logger:   logger,
 		}
 		stats, err := w.Run()
-		fmt.Fprintf(os.Stderr, "pmubench: worker: %d shards completed (%d leases taken), %d cells measured, %d served from predecessors, %d refs collected, %d served from memo\n",
-			stats.ShardsCompleted, stats.ShardsTaken, stats.Measured, stats.Served, stats.RefsCollected, stats.RefsServed)
+		// The summary is a projection of the worker's persisted telemetry
+		// snapshot (sweepd.StatsFromSnapshot), so this line and the
+		// coordinator's /metrics document can never disagree.
+		logger.Info("worker summary",
+			"shards_completed", stats.ShardsCompleted,
+			"leases_taken", stats.ShardsTaken,
+			"cells_measured", stats.Measured,
+			"cells_served", stats.Served,
+			"refs_collected", stats.RefsCollected,
+			"refs_served", stats.RefsServed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pmubench: worker: %v\n", err)
+			logger.Error("worker failed", "err", err)
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -264,6 +305,27 @@ func main() {
 	r.Parallel = *parallel
 	r.Timeout = *timeout
 	r.Engine = engine
+	// Every measurement this process makes feeds the sink; the run ID
+	// ties its logs, snapshot file and obs-plane documents together (in
+	// -serve mode it becomes the plan fingerprint the fleet shares).
+	sink := &telemetry.Sink{}
+	r.Telemetry = sink
+	runID := telemetry.DeriveRunID(*experiment, scale.Name, strconv.FormatUint(*seed, 10), *engineName)
+
+	// obsServe starts the HTTP observability plane when -obs-addr is set;
+	// it runs for the life of the process.
+	obsServe := func(snapshot func() telemetry.Snapshot, progress func() (any, bool)) {
+		if *obsAddr == "" {
+			return
+		}
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmubench: -obs-addr: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Info("observability plane listening", "addr", ln.Addr().String(), "run_id", runID)
+		go http.Serve(ln, telemetry.Handler(snapshot, progress))
+	}
 
 	var store, refStore results.Store
 	if *storePath != "" {
@@ -331,7 +393,27 @@ func main() {
 			Plan:     sweepd.NewPlan(*experiment, scale, *seed, grid, nshards),
 			Workers:  *workersN,
 			Progress: os.Stderr,
+			Logger:   logger,
 		}
+		// The plan fingerprint is the sweep's run ID: the whole fleet logs
+		// and persists telemetry under it.
+		runID = coord.Plan.Fingerprint
+		// /metrics serves the fleet view: every worker snapshot persisted
+		// under the sweep dir, merged with this process's own counters.
+		obsServe(func() telemetry.Snapshot {
+			fleet, _, err := telemetry.LoadDir(telemetry.Dir(*sweepDir))
+			if err != nil {
+				logger.Warn("telemetry merge failed", "err", err)
+			}
+			snap := fleet.Merge(sink.Snapshot(runID))
+			if snap.RunID == "" {
+				snap.RunID = runID
+			}
+			return snap
+		}, func() (any, bool) {
+			p, ok := coord.LastProgress()
+			return p, ok
+		})
 		if *workersN > 0 {
 			exe, err := os.Executable()
 			if err != nil {
@@ -370,10 +452,18 @@ func main() {
 		refStore = refs
 		r.RefStore = refs
 	}
+	if !*serve {
+		// Standalone runs serve their own sink; no sweep means no
+		// /progress document (the endpoint answers 404).
+		obsServe(func() telemetry.Snapshot { return sink.Snapshot(runID) },
+			func() (any, bool) { return nil, false })
+	}
 
 	jsonResults := []jsonResult{}
 	emitFull := func(name string, t *report.Table, ms []experiments.Measurement, mux []experiments.MuxMeasurement) {
-		if *jsonPath != "-" {
+		// stdout carries at most one document: "-json -" or "-telemetry -"
+		// suppress the human tables.
+		if *jsonPath != "-" && *teleFile != "-" {
 			if *markdown {
 				fmt.Println(t.Markdown())
 			} else {
@@ -592,7 +682,7 @@ func main() {
 			}
 			emit(name, tr.Table, tr.Measurements)
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return unknownExperimentErr(name)
 		}
 		return nil
 	}
@@ -608,7 +698,7 @@ func main() {
 	exitCode := 0
 	for _, name := range names {
 		if err := run(name); err != nil {
-			fmt.Fprintf(os.Stderr, "pmubench: %s: %v\n", name, err)
+			logger.Error("experiment failed", "experiment", name, "run_id", runID, "err", err)
 			exitCode = 1
 			break
 		}
@@ -626,23 +716,57 @@ func main() {
 		// The served/measured split is the resume observable: a fully
 		// warm resume reports "0 newly measured".
 		stats := r.StoreStats()
-		fmt.Fprintf(os.Stderr, "pmubench: store %s: %d records (%d served from store, %d newly measured)\n",
-			storeLabel, store.Len(), stats.Cached, stats.Measured)
+		logger.Info("store summary", "store", storeLabel, "run_id", runID,
+			"records", store.Len(), "served", stats.Cached, "measured", stats.Measured)
 		if err := store.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "pmubench: store: %v\n", err)
+			logger.Error("store close failed", "err", err)
 			exitCode = 1
 		}
 	}
 	if refStore != nil {
 		rs := r.RefStats()
-		fmt.Fprintf(os.Stderr, "pmubench: refs: %d served from memo, %d newly collected\n",
-			rs.Cached, rs.Measured)
+		logger.Info("refs summary", "run_id", runID, "served", rs.Cached, "collected", rs.Measured)
 		if err := refStore.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "pmubench: refs: %v\n", err)
+			logger.Error("refs close failed", "err", err)
+			exitCode = 1
+		}
+	}
+	// The snapshot is written even after a mid-run failure, like -json:
+	// partial telemetry is still telemetry.
+	if *teleFile != "" {
+		if err := writeTelemetry(*teleFile, *sweepDir, *serve, sink, runID, logger); err != nil {
+			logger.Error("telemetry write failed", "err", err)
 			exitCode = 1
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// writeTelemetry writes this run's canonical snapshot document; in
+// -serve mode the fleet's persisted worker snapshots are merged in, so
+// the file accounts for cells measured by every process of the sweep.
+func writeTelemetry(path, sweepDir string, serve bool, sink *telemetry.Sink, runID string, logger *slog.Logger) error {
+	snap := sink.Snapshot(runID)
+	if serve {
+		fleet, _, err := telemetry.LoadDir(telemetry.Dir(sweepDir))
+		if err != nil {
+			logger.Warn("telemetry merge failed", "err", err)
+		} else {
+			snap = fleet.Merge(snap)
+			if snap.RunID == "" {
+				snap.RunID = runID
+			}
+		}
+	}
+	out, err := snap.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // parseTenantCounts parses the -tenants flag: a comma-separated list of

@@ -94,6 +94,22 @@ func TestExperimentRegistryConsistent(t *testing.T) {
 	}
 }
 
+// TestUnknownExperimentErrorListsRegistry pins -experiment
+// discoverability: a typo'd name must come back with every dispatchable
+// name (and the "all" meta-name) in the message, so the error answers
+// itself.
+func TestUnknownExperimentErrorListsRegistry(t *testing.T) {
+	msg := unknownExperimentErr("tabel1").Error()
+	if !strings.Contains(msg, `"tabel1"`) {
+		t.Errorf("error does not echo the bad name: %s", msg)
+	}
+	for _, name := range append(append([]string{}, experimentList...), "all") {
+		if !strings.Contains(msg, name) {
+			t.Errorf("unknown-experiment error omits %q:\n%s", name, msg)
+		}
+	}
+}
+
 // TestServeUsageMatchesGrids pins the -serve usage clause to the set of
 // matrix experiments GridByName actually accepts.
 func TestServeUsageMatchesGrids(t *testing.T) {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"pmutrust/internal/analysis"
 	"pmutrust/internal/cpu"
@@ -23,6 +25,7 @@ import (
 	"pmutrust/internal/ref"
 	"pmutrust/internal/report"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/telemetry"
 	"pmutrust/internal/trace"
 	"pmutrust/internal/workloads"
 )
@@ -53,6 +56,26 @@ func main() {
 	}
 }
 
+// fallbackLine renders the non-zero fallback buckets as "key=N ..." in
+// key order, or "none".
+func fallbackLine(buckets map[string]uint64) string {
+	var keys []string
+	for k, v := range buckets {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return "none"
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, buckets[k])
+	}
+	return strings.Join(parts, " ")
+}
+
 func run(workloadName, machineName, methodKey string, scale float64, period, seed uint64, top int, blocks bool, traceDepth int) error {
 	spec, err := workloads.ByName(workloadName)
 	if err != nil {
@@ -72,7 +95,13 @@ func run(workloadName, machineName, methodKey string, scale float64, period, see
 	if err != nil {
 		return err
 	}
-	run, err := sampling.Collect(p, mach, method, sampling.Options{PeriodBase: period, Seed: seed})
+	// The sink shares the experiment harness's telemetry counters, so the
+	// engine line below is computed by the same instrumentation the
+	// observability plane serves — no CLI-local accounting.
+	sink := &telemetry.Sink{}
+	run, err := sampling.Collect(p, mach, method, sampling.Options{
+		PeriodBase: period, Seed: seed, Telemetry: sink,
+	})
 	if err != nil {
 		return err
 	}
@@ -96,8 +125,12 @@ func run(workloadName, machineName, methodKey string, scale float64, period, see
 	}
 	fmt.Printf("workload %s on %s via %s (resolved: event=%s mechanism=%s period=%d)\n",
 		spec.Name, mach, method.Key, run.Method.Event, run.Method.Precision, run.Period)
-	fmt.Printf("run: %d instructions, %d cycles (IPC %.2f), %d samples, %d dropped PMIs\n",
-		run.CPU.Instructions, run.CPU.Cycles, run.CPU.IPC(), len(run.Samples), run.DroppedPMIs)
+	e := sink.Snapshot("").Engine
+	fmt.Printf("run: %d instructions (%d fast-path in %d strides, %d event-mode), %d cycles (IPC %.2f), %d samples, %d dropped PMIs\n",
+		e.StrideInstrs+e.EventInstrs, e.StrideInstrs, e.Strides, e.EventInstrs,
+		run.CPU.Cycles, run.CPU.IPC(), len(run.Samples), run.DroppedPMIs)
+	fmt.Printf("engine: %d fallbacks (%s), %d fused pairs\n",
+		e.FallbackTotal, fallbackLine(e.Fallbacks), e.FusedPairs)
 	fmt.Printf("accuracy error: %.4f (paper metric, lower is better)\n\n", errVal)
 
 	// Function table: estimated vs exact.

@@ -9,6 +9,7 @@
 //	pmureport -store results.jsonl [-table kernels|apps|phased|ranking|factors|mux|tenants|all]
 //	          [-markdown] [-csv] [-baseline classic]
 //	pmureport -compare OLD.jsonl NEW.jsonl [-tol 0.05] [-markdown]
+//	pmureport -telemetry FILE|DIR
 //
 // Wherever a store path is accepted, it may be a single JSONL file
 // (`pmubench -store`) or a sweep directory written by `pmubench -serve`
@@ -39,6 +40,15 @@
 // method): cells whose error grew by more than -tol, and cells that lost
 // their measurement, are regressions. The exit status is 0 when no cell
 // regressed, 1 on regression — wire it straight into CI.
+//
+// Telemetry mode renders a snapshot written by `pmubench -telemetry`
+// (a single canonical JSON document), or a fleet's worth of them: given
+// a sweep directory from `pmubench -serve` (or its telemetry/
+// subdirectory directly), every per-worker snapshot is merged before
+// rendering. The document is validated first — including the invariant
+// that the engine fallback buckets sum exactly to the fallback total —
+// so a corrupt or hand-edited snapshot fails loudly instead of
+// rendering nonsense.
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
 	"pmutrust/internal/sweepd"
+	"pmutrust/internal/telemetry"
 	"pmutrust/internal/workloads"
 )
 
@@ -89,10 +100,16 @@ func main() {
 		baseline  = flag.String("baseline", "classic", "baseline method for the factors table")
 		compare   = flag.String("compare", "", "compare mode: OLD store path; the NEW store path is the positional argument")
 		tol       = flag.Float64("tol", 0.05, "compare mode: error increase beyond which a cell counts as regressed")
+		telePath  = flag.String("telemetry", "", "render a telemetry snapshot: a FILE from pmubench -telemetry, or a sweep dir from pmubench -serve (worker snapshots merged)")
 	)
 	flag.Parse()
 
 	switch {
+	case *telePath != "":
+		if err := runTelemetry(*telePath); err != nil {
+			fmt.Fprintf(os.Stderr, "pmureport: %v\n", err)
+			os.Exit(2)
+		}
 	case *compare != "":
 		if flag.NArg() < 1 {
 			fmt.Fprintln(os.Stderr, "pmureport: -compare OLD.jsonl needs a positional NEW.jsonl argument")
@@ -124,10 +141,46 @@ func main() {
 			os.Exit(2)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "pmureport: one of -store or -compare is required")
+		fmt.Fprintln(os.Stderr, "pmureport: one of -store, -compare or -telemetry is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runTelemetry renders a telemetry snapshot document. A directory is
+// treated as a sweep dir (its telemetry/ subdirectory, when present) and
+// its per-worker snapshots are merged; a file is one snapshot. Either
+// way the document is validated before rendering.
+func runTelemetry(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	var snap telemetry.Snapshot
+	if fi.IsDir() {
+		dir := path
+		if sub := telemetry.Dir(path); dirExists(sub) {
+			dir = sub
+		}
+		var n int
+		snap, n, err = telemetry.LoadDir(dir)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("%s: no telemetry snapshots", dir)
+		}
+	} else {
+		snap, err = telemetry.ReadSnapshot(path)
+		if err != nil {
+			return err
+		}
+	}
+	if err := snap.Validate(); err != nil {
+		return err
+	}
+	fmt.Print(telemetry.RenderSummary(snap))
+	return nil
 }
 
 // canonicalOrders returns the paper-order axes the renders use: the

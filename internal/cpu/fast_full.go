@@ -14,6 +14,7 @@ import (
 // FP ops, calls, rets) cost an increment in the stride body.
 func runFastFull(p *program.Program, cfg Config, fm FastMonitor, maxInstrs uint64) (Result, error) {
 	code := decodeProgram(p)
+	recordFused(fm, code)
 
 	// Architectural state (mirrors state in engine.go). The register files
 	// are sized 256 so uint8 operand indices never need a bounds check in

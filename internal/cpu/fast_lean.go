@@ -18,6 +18,7 @@ import (
 // see either.
 func runFastLean(p *program.Program, cfg Config, fm FastMonitor, maxInstrs uint64) (Result, error) {
 	code := decodeProgram(p)
+	recordFused(fm, code)
 
 	mem := fastMem(p)
 	_ = mem[0] // fastMem returns at least one word; lets prove elide masked-index checks

@@ -1,0 +1,54 @@
+package cpu
+
+import (
+	"pmutrust/internal/isa"
+	"pmutrust/internal/telemetry"
+)
+
+// EngineObserver is the optional monitor refinement the telemetry layer
+// rides on: a monitor that implements it exposes a per-run counter block
+// the engines and the monitor chain record into. The PMU owns the block;
+// wrapping monitors (the mux, a scheduler task) share the inner unit's
+// pointer so one run publishes exactly one set of counters. The engines
+// consult the interface once at setup — never inside a stride — so a
+// monitor without it (or a nil sink downstream) costs nothing.
+type EngineObserver interface {
+	EngineCounters() *telemetry.EngineCounters
+}
+
+// TelemetryVariant maps an engine loop variant to its telemetry key.
+// telemetry is a leaf package and defines its own Variant enum; this is
+// the single conversion point.
+func (v Variant) TelemetryVariant() telemetry.Variant {
+	switch v {
+	case VariantFull:
+		return telemetry.VariantFull
+	case VariantLean:
+		return telemetry.VariantLean
+	case VariantNop:
+		return telemetry.VariantNop
+	default:
+		return telemetry.VariantInterp
+	}
+}
+
+// recordFused credits the predecoded program's superinstruction fusions
+// to an observing monitor's counter block: a per-run static count,
+// recorded once at decode time (the stride loops never touch it).
+func recordFused(fm FastMonitor, code []fastInstr) {
+	o, ok := fm.(EngineObserver)
+	if !ok {
+		return
+	}
+	c := o.EngineCounters()
+	if c == nil {
+		return
+	}
+	var fused uint64
+	for i := range code {
+		if code[i].op >= isa.Op(isa.NumOps) {
+			fused++
+		}
+	}
+	c.FusedPairs += fused
+}

@@ -115,6 +115,7 @@ func (r *Runner) SweepCached(g Grid, st results.Store, opt SweepOptions) ([]Meas
 		return nil
 	})
 	stats.Measured = int(measured.Load())
+	r.Telemetry.CountCells(uint64(stats.Measured), uint64(stats.Cached))
 	return out, stats, err
 }
 

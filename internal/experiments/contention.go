@@ -43,6 +43,7 @@ func (r *Runner) RunLBRContention() (*report.Table, []SweepPoint, error) {
 			Seed:          r.Seed,
 			LBRContention: contentions[i],
 			Engine:        r.Engine,
+			Telemetry:     r.Telemetry,
 		})
 		if err != nil {
 			return err

@@ -24,6 +24,7 @@ import (
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
 	"pmutrust/internal/stats"
+	"pmutrust/internal/telemetry"
 	"pmutrust/internal/workloads"
 )
 
@@ -131,6 +132,10 @@ type Runner struct {
 	// (see refcache.go). It is a sidecar of Store — reference records use
 	// the reserved results.RefMethod key and never mix with measurements.
 	RefStore results.Store
+	// Telemetry, when non-nil, receives engine counters from every
+	// measurement, per-cell wall-time observations, and the ref/store
+	// served-vs-measured splits. Nil disables instrumentation at no cost.
+	Telemetry *telemetry.Sink
 
 	mu    sync.Mutex
 	progs map[string]*progEntry
@@ -203,6 +208,7 @@ func (r *Runner) Reference(spec workloads.Spec) (*ref.Profile, error) {
 			r.mu.Lock()
 			r.refStats.Cached++
 			r.mu.Unlock()
+			r.Telemetry.CountRef(true)
 			return
 		}
 		rp, err := ref.Collect(r.Workload(spec))
@@ -215,6 +221,7 @@ func (r *Runner) Reference(spec workloads.Spec) (*ref.Profile, error) {
 		r.mu.Lock()
 		r.refStats.Measured++
 		r.mu.Unlock()
+		r.Telemetry.CountRef(false)
 	})
 	return e.rp, e.err
 }
@@ -238,6 +245,7 @@ func (r *Runner) MeasureOnce(spec workloads.Spec, mach machine.Machine, m sampli
 		PeriodBase: r.Scale.PeriodBase,
 		Seed:       seed,
 		Engine:     r.Engine,
+		Telemetry:  r.Telemetry,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -275,6 +283,10 @@ func (r *Runner) Measure(spec workloads.Spec, mach machine.Machine, m sampling.M
 		return meas, nil
 	}
 	meas.Supported = true
+	if r.Telemetry != nil {
+		start := time.Now()
+		defer func() { r.Telemetry.ObserveCellWall(time.Since(start)) }()
+	}
 	var errs []float64
 	var failures []error
 	for rep := 0; rep < r.Scale.Repeats; rep++ {

@@ -53,6 +53,7 @@ func (r *Runner) RunFutureHW() (*FutureHWResult, error) {
 			Seed:          r.Seed,
 			LBRContention: contention,
 			Engine:        r.Engine,
+			Telemetry:     r.Telemetry,
 		})
 		if err != nil {
 			return 0, err

@@ -133,6 +133,7 @@ func (r *Runner) MeasureMux(spec workloads.Spec, mach machine.Machine, events []
 		Events:             events,
 		MuxTimesliceCycles: timeslice,
 		MuxPolicy:          policy,
+		Telemetry:          r.Telemetry,
 	})
 	if err != nil {
 		return meas, err

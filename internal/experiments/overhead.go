@@ -60,6 +60,7 @@ func (r *Runner) RunOverhead() (*report.Table, map[string][]OverheadPoint, error
 			PeriodBase: base,
 			Seed:       r.Seed,
 			Engine:     r.Engine,
+			Telemetry:  r.Telemetry,
 		})
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pmutrust/internal/machine"
@@ -92,8 +93,10 @@ func (r *Runner) Sweep(g Grid, opt SweepOptions) ([]Measurement, error) {
 	for i, c := range cells {
 		out[i] = Measurement{Workload: c.Workload.Name, Machine: c.Machine.Name, Method: c.Method.Key, Err: -1, Failed: true}
 	}
+	var measured atomic.Int64
 	err := r.forEach(len(cells), opt, func(i int) error {
 		c := cells[i]
+		measured.Add(1)
 		meas, err := r.Measure(c.Workload, c.Machine, c.Method)
 		out[i] = meas
 		if err != nil {
@@ -101,6 +104,7 @@ func (r *Runner) Sweep(g Grid, opt SweepOptions) ([]Measurement, error) {
 		}
 		return nil
 	})
+	r.Telemetry.CountCells(uint64(measured.Load()), 0)
 	return out, err
 }
 

@@ -261,6 +261,7 @@ func (r *Runner) RunRanking() (*RankingResult, error) {
 				PeriodBase: r.Scale.PeriodBase,
 				Seed:       r.Seed,
 				Engine:     r.Engine,
+				Telemetry:  r.Telemetry,
 			})
 			if err != nil {
 				return nil, err

@@ -116,6 +116,7 @@ func (r *Runner) measureTenantsOnce(spec workloads.Spec, mach machine.Machine, m
 			Engine:                r.Engine,
 			SchedTimesliceCycles:  timeslice,
 			SchedSwitchCostCycles: switchCost,
+			Telemetry:             r.Telemetry,
 		},
 	})
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"pmutrust/internal/cpu"
 	"pmutrust/internal/isa"
+	"pmutrust/internal/telemetry"
 )
 
 // MuxPolicy selects how the multiplexer shares counters between more
@@ -186,7 +187,15 @@ type Mux struct {
 
 	// Rotations counts serviced rotation deadlines.
 	Rotations uint64
+
+	// tele is the run's telemetry counter block — the inner sampling
+	// unit's block when one is wrapped (one run, one block), the mux's
+	// own otherwise.
+	tele *telemetry.EngineCounters
 }
+
+// EngineCounters implements cpu.EngineObserver.
+func (m *Mux) EngineCounters() *telemetry.EngineCounters { return m.tele }
 
 // NewMux creates a multiplexer for the given configuration, wrapping
 // inner (which may be nil for a counting-only run).
@@ -210,6 +219,12 @@ func NewMux(cfg MuxConfig, inner cpu.FastMonitor) *Mux {
 		raw:       make([]uint64, len(cfg.Events)),
 		running:   make([]uint64, len(cfg.Events)),
 		scheduled: make([]bool, len(cfg.Events)),
+	}
+	if o, ok := inner.(cpu.EngineObserver); ok {
+		m.tele = o.EngineCounters()
+	}
+	if m.tele == nil {
+		m.tele = &telemetry.EngineCounters{}
 	}
 	// Capacity check with rotation offset 0: if everything fits, the
 	// schedule is static for the whole run regardless of policy.
@@ -295,6 +310,10 @@ func (m *Mux) OnRetire(ev cpu.RetireEvent) {
 	}
 	if m.inner != nil {
 		m.inner.OnRetire(ev)
+	} else {
+		// Innermost monitor in the chain: event-mode accounting is ours
+		// (a wrapped unit counts in its own OnRetire).
+		m.tele.EventInstrs++
 	}
 }
 
@@ -304,13 +323,24 @@ func (m *Mux) OnRetire(ev cpu.RetireEvent) {
 // instruction, so no strided retirement can reach the deadline; when the
 // conservative cycle estimate has drifted past the deadline the grant is
 // zero and the next OnRetire resynchronizes it with the real clock.
+//
+// A zero mux grant returns before consulting the inner unit, so exactly
+// one layer attributes each fallback event (headroom queries are pure
+// modulo telemetry, so the skipped inner call is behavior-identical);
+// when the inner unit is the refuser it has already counted its reason.
 func (m *Mux) FastHeadroom() uint64 {
 	h := uint64(1) << 40
 	if m.contended {
 		if m.estCycle >= m.nextRot {
+			m.tele.Fallbacks[telemetry.FallbackMuxDeadline]++
 			return 0
 		}
-		if g := (m.nextRot - m.estCycle - 1) / m.cfg.MaxCyclesPerInstr; g < h {
+		g := (m.nextRot - m.estCycle - 1) / m.cfg.MaxCyclesPerInstr
+		if g == 0 {
+			m.tele.Fallbacks[telemetry.FallbackMuxDeadline]++
+			return 0
+		}
+		if g < h {
 			h = g
 		}
 	}
@@ -374,6 +404,9 @@ func (m *Mux) BulkRetire(c cpu.BulkCounts) {
 	}
 	if m.inner != nil {
 		m.inner.BulkRetire(c)
+	} else {
+		m.tele.Strides++
+		m.tele.StrideInstrs += c.Instrs
 	}
 }
 

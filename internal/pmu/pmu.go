@@ -34,6 +34,7 @@ import (
 	"pmutrust/internal/cpu"
 	"pmutrust/internal/isa"
 	"pmutrust/internal/stats"
+	"pmutrust/internal/telemetry"
 )
 
 // Event selects what a sampling counter counts.
@@ -306,7 +307,18 @@ type PMU struct {
 	TotalEvents uint64
 	Overflows   uint64
 	DroppedPMIs uint64
+
+	// tele is the run's telemetry counter block. The PMU owns it; a
+	// wrapping Mux or scheduler task shares the same block (see
+	// cpu.EngineObserver), so one run publishes one set of counters no
+	// matter how deep the monitor chain is. Telemetry observes, never
+	// perturbs: nothing the unit computes reads these back.
+	tele telemetry.EngineCounters
 }
+
+// EngineCounters implements cpu.EngineObserver: the per-run telemetry
+// counter block shared along the monitor chain.
+func (p *PMU) EngineCounters() *telemetry.EngineCounters { return &p.tele }
 
 // New creates a PMU for the given configuration.
 func New(cfg Config) *PMU {
@@ -439,6 +451,10 @@ func EventUnitsBulk(e Event, c cpu.BulkCounts) uint64 {
 
 // OnRetire implements cpu.Monitor.
 func (p *PMU) OnRetire(ev cpu.RetireEvent) {
+	// Per-instruction delivery is already the slow path, so event-mode
+	// accounting lives here, not in the engine loop.
+	p.tele.EventInstrs++
+
 	// LBR updates first: a retiring taken branch is in the stack by the
 	// time any PMI for it could be taken.
 	if ev.Taken && p.cfg.CaptureLBR {
@@ -569,18 +585,50 @@ var _ cpu.FastMonitor = (*PMU)(nil)
 // dividing by isa.MaxUops; every other countable event contributes at
 // most one unit per instruction, so the unit budget is already a safe
 // instruction count.
+// Each zero grant increments exactly one telemetry fallback bucket —
+// the first stateful window that refused, checked in delivery order —
+// so the buckets always sum to the total number of fallback events.
 func (p *PMU) FastHeadroom() uint64 {
-	if p.pendingPMI || p.pendingIBS || p.armed {
+	if p.pendingPMI {
+		p.tele.Fallbacks[telemetry.FallbackOverflow]++
+		return 0
+	}
+	if p.pendingIBS {
+		p.tele.Fallbacks[telemetry.FallbackIBSTag]++
+		return 0
+	}
+	if p.armed {
+		p.tele.Fallbacks[telemetry.FallbackArmedPEBS]++
 		return 0
 	}
 	if p.counter+1 >= p.effPeriod {
+		p.countNearOverflow()
 		return 0
 	}
 	avail := p.effPeriod - p.counter - 1
 	if p.cfg.Event == EvUopsRetired {
-		return avail / isa.MaxUops
+		if g := avail / isa.MaxUops; g > 0 {
+			return g
+		}
+		// The unit budget exists but does not cover even one worst-case
+		// instruction: still an overflow-adjacent refusal.
+		p.countNearOverflow()
+		return 0
 	}
 	return avail
+}
+
+// countNearOverflow attributes a zero grant caused by the counter sitting
+// within one (worst-case) instruction of its reload value. Under IBS
+// hardware 4-LSB randomization this is its own bucket: tiny randomized
+// reload values keep the unit chronically near a boundary, the dominant
+// fallback cause on the AMD model.
+func (p *PMU) countNearOverflow() {
+	if p.cfg.Rand == RandHW4LSB {
+		p.tele.Fallbacks[telemetry.FallbackHW4LSB]++
+	} else {
+		p.tele.Fallbacks[telemetry.FallbackOverflow]++
+	}
 }
 
 // WantBranches implements cpu.FastMonitor: LBR-capturing configurations
@@ -643,6 +691,8 @@ func (p *PMU) OnFastBranch(from, to uint32, op isa.Op) {
 // here; the invariant is asserted because a violation means silently
 // diverging sample streams.
 func (p *PMU) BulkRetire(c cpu.BulkCounts) {
+	p.tele.Strides++
+	p.tele.StrideInstrs += c.Instrs
 	u := EventUnitsBulk(p.cfg.Event, c)
 	p.TotalEvents += u
 	p.counter += u

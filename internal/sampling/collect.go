@@ -7,6 +7,7 @@ import (
 	"pmutrust/internal/machine"
 	"pmutrust/internal/pmu"
 	"pmutrust/internal/program"
+	"pmutrust/internal/telemetry"
 )
 
 // EngineMode selects which execution engine Collect drives — or both, for
@@ -103,6 +104,11 @@ type Options struct {
 	// (Machine.CtxSwitchCostCycles) for the scheduler's switch-in leak
 	// model. Ignored without Tenants > 1.
 	SchedSwitchCostCycles uint64
+	// Telemetry, when non-nil, receives each run's engine counters and
+	// variant at run end. Telemetry observes, never perturbs: it is not
+	// part of Run, so bit-identity checks (DiffRuns) never see it, and a
+	// nil sink costs one branch per run.
+	Telemetry *telemetry.Sink
 }
 
 // SchedStats reports the scheduling noise one tenant's run absorbed under
@@ -349,6 +355,14 @@ func Collect(p *program.Program, mach machine.Machine, m Method, opt Options) (*
 		if mux != nil {
 			run.Counts = mux.Finish(cpuRes.Cycles)
 			run.MuxRotations = mux.Rotations
+		}
+		if sink := opt.Telemetry; sink != nil {
+			sink.AddEngine(unit.EngineCounters())
+			if eng == cpu.EngineInterp {
+				sink.CountRun(telemetry.VariantInterp)
+			} else {
+				sink.CountRun(cpu.FastVariant(mon).TelemetryVariant())
+			}
 		}
 		if err != nil {
 			return run, fmt.Errorf("sampling: run %s on %s: %w", p.Name, mach.Name, err)

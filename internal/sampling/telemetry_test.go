@@ -1,0 +1,118 @@
+package sampling_test
+
+// Telemetry must observe without perturbing: attaching a Sink may not
+// change any run observable under either engine, and the counters it
+// gathers must account for every retired instruction with fallback
+// buckets that sum exactly to the total number of fallback events.
+
+import (
+	"testing"
+
+	"pmutrust/internal/machine"
+	"pmutrust/internal/sampling"
+	"pmutrust/internal/telemetry"
+	"pmutrust/internal/workloads"
+)
+
+// TestTelemetryDoesNotPerturb reruns the differential battery with a sink
+// attached: EngineBoth diffs the interpreter against the fast engine
+// internally, and the run with telemetry must stay bit-identical to the
+// run without it.
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	specs := workloads.Kernels()
+	if testing.Short() {
+		specs = specs[:2]
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.Build(0.25)
+			sink := &telemetry.Sink{}
+			for _, mach := range machine.All() {
+				for _, m := range gridMethods() {
+					if _, ok := sampling.Resolve(m, mach); !ok {
+						continue
+					}
+					bare, err := sampling.Collect(p, mach, m, sampling.Options{
+						PeriodBase: 1000,
+						Seed:       42,
+						Engine:     sampling.EngineFast,
+					})
+					if err != nil {
+						t.Fatalf("%s/%s/%s bare: %v", spec.Name, mach.Name, m.Key, err)
+					}
+					// Both engines, sink attached — the differential check
+					// runs inside Collect.
+					observed, err := sampling.Collect(p, mach, m, sampling.Options{
+						PeriodBase: 1000,
+						Seed:       42,
+						Engine:     sampling.EngineBoth,
+						Telemetry:  sink,
+					})
+					if err != nil {
+						t.Fatalf("%s/%s/%s with sink: %v", spec.Name, mach.Name, m.Key, err)
+					}
+					if err := sampling.DiffRuns(bare, observed); err != nil {
+						t.Fatalf("%s/%s/%s: telemetry perturbed the run: %v",
+							spec.Name, mach.Name, m.Key, err)
+					}
+				}
+			}
+			if err := sink.Snapshot("").Validate(); err != nil {
+				t.Fatalf("snapshot after battery: %v", err)
+			}
+		})
+	}
+}
+
+// TestTelemetryAccountsEveryInstruction: for any single run, fast-path
+// stride instructions plus event-mode instructions must equal the
+// engine's retired-instruction count exactly, the per-variant run count
+// must record the run, and the fallback buckets must sum to the total.
+func TestTelemetryAccountsEveryInstruction(t *testing.T) {
+	p := workloads.MustBuild("G4Box", 0.25)
+	for _, mach := range machine.All() {
+		for _, m := range gridMethods() {
+			if _, ok := sampling.Resolve(m, mach); !ok {
+				continue
+			}
+			for _, eng := range []sampling.EngineMode{sampling.EngineFast, sampling.EngineInterp} {
+				sink := &telemetry.Sink{}
+				run, err := sampling.Collect(p, mach, m, sampling.Options{
+					PeriodBase: 1000,
+					Seed:       7,
+					Engine:     eng,
+					Telemetry:  sink,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/%v: %v", mach.Name, m.Key, eng, err)
+				}
+				snap := sink.Snapshot("")
+				if err := snap.Validate(); err != nil {
+					t.Fatalf("%s/%s/%v: %v", mach.Name, m.Key, eng, err)
+				}
+				e := snap.Engine
+				if got := e.StrideInstrs + e.EventInstrs; got != run.CPU.Instructions {
+					t.Errorf("%s/%s/%v: telemetry saw %d instructions (stride %d + event %d), run retired %d",
+						mach.Name, m.Key, eng, got, e.StrideInstrs, e.EventInstrs, run.CPU.Instructions)
+				}
+				var runs uint64
+				for _, v := range e.Runs {
+					runs += v
+				}
+				if runs != 1 {
+					t.Errorf("%s/%s/%v: %d runs recorded, want 1 (%v)", mach.Name, m.Key, eng, runs, e.Runs)
+				}
+				if eng == sampling.EngineInterp {
+					if e.Runs["interp"] != 1 {
+						t.Errorf("%s/%s: interp run recorded as %v", mach.Name, m.Key, e.Runs)
+					}
+					if e.Strides != 0 || e.StrideInstrs != 0 {
+						t.Errorf("%s/%s: interpreter run recorded strides: %+v", mach.Name, m.Key, e)
+					}
+				}
+			}
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"pmutrust/internal/program"
 	"pmutrust/internal/sampling"
 	"pmutrust/internal/stats"
+	"pmutrust/internal/telemetry"
 )
 
 // DefaultPeriodCycles is the scheduler period in simulated cycles when
@@ -108,6 +109,10 @@ type task struct {
 	marks  []mark
 	drains []bool // drains[k]: service k caught an in-flight capture
 	stats  sampling.SchedStats
+
+	// tele is the tenant's telemetry counter block — the unit's own, so
+	// the whole chain (task → mux → PMU) records into one block.
+	tele *telemetry.EngineCounters
 }
 
 // service handles one scheduler deadline at retirement ev: the tenant is
@@ -161,11 +166,20 @@ func (t *task) OnRetire(ev cpu.RetireEvent) {
 // cycle distance by the worst-case per-instruction advance so no strided
 // retirement can reach the deadline. A drifted conservative clock grants
 // zero; the next OnRetire resynchronizes it.
+// A zero deadline grant returns before consulting the wrapped chain, so
+// exactly one layer attributes each fallback event (headroom queries are
+// pure modulo telemetry); when the chain is the refuser it has already
+// counted its reason.
 func (t *task) FastHeadroom() uint64 {
 	if t.estCycle >= t.nextDeadline {
+		t.tele.Fallbacks[telemetry.FallbackSchedDeadline]++
 		return 0
 	}
 	h := (t.nextDeadline - t.estCycle - 1) / t.maxCyc
+	if h == 0 {
+		t.tele.Fallbacks[telemetry.FallbackSchedDeadline]++
+		return 0
+	}
 	if ih := t.mon.FastHeadroom(); ih < h {
 		h = ih
 	}
@@ -324,6 +338,7 @@ func runTenant(p *program.Program, mach machine.Machine, m sampling.Method, opt 
 		nextDeadline: slice,
 		migrate:      opt.Migrate,
 		resolved:     cell.Resolved,
+		tele:         unit.EngineCounters(),
 	}
 	if cell.UseMux {
 		tk.mux = pmu.NewMux(cell.Mux, unit)
@@ -331,6 +346,14 @@ func runTenant(p *program.Program, mach machine.Machine, m sampling.Method, opt 
 	}
 
 	cpuRes, err := cpu.RunEngine(p, mach.CPU, tk, topt.MaxInstrs, eng)
+	if sink := topt.Telemetry; sink != nil {
+		sink.AddEngine(unit.EngineCounters())
+		if eng == cpu.EngineInterp {
+			sink.CountRun(telemetry.VariantInterp)
+		} else {
+			sink.CountRun(cpu.FastVariant(tk).TelemetryVariant())
+		}
+	}
 	run := &sampling.Run{
 		Machine:     mach,
 		Requested:   m,

@@ -4,24 +4,31 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os/exec"
+	"sync"
 	"time"
 
 	"pmutrust/internal/results"
 )
 
-// Progress is one coordinator observation of a running sweep.
+// Progress is one coordinator observation of a running sweep. The JSON
+// form (snake_case, durations in nanoseconds) is what the -obs-addr
+// /progress endpoint serves.
 type Progress struct {
 	// CellsDone / CellsTotal count distinct completed cells across every
 	// shard file (merge-on-read, so retries never double-count).
-	CellsDone, CellsTotal int
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
 	// ShardsDone / ShardsTotal count done-marked shards.
-	ShardsDone, ShardsTotal int
+	ShardsDone  int `json:"shards_done"`
+	ShardsTotal int `json:"shards_total"`
 	// Elapsed is the time since the coordinator started observing; ETA
 	// extrapolates the measured completion rate over the remaining cells
 	// (negative while no rate is measurable yet).
-	Elapsed, ETA time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
+	ETA     time.Duration `json:"eta_ns"`
 }
 
 // String renders the one-line progress form the coordinator streams.
@@ -59,10 +66,35 @@ type Coordinator struct {
 	// `pmubench -worker -sweep-dir Dir` (the CLIs wire this up).
 	WorkerCmd func(i int) *exec.Cmd
 	// Progress, when non-nil, receives one line whenever the observed
-	// (cells, shards) state changes, plus worker lifecycle warnings.
+	// (cells, shards) state changes — the human-facing progress stream.
+	// The same observations are queryable through LastProgress, which is
+	// what the -obs-addr /progress endpoint serves.
 	Progress io.Writer
+	// Logger, when non-nil, receives structured worker lifecycle events
+	// (spawns, exits); the progress stream stays on Progress.
+	Logger *slog.Logger
 	// PollInterval is the observation cadence (default 1s).
 	PollInterval time.Duration
+
+	mu   sync.Mutex
+	last Progress
+	seen bool
+}
+
+// LastProgress returns the most recent observation of the running sweep
+// and whether one has been made yet. Safe for concurrent use — the HTTP
+// observability plane calls it from request goroutines while Run polls.
+func (c *Coordinator) LastProgress() (Progress, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, c.seen
+}
+
+// recordProgress publishes one observation for LastProgress readers.
+func (c *Coordinator) recordProgress(p Progress) {
+	c.mu.Lock()
+	c.last, c.seen = p, true
+	c.mu.Unlock()
 }
 
 // workerExit pairs a worker index with its exit error.
@@ -71,10 +103,13 @@ type workerExit struct {
 	err error
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.Progress != nil {
-		fmt.Fprintf(c.Progress, "sweepd: "+format+"\n", args...)
+// log returns the coordinator's structured logger, or a discarding one
+// when none is attached.
+func (c *Coordinator) log() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // observe snapshots sweep progress by merge-on-read.
@@ -151,8 +186,9 @@ func (c *Coordinator) Run() error {
 				exits <- workerExit{i, cmd.Wait()}
 			}(i, cmd)
 		}
-		c.logf("spawned %d workers over %d shards (%d cells)",
-			len(cmds), len(c.Plan.Shards), c.Plan.NumCells())
+		c.log().Info("spawned workers",
+			"workers", len(cmds), "shards", len(c.Plan.Shards), "cells", c.Plan.NumCells(),
+			"run_id", c.Plan.Fingerprint)
 	}
 
 	start := time.Now()
@@ -168,6 +204,7 @@ func (c *Coordinator) Run() error {
 		if firstDone < 0 {
 			firstDone = p.CellsDone
 		}
+		c.recordProgress(p)
 		if c.Progress != nil && (p.CellsDone != last.CellsDone || p.ShardsDone != last.ShardsDone) {
 			fmt.Fprintf(c.Progress, "sweepd: %s\n", p)
 		}
@@ -181,7 +218,7 @@ func (c *Coordinator) Run() error {
 			if e.err != nil {
 				// A crashed worker is a warning, not a failure: its
 				// lease expires and the fleet absorbs the shard.
-				c.logf("worker %d exited: %v", e.i, e.err)
+				c.log().Warn("worker exited", "worker", e.i, "err", e.err)
 				workerErrs = append(workerErrs, fmt.Errorf("worker %d: %w", e.i, e.err))
 			}
 			if len(cmds) > 0 && exited == len(cmds) {
@@ -205,7 +242,7 @@ func (c *Coordinator) Run() error {
 		case e := <-exits:
 			exited++
 			if e.err != nil {
-				c.logf("worker %d exited: %v", e.i, e.err)
+				c.log().Warn("worker exited", "worker", e.i, "err", e.err)
 			}
 		case <-deadline:
 			for _, cmd := range cmds {

@@ -29,6 +29,7 @@ import (
 
 	"pmutrust/internal/experiments"
 	"pmutrust/internal/results"
+	"pmutrust/internal/telemetry"
 )
 
 func TestMain(m *testing.M) {
@@ -63,7 +64,7 @@ func runTestWorker() {
 		Owner:    os.Getenv("SWEEPD_TEST_OWNER"),
 		TTL:      ttl,
 		Parallel: 1, // one in-flight cell, so "killed mid-shard" is well-defined
-		Log:      os.Stderr,
+		Logger:   telemetry.NewLogger(os.Stderr, false),
 		Fault:    fault,
 	}
 	if _, err := w.Run(); err != nil {

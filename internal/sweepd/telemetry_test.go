@@ -1,0 +1,125 @@
+package sweepd
+
+// Worker telemetry: every fleet member persists a validated snapshot
+// under dir/telemetry/, the returned WorkerStats are a projection of
+// that same snapshot (so console summary and /metrics can never
+// disagree), and the merged fleet document counts its members.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pmutrust/internal/telemetry"
+)
+
+// TestWorkerPersistsTelemetrySnapshot runs a two-worker fleet and checks
+// the per-worker snapshots and their merge.
+func TestWorkerPersistsTelemetrySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	p := testPlan(3)
+	if err := WritePlan(dir, p); err != nil {
+		t.Fatal(err)
+	}
+
+	const fleet = 2
+	stats := make([]WorkerStats, fleet)
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{Dir: dir, Owner: string(rune('a' + i)), TTL: time.Second, Parallel: 2}
+			var err error
+			stats[i], err = w.Run()
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Each worker's persisted snapshot validates, carries the plan
+	// fingerprint as run ID, claims exactly one worker, and projects to
+	// the stats the worker returned.
+	for i := 0; i < fleet; i++ {
+		owner := string(rune('a' + i))
+		snap, err := telemetry.ReadSnapshot(
+			telemetry.Dir(dir) + "/worker-" + owner + ".json")
+		if err != nil {
+			t.Fatalf("worker %s snapshot: %v", owner, err)
+		}
+		if snap.RunID != p.Fingerprint {
+			t.Errorf("worker %s snapshot run ID = %q, want plan fingerprint %q",
+				owner, snap.RunID, p.Fingerprint)
+		}
+		if snap.Fleet.Workers != 1 {
+			t.Errorf("worker %s snapshot claims %d workers, want 1", owner, snap.Fleet.Workers)
+		}
+		if got := StatsFromSnapshot(snap); got != stats[i] {
+			t.Errorf("worker %s: snapshot projects to %+v, Run returned %+v", owner, got, stats[i])
+		}
+	}
+
+	// The merged fleet document: counts both members, keeps the shared
+	// run ID, and accounts for the whole sweep.
+	merged, n, err := telemetry.LoadDir(telemetry.Dir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fleet {
+		t.Fatalf("LoadDir merged %d snapshots, want %d", n, fleet)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged snapshot: %v", err)
+	}
+	if merged.Fleet.Workers != fleet {
+		t.Errorf("merged snapshot counts %d workers, want %d", merged.Fleet.Workers, fleet)
+	}
+	if merged.RunID != p.Fingerprint {
+		t.Errorf("merged run ID = %q, want %q (all members share the plan fingerprint)",
+			merged.RunID, p.Fingerprint)
+	}
+	if got := int(merged.Sweep.CellsMeasured + merged.Sweep.CellsStored); got != p.NumCells() {
+		t.Errorf("fleet telemetry accounts for %d cells, plan has %d", got, p.NumCells())
+	}
+	if int(merged.Fleet.ShardsCompleted) != len(p.Shards) {
+		t.Errorf("fleet telemetry counts %d completed shards, want %d",
+			merged.Fleet.ShardsCompleted, len(p.Shards))
+	}
+	if merged.Engine.FallbackTotal == 0 {
+		t.Error("fleet measured real cells but recorded no fallback events")
+	}
+}
+
+// TestCoordinatorLastProgress pins the observability-plane hook: before
+// Run no observation exists, after a completed sweep the last
+// observation reports every shard done.
+func TestCoordinatorLastProgress(t *testing.T) {
+	dir := t.TempDir()
+	c := &Coordinator{Dir: dir, Plan: testPlan(2), PollInterval: 20 * time.Millisecond}
+	if _, ok := c.LastProgress(); ok {
+		t.Fatal("LastProgress reports an observation before Run")
+	}
+
+	workerDone := make(chan error, 1)
+	go func() {
+		w := &Worker{Dir: dir, Owner: "ext", TTL: time.Second, Parallel: 2}
+		_, err := w.Run()
+		workerDone <- err
+	}()
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	p, ok := c.LastProgress()
+	if !ok {
+		t.Fatal("LastProgress reports no observation after a completed sweep")
+	}
+	if p.ShardsDone != p.ShardsTotal || p.ShardsTotal != 2 {
+		t.Errorf("final progress = %+v, want shards 2/2 done", p)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"sync/atomic"
@@ -14,6 +14,7 @@ import (
 	"pmutrust/internal/pool"
 	"pmutrust/internal/results"
 	"pmutrust/internal/sampling"
+	"pmutrust/internal/telemetry"
 )
 
 // Fault injects failures into a worker for the crash/resume test
@@ -44,7 +45,10 @@ type Fault struct {
 	StallMarker string
 }
 
-// WorkerStats summarizes one worker's run.
+// WorkerStats summarizes one worker's run. It is a projection of the
+// worker's telemetry snapshot (see StatsFromSnapshot): the console
+// summary and the /metrics document are derived from the same counters,
+// so the two can never disagree.
 type WorkerStats struct {
 	// ShardsCompleted counts shards this worker ran to completion and
 	// done-marked; ShardsTaken counts every lease it won (including
@@ -58,6 +62,19 @@ type WorkerStats struct {
 	// executed; RefsServed counts those it loaded from the sweep's
 	// shared reference memo (dir/refs) without re-executing.
 	RefsCollected, RefsServed int
+}
+
+// StatsFromSnapshot projects a telemetry snapshot onto the worker's
+// console-summary shape — the single source both surfaces render from.
+func StatsFromSnapshot(s telemetry.Snapshot) WorkerStats {
+	return WorkerStats{
+		ShardsCompleted: int(s.Fleet.ShardsCompleted),
+		ShardsTaken:     int(s.Fleet.LeasesAcquired),
+		Measured:        int(s.Sweep.CellsMeasured),
+		Served:          int(s.Sweep.CellsStored),
+		RefsCollected:   int(s.Sweep.RefsMeasured),
+		RefsServed:      int(s.Sweep.RefsServed),
+	}
 }
 
 // Worker is one member of a sweep fleet: it claims shards from the plan
@@ -79,8 +96,10 @@ type Worker struct {
 	Parallel int
 	// Engine selects the execution engine (results are engine-independent).
 	Engine sampling.EngineMode
-	// Log, when non-nil, receives one line per shard event.
-	Log io.Writer
+	// Logger, when non-nil, receives one structured record per shard
+	// event, carrying the run ID, shard, and lease generation as attrs
+	// (see telemetry.NewLogger).
+	Logger *slog.Logger
 	// Fault, when non-nil, injects failures for the test harness.
 	Fault *Fault
 	// Now is the clock (nil: time.Now). Tests inject it to control
@@ -88,6 +107,9 @@ type Worker struct {
 	Now func() time.Time
 
 	faultPuts atomic.Int64
+	// sink aggregates this worker's telemetry; Run persists snapshots of
+	// it under dir/telemetry/ for the coordinator's fleet-merged view.
+	sink *telemetry.Sink
 }
 
 // DefaultLeaseTTL balances takeover latency (a dead worker's shard is
@@ -102,9 +124,26 @@ func (w *Worker) now() time.Time {
 	return time.Now()
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.Log != nil {
-		fmt.Fprintf(w.Log, "sweepd: worker %s: "+format+"\n", append([]any{w.Owner}, args...)...)
+// log returns the worker's structured logger, or a discarding one when
+// none is attached.
+func (w *Worker) log() *slog.Logger {
+	if w.Logger != nil {
+		return w.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// persist writes the worker's current snapshot under dir/telemetry/ so
+// the coordinator's observability plane can serve a fleet-merged view
+// mid-run. Best-effort: a failed write warns and the sweep continues —
+// telemetry must never take down a measurement.
+func (w *Worker) persist(runID string) {
+	snap := w.sink.Snapshot(runID)
+	// Each persisted worker snapshot claims one worker, so the merged
+	// fleet document counts fleet members (the Sink itself cannot know).
+	snap.Fleet.Workers = 1
+	if err := telemetry.WriteSnapshot(telemetry.Dir(w.Dir), "worker-"+w.Owner, snap); err != nil {
+		w.log().Warn("telemetry snapshot write failed", "err", err)
 	}
 }
 
@@ -136,15 +175,21 @@ func (w *Worker) Run() (stats WorkerStats, err error) {
 	if w.TTL <= 0 {
 		w.TTL = DefaultLeaseTTL
 	}
+	w.sink = &telemetry.Sink{}
 	p, err := readPlanWait(w.Dir, 10*time.Second, w.now)
 	if err != nil {
 		return stats, err
 	}
+	// The plan fingerprint is the sweep's run ID: every fleet member logs
+	// and persists telemetry under it, which is what ties a shard file in
+	// the results store to the log lines and snapshots that produced it.
+	log := w.log().With("run_id", p.Fingerprint, "worker", w.Owner)
 	r, err := p.Runner()
 	if err != nil {
 		return stats, err
 	}
 	r.Engine = w.Engine
+	r.Telemetry = w.sink
 	// Attach the fleet-shared reference memo: ground truth collected by
 	// any earlier (or concurrent) fleet member is served from dir/refs
 	// instead of re-executed. The owner name keeps this worker's appends
@@ -155,9 +200,12 @@ func (w *Worker) Run() (stats WorkerStats, err error) {
 	}
 	defer refs.Close()
 	r.RefStore = refs
+	// The returned stats are a projection of the final snapshot — the
+	// same document the observability plane serves — and that snapshot is
+	// persisted no matter how the run ends.
 	defer func() {
-		rs := r.RefStats()
-		stats.RefsCollected, stats.RefsServed = rs.Measured, rs.Cached
+		w.persist(p.Fingerprint)
+		stats = StatsFromSnapshot(w.sink.Snapshot(p.Fingerprint))
 	}()
 
 	n := len(p.Shards)
@@ -191,18 +239,21 @@ func (w *Worker) Run() (stats WorkerStats, err error) {
 				return stats, err
 			}
 			progress = true
-			stats.ShardsTaken++
-			w.logf("claimed shard %d (gen %d, %d cells)", s, lease.Gen, len(p.Shards[s]))
-			err = w.runShard(p, r, s, lease, &stats)
+			// Generation 1 is a first claim; anything later is a takeover
+			// of an expired or superseded predecessor — a steal.
+			w.sink.CountLease(lease.Gen > 1)
+			log.Info("claimed shard", "shard", s, "gen", lease.Gen, "cells", len(p.Shards[s]))
+			err = w.runShard(p, r, s, lease, log)
 			switch {
 			case errors.Is(err, ErrSuperseded):
-				w.logf("abandoned shard %d: %v", s, err)
+				log.Warn("abandoned shard", "shard", s, "gen", lease.Gen, "err", err)
 			case err != nil:
 				failures = append(failures, fmt.Errorf("shard %d: %w", s, err))
 			default:
-				stats.ShardsCompleted++
-				w.logf("completed shard %d", s)
+				w.sink.CountShardDone()
+				log.Info("completed shard", "shard", s, "gen", lease.Gen)
 			}
+			w.persist(p.Fingerprint)
 		}
 		if allDone {
 			return stats, errors.Join(failures...)
@@ -238,7 +289,7 @@ func shardWriter(shard int, gen uint64) string {
 // runShard measures the shard's missing cells into this generation's
 // file under a heartbeat. On supersession it stops between cells and
 // returns ErrSuperseded without done-marking; completed appends stay.
-func (w *Worker) runShard(p *Plan, r *experiments.Runner, shard int, lease *Lease, stats *WorkerStats) error {
+func (w *Worker) runShard(p *Plan, r *experiments.Runner, shard int, lease *Lease, log *slog.Logger) error {
 	st, err := results.OpenDir(CellsDir(w.Dir), shardWriter(shard, lease.Gen))
 	if err != nil {
 		return err
@@ -249,13 +300,14 @@ func (w *Worker) runShard(p *Plan, r *experiments.Runner, shard int, lease *Leas
 	// the merge-on-read that makes a predecessor's completed cells
 	// final.
 	var missing []experiments.Cell
+	var served uint64
 	for _, ref := range p.Shards[shard] {
 		c, err := ref.Resolve()
 		if err != nil {
 			return err
 		}
 		if _, ok := st.Get(r.CellIdentity(c).Key()); ok {
-			stats.Served++
+			served++
 			continue
 		}
 		missing = append(missing, c)
@@ -263,23 +315,33 @@ func (w *Worker) runShard(p *Plan, r *experiments.Runner, shard int, lease *Leas
 
 	// Heartbeat at TTL/3 until the shard is finished; a failed or
 	// superseded heartbeat flips the stop flag the measure loop checks
-	// between cells.
+	// between cells. Each beat also observes its own scheduling lag and
+	// persists a snapshot, so a live worker's telemetry is visible to the
+	// coordinator's observability plane mid-shard.
 	var superseded atomic.Bool
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
+	interval := w.TTL / 3
 	go func() {
 		defer close(hbDone)
-		tick := time.NewTicker(w.TTL / 3)
+		tick := time.NewTicker(interval)
 		defer tick.Stop()
+		// Lag is measured against the real clock even when w.Now is
+		// injected: the ticker runs on real time regardless.
+		lastBeat := time.Now()
 		for {
 			select {
 			case <-hbStop:
 				return
 			case <-tick.C:
+				beat := time.Now()
+				w.sink.ObserveHeartbeat(beat.Sub(lastBeat) - interval)
+				lastBeat = beat
 				if err := lease.Heartbeat(w.TTL, w.now()); err != nil {
 					superseded.Store(true)
 					return
 				}
+				w.persist(p.Fingerprint)
 			}
 		}
 	}()
@@ -307,7 +369,7 @@ func (w *Worker) runShard(p *Plan, r *experiments.Runner, shard int, lease *Leas
 		w.faultStep(st)
 		return nil
 	})
-	stats.Measured += int(measured.Load())
+	w.sink.CountCells(uint64(measured.Load()), served)
 	stopHeartbeat()
 	if superseded.Load() {
 		return fmt.Errorf("shard %d gen %d: %w", shard, lease.Gen, ErrSuperseded)
@@ -335,7 +397,7 @@ func (w *Worker) faultStep(st *results.DirStore) {
 		if stall <= 0 {
 			stall = time.Minute
 		}
-		w.logf("fault: stalling %v after %d records", stall, n)
+		w.log().Info("fault: stalling", "stall", stall, "records", n)
 		if f.StallMarker != "" {
 			os.WriteFile(f.StallMarker, []byte(strconv.Itoa(os.Getpid())), 0o644)
 		}
@@ -351,7 +413,7 @@ func (w *Worker) faultStep(st *results.DirStore) {
 				fh.Close()
 			}
 		}
-		w.logf("fault: SIGKILL self after %d records", n)
+		w.log().Info("fault: SIGKILL self", "records", n)
 		proc, err := os.FindProcess(os.Getpid())
 		if err == nil {
 			proc.Kill() // SIGKILL on Unix: no deferred cleanup runs

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the observability plane served under -obs-addr:
+//
+//	/metrics       the canonical JSON snapshot (fleet-merged when the
+//	               snapshot function merges persisted worker documents)
+//	/progress      machine-readable sweep progress from the progress
+//	               function (404 until the first observation exists)
+//	/debug/pprof/  the standard runtime profiles
+//
+// Both functions are called per request, so the plane always serves
+// current state without its own refresh loop.
+func Handler(snapshot func() Snapshot, progress func() (any, bool)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		data, err := snapshot().MarshalCanonical()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := progress()
+		if !ok {
+			http.Error(w, "no progress observed yet", http.StatusNotFound)
+			return
+		}
+		data, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	// Mount pprof explicitly rather than via http.DefaultServeMux so the
+	// plane works no matter what else the process registered globally.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger used by every binary and the
+// sweepd fleet: a JSON handler when jsonMode is set (machine-ingestable,
+// one object per line) and a plain text handler otherwise. The given
+// attrs — typically the run ID, and for workers the owner — are attached
+// to every record so fleet logs can be joined against snapshots and the
+// results store by run_id alone.
+func NewLogger(w io.Writer, jsonMode bool, attrs ...slog.Attr) *slog.Logger {
+	var h slog.Handler
+	if jsonMode {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, &slog.HandlerOptions{
+			ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+				// Timestamps in text mode are console noise and make test
+				// output nondeterministic; JSON mode keeps them for ingestion.
+				if a.Key == slog.TimeKey && len(groups) == 0 {
+					return slog.Attr{}
+				}
+				return a
+			},
+		})
+	}
+	if len(attrs) > 0 {
+		h = h.WithAttrs(attrs)
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirName is the telemetry subdirectory of a sweep directory: each
+// worker persists (and re-persists) its own snapshot there, so a
+// crashed fleet leaves its last observed state behind for post-mortem
+// reads, and the coordinator's /metrics endpoint serves the merged view.
+const DirName = "telemetry"
+
+// Dir returns the telemetry directory under a sweep root.
+func Dir(root string) string { return filepath.Join(root, DirName) }
+
+// WriteSnapshot atomically persists s as dir/<name>.json (temp +
+// rename), creating dir as needed. Each writer owns its name — workers
+// use their owner ID — so persistence is single-writer per file, like
+// the results store's shard files.
+func WriteSnapshot(dir, name string, s Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("telemetry: persist: %w", err)
+	}
+	data, err := s.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(dir, name+".json")
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: persist: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("telemetry: persist: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads one persisted snapshot document.
+func ReadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadDir merges every *.json snapshot under dir (sorted name order, so
+// the merge is deterministic) and reports how many documents it merged.
+// A missing directory is an empty fleet, not an error — the coordinator
+// can serve /metrics before any worker has persisted.
+func LoadDir(dir string) (Snapshot, int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return Snapshot{Schema: SnapshotSchema}, 0, nil
+	}
+	if err != nil {
+		return Snapshot{}, 0, fmt.Errorf("telemetry: load %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	merged := Snapshot{Schema: SnapshotSchema}
+	n := 0
+	for _, name := range names {
+		s, err := ReadSnapshot(filepath.Join(dir, name))
+		if err != nil {
+			return Snapshot{}, 0, err
+		}
+		merged = merged.Merge(s)
+		n++
+	}
+	return merged, n, nil
+}

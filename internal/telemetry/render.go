@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderSummary renders a snapshot as the human-readable summary shared
+// by `pmureport -telemetry` and the pmubench/pmuprof end-of-run prints,
+// so every surface describes a run with the same numbers and vocabulary.
+// Sections with no observations are omitted.
+func RenderSummary(s Snapshot) string {
+	var b strings.Builder
+	if s.RunID != "" {
+		fmt.Fprintf(&b, "run %s\n", s.RunID)
+	}
+
+	e := s.Engine
+	var runs uint64
+	for _, v := range e.Runs {
+		runs += v
+	}
+	if runs > 0 || e.Strides > 0 || e.EventInstrs > 0 {
+		fmt.Fprintf(&b, "engine: %d runs (%s)\n", runs, countsLine(e.Runs))
+		total := e.StrideInstrs + e.EventInstrs
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(e.StrideInstrs) / float64(total)
+		}
+		fmt.Fprintf(&b, "  instructions: %d fast-path (%.1f%%) in %d strides, %d event-mode\n",
+			e.StrideInstrs, pct, e.Strides, e.EventInstrs)
+		fmt.Fprintf(&b, "  fused pairs: %d\n", e.FusedPairs)
+		fmt.Fprintf(&b, "  fallbacks: %d (%s)\n", e.FallbackTotal, countsLine(e.Fallbacks))
+	}
+
+	sw := s.Sweep
+	if sw.CellsMeasured+sw.CellsStored+sw.RefsMeasured+sw.RefsServed > 0 {
+		fmt.Fprintf(&b, "sweep: %d cells measured, %d served from store; %d refs measured, %d served from memo\n",
+			sw.CellsMeasured, sw.CellsStored, sw.RefsMeasured, sw.RefsServed)
+		if h := sw.CellWallNs; h.Count > 0 {
+			mean := time.Duration(h.SumNs / h.Count)
+			fmt.Fprintf(&b, "  cell wall time: mean %v, p50 ~%v, p99 ~%v over %d cells\n",
+				mean.Round(time.Microsecond), h.quantile(0.50), h.quantile(0.99), h.Count)
+		}
+	}
+
+	f := s.Fleet
+	if f.LeasesAcquired+f.ShardsCompleted+f.Heartbeats > 0 {
+		fmt.Fprintf(&b, "fleet: %d workers, %d leases (%d steals), %d shards completed\n",
+			f.Workers, f.LeasesAcquired, f.LeaseSteals, f.ShardsCompleted)
+		if f.Heartbeats > 0 {
+			fmt.Fprintf(&b, "  heartbeats: %d, lag mean %v max %v\n", f.Heartbeats,
+				time.Duration(f.HeartbeatLagSumNs/f.Heartbeats).Round(time.Microsecond),
+				time.Duration(f.HeartbeatLagMaxNs).Round(time.Microsecond))
+		}
+	}
+
+	if b.Len() == 0 {
+		return "no telemetry recorded\n"
+	}
+	return b.String()
+}
+
+// countsLine formats a counter map as "k=v" pairs in sorted key order,
+// skipping zero entries; "none" if all are zero.
+func countsLine(m map[string]uint64) string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return "none"
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// quantile estimates a histogram quantile as the upper bound of the
+// bucket containing it — coarse by design, since bucket edges are the
+// only resolution the format keeps.
+func (h HistStats) quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.UpperBoundsNs) {
+				return time.Duration(h.UpperBoundsNs[i])
+			}
+			break
+		}
+	}
+	if n := len(h.UpperBoundsNs); n > 0 {
+		return time.Duration(h.UpperBoundsNs[n-1])
+	}
+	return 0
+}

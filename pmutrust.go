@@ -170,8 +170,8 @@
 //
 // The heavy lifting lives in the internal packages (isa, program, cpu,
 // pmu, machine, sampling, sched, ref, profile, lbr, analysis,
-// workloads, trace, experiments, results, report); this package
-// re-exports the stable surface.
+// workloads, trace, experiments, results, report, telemetry); this
+// package re-exports the stable surface.
 package pmutrust
 
 import (
@@ -185,6 +185,7 @@ import (
 	"pmutrust/internal/ref"
 	"pmutrust/internal/sampling"
 	"pmutrust/internal/sched"
+	"pmutrust/internal/telemetry"
 	"pmutrust/internal/trace"
 	"pmutrust/internal/workloads"
 )
@@ -244,6 +245,14 @@ type (
 	// SchedStats reports per-tenant scheduling noise accounting
 	// (Run.Sched on runs collected by CollectTenants).
 	SchedStats = sampling.SchedStats
+	// TelemetrySink accumulates run-time counters (engine fast-path
+	// strides and fallbacks, sweep cache traffic) when attached via
+	// Options.Telemetry. A nil sink is always safe and costs nothing —
+	// collection results are bit-identical with and without one.
+	TelemetrySink = telemetry.Sink
+	// TelemetrySnapshot is a point-in-time, canonically-marshalable view
+	// of a sink's counters (TelemetrySink.Snapshot).
+	TelemetrySnapshot = telemetry.Snapshot
 )
 
 // Re-exported countable events and multiplexer policies, so
